@@ -1,0 +1,260 @@
+// Package bpwrapper is a Go implementation of BP-Wrapper, the framework of
+// Ding, Jiang & Zhang, "BP-Wrapper: A System Framework Making Any
+// Replacement Algorithms (Almost) Lock Contention Free" (ICDE 2009),
+// together with the complete substrate the paper's evaluation needs: eleven
+// buffer replacement algorithms, a PostgreSQL-style buffer-pool manager, a
+// simulated storage layer, TPC-W-like / TPC-C-like / TableScan workload
+// generators, a transaction driver, a deterministic multiprocessor
+// simulator, and the experiment harness that regenerates every table and
+// figure of the paper.
+//
+// # The problem and the technique
+//
+// Advanced replacement algorithms (2Q, LIRS, MQ, ARC, ...) must update a
+// shared data structure on every buffer access, under one global lock. At
+// high concurrency that lock throttles the whole DBMS, which is why systems
+// like PostgreSQL retreated to clock approximations that trade hit ratio
+// for lock-free hits. BP-Wrapper removes the trade-off with two
+// algorithm-agnostic techniques:
+//
+//   - Batching: each backend records hits in a small private FIFO queue and
+//     commits them in one lock-holding period — opportunistically with
+//     TryLock once a threshold is reached, forcibly only when the queue
+//     fills.
+//   - Prefetching: immediately before requesting the lock, the data the
+//     critical section will touch is read lock-free, so the processor cache
+//     is warm while the lock is held.
+//
+// # Quick start
+//
+//	policy, _ := bpwrapper.NewPolicy("2q", 1024)
+//	pool := bpwrapper.NewPool(bpwrapper.PoolConfig{
+//		Frames:  1024,
+//		Policy:  policy,
+//		Wrapper: bpwrapper.WrapperConfig{Batching: true, Prefetching: true},
+//		Device:  bpwrapper.NewMemDevice(),
+//	})
+//	sess := pool.NewSession() // one per worker goroutine
+//	ref, err := pool.Get(sess, bpwrapper.NewPageID(1, 0))
+//	if err != nil { ... }
+//	_ = ref.Data()
+//	ref.Release()
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology and results.
+package bpwrapper
+
+import (
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+	"bpwrapper/internal/trace"
+	"bpwrapper/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Pages
+
+// PageID identifies a disk page: a table (relation) number plus a block
+// number within the table.
+type PageID = page.PageID
+
+// BufferTag identifies one cached copy of a page (page id + frame
+// generation); BP-Wrapper's deferred hit records carry it so stale records
+// can be discarded at commit time.
+type BufferTag = page.BufferTag
+
+// Page is an 8 KB page image.
+type Page = page.Page
+
+// PageSize is the page size in bytes (8 KB, as in PostgreSQL).
+const PageSize = page.Size
+
+// NewPageID packs a table number (1..2^20-1) and block number (< 2^44)
+// into a PageID.
+func NewPageID(table uint32, block uint64) PageID { return page.NewPageID(table, block) }
+
+// ---------------------------------------------------------------------------
+// Replacement policies
+
+// Policy is a buffer replacement algorithm. Implementations are not safe
+// for concurrent use; they are driven either single-threaded (simulation),
+// under one global lock (the pre-BP-Wrapper design), or through the
+// Wrapper.
+type Policy = replacer.Policy
+
+// Prefetcher is implemented by policies that support the prefetching
+// technique.
+type Prefetcher = replacer.Prefetcher
+
+// NewPolicy constructs a replacement policy by name. Available names:
+// "lru", "fifo", "lfu", "lru2", "clock", "gclock", "2q", "lirs", "mq",
+// "arc", "car", "clockpro", "seq".
+func NewPolicy(name string, capacity int) (Policy, bool) { return replacer.New(name, capacity) }
+
+// PolicyNames lists the available algorithm names in sorted order.
+func PolicyNames() []string { return replacer.Names() }
+
+// Direct constructors for callers that want tuned parameters.
+var (
+	NewLRU      = replacer.NewLRU
+	NewFIFO     = replacer.NewFIFO
+	NewLFU      = replacer.NewLFU
+	NewLRU2     = replacer.NewLRU2
+	NewLRUK     = replacer.NewLRUK
+	NewClock    = replacer.NewClock
+	NewGClock   = replacer.NewGClock
+	NewTwoQ     = replacer.NewTwoQ
+	NewTwoQT    = replacer.NewTwoQTuned
+	NewLIRS     = replacer.NewLIRS
+	NewLIRST    = replacer.NewLIRSTuned
+	NewMQ       = replacer.NewMQ
+	NewMQT      = replacer.NewMQTuned
+	NewARC      = replacer.NewARC
+	NewCAR      = replacer.NewCAR
+	NewClockPro = replacer.NewClockPro
+)
+
+// ---------------------------------------------------------------------------
+// BP-Wrapper core
+
+// Wrapper couples a replacement policy with its global lock and the
+// BP-Wrapper techniques. Obtain per-backend Sessions with NewSession.
+type Wrapper = core.Wrapper
+
+// WrapperConfig selects batching/prefetching and tunes the FIFO queue.
+type WrapperConfig = core.Config
+
+// Session is one backend's private FIFO queue of deferred hit records.
+type Session = core.Session
+
+// Entry is one queued access record.
+type Entry = core.Entry
+
+// WrapperStats snapshots a Wrapper's counters (lock statistics, batching
+// activity).
+type WrapperStats = core.Stats
+
+// NewWrapper builds a standalone Wrapper around a policy. Most users want
+// NewPool instead, which wires the wrapper into a buffer manager.
+func NewWrapper(p Policy, cfg WrapperConfig) *Wrapper { return core.New(p, cfg) }
+
+// Paper-default queue tuning.
+const (
+	DefaultQueueSize      = core.DefaultQueueSize
+	DefaultBatchThreshold = core.DefaultBatchThreshold
+)
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+
+// Pool is the buffer-pool manager: fixed frames, a sharded page table, and
+// a replacement policy reached through the BP-Wrapper core.
+type Pool = buffer.Pool
+
+// PoolConfig assembles a Pool.
+type PoolConfig = buffer.Config
+
+// PageRef is a pinned reference to a buffered page.
+type PageRef = buffer.PageRef
+
+// PoolStats is an operational snapshot of a Pool (see Pool.Stats).
+type PoolStats = buffer.Stats
+
+// BackgroundWriter periodically writes dirty pages back to the device;
+// start one with Pool.StartBackgroundWriter.
+type BackgroundWriter = buffer.BackgroundWriter
+
+// BackgroundWriterConfig tunes a BackgroundWriter.
+type BackgroundWriterConfig = buffer.BackgroundWriterConfig
+
+// ErrNoUnpinnedBuffers is returned when every candidate victim is pinned.
+var ErrNoUnpinnedBuffers = buffer.ErrNoUnpinnedBuffers
+
+// NewPool builds a buffer pool.
+func NewPool(cfg PoolConfig) *Pool { return buffer.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Storage devices
+
+// Device is the storage interface beneath the pool.
+type Device = storage.Device
+
+// DeviceStats counts device activity.
+type DeviceStats = storage.DeviceStats
+
+// SimDiskConfig tunes the latency-simulating disk.
+type SimDiskConfig = storage.SimDiskConfig
+
+// NewMemDevice returns an in-memory page store whose unwritten pages read
+// back as a deterministic per-page pattern.
+func NewMemDevice() *storage.MemDevice { return storage.NewMemDevice() }
+
+// NewSimDisk wraps a device with per-operation latency and bounded
+// parallelism.
+func NewSimDisk(backing Device, cfg SimDiskConfig) *storage.SimDisk {
+	return storage.NewSimDisk(backing, cfg)
+}
+
+// NewNullDevice returns a zero-latency device for fully cached runs.
+func NewNullDevice() *storage.NullDevice { return storage.NewNullDevice() }
+
+// ---------------------------------------------------------------------------
+// Workloads
+
+// Workload generates page-access streams; Access is one page touch.
+type (
+	Workload = workload.Workload
+	Stream   = workload.Stream
+	Access   = workload.Access
+)
+
+// Workload constructors and configurations.
+type (
+	TPCWConfig      = workload.TPCWConfig
+	TPCCConfig      = workload.TPCCConfig
+	TableScanConfig = workload.TableScanConfig
+	SyntheticConfig = workload.SyntheticConfig
+	YCSBConfig      = workload.YCSBConfig
+)
+
+var (
+	NewTPCW      = workload.NewTPCW
+	NewTPCC      = workload.NewTPCC
+	NewTableScan = workload.NewTableScan
+	NewZipf      = workload.NewZipf
+	NewUniform   = workload.NewUniform
+	NewHotspot   = workload.NewHotspot
+	NewLoop      = workload.NewLoop
+	NewYCSB      = workload.NewYCSB
+)
+
+// WorkloadByName resolves a workload by name ("tpcw", "tpcc", "tablescan",
+// "zipf", "uniform", "hotspot", "loop", "ycsb-a".."ycsb-f") at its default
+// scale.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// ---------------------------------------------------------------------------
+// Traces
+
+// Trace is a recorded access sequence; TraceResult summarizes a replay.
+type (
+	Trace       = trace.Trace
+	TraceResult = trace.Result
+)
+
+// RecordTrace captures a deterministic interleaved trace from a workload.
+func RecordTrace(wl Workload, workers, txnsPerWorker int, seed int64) *Trace {
+	return trace.Record(wl, workers, txnsPerWorker, seed)
+}
+
+// ReplayTrace drives a policy with a trace and returns hit statistics.
+func ReplayTrace(p Policy, t *Trace) TraceResult { return trace.Replay(p, t) }
+
+// ReplayTraceBatched replays through the BP-Wrapper batching path, for
+// hit-ratio fidelity comparisons.
+func ReplayTraceBatched(p Policy, t *Trace, queueSize, threshold int) TraceResult {
+	return trace.ReplayBatched(p, t, queueSize, threshold)
+}

@@ -1,0 +1,182 @@
+// Command bpbench regenerates every table and figure of the BP-Wrapper
+// paper's evaluation (ICDE 2009). By default each experiment runs on the
+// deterministic multiprocessor simulator (see DESIGN.md for why); pass
+// -mode real to run on goroutines against the real buffer pool instead.
+//
+// Usage:
+//
+//	bpbench -exp fig2             # Figure 2: lock time vs batch size
+//	bpbench -exp fig6             # Figure 6: scalability, 1..16 processors
+//	bpbench -exp fig7             # Figure 7: scalability, 1..8 processors
+//	bpbench -exp tab2             # Table II: queue-size sensitivity
+//	bpbench -exp tab3             # Table III: batch-threshold sensitivity
+//	bpbench -exp fig8             # Figure 8: hit ratio & throughput vs buffer size
+//	bpbench -exp ablation-queue   # shared vs private FIFO queues
+//	bpbench -exp ablation-policy  # LIRS/MQ under the wrapper
+//	bpbench -exp all              # everything above, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bpwrapper/internal/bench"
+	"bpwrapper/internal/storage"
+	"bpwrapper/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, all")
+		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
+		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		wlNames  = flag.String("workloads", "tpcw,tpcc,tablescan", "comma-separated workloads")
+		procs    = flag.Int("procs", 16, "processor count for single-point experiments (fig2, tab2, tab3, ablations)")
+		format   = flag.String("format", "table", "output format: table (paper-shaped) or csv")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Mode:     bench.Mode(*mode),
+		Duration: *duration,
+		Seed:     *seed,
+	}
+	for _, name := range strings.Split(*wlNames, ",") {
+		wl, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		opts.Workloads = append(opts.Workloads, wl)
+	}
+
+	csvOut := *format == "csv"
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig2":
+			rows, err := bench.Fig2BatchSize(*procs, nil, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVFig2(os.Stdout, rows))
+			} else {
+				bench.PrintFig2(os.Stdout, rows)
+			}
+		case "fig6":
+			rows, err := bench.Scalability(nil, []int{1, 2, 4, 8, 16}, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVScalability(os.Stdout, rows))
+			} else {
+				bench.PrintScalability(os.Stdout, "Figure 6 — scalability on a 16-processor machine", rows)
+			}
+		case "fig7":
+			rows, err := bench.Scalability(nil, []int{1, 2, 4, 6, 8}, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVScalability(os.Stdout, rows))
+			} else {
+				bench.PrintScalability(os.Stdout, "Figure 7 — scalability on an 8-core machine", rows)
+			}
+		case "tab2":
+			rows, err := bench.TableIIQueueSize(*procs, nil, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVTableII(os.Stdout, rows))
+			} else {
+				bench.PrintTableII(os.Stdout, rows)
+			}
+		case "tab3":
+			rows, err := bench.TableIIIThreshold(*procs, nil, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVTableIII(os.Stdout, rows))
+			} else {
+				bench.PrintTableIII(os.Stdout, rows)
+			}
+		case "fig8":
+			fig8Opts := opts
+			// Figure 8 uses DBT-1 and DBT-2 only, at 8 processors.
+			fig8Opts.Workloads = nil
+			for _, wl := range opts.Workloads {
+				if wl.Name() != "tablescan" {
+					fig8Opts.Workloads = append(fig8Opts.Workloads, wl)
+				}
+			}
+			if len(fig8Opts.Workloads) == 0 {
+				fig8Opts.Workloads = opts.Workloads
+			}
+			rows, err := bench.Fig8Overall(8, nil, storage.SimDiskConfig{}, fig8Opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVFig8(os.Stdout, rows))
+			} else {
+				bench.PrintFig8(os.Stdout, rows)
+			}
+		case "ablation-queue":
+			rows, err := bench.AblationSharedQueue(*procs, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVSharedQueue(os.Stdout, rows))
+			} else {
+				bench.PrintSharedQueue(os.Stdout, rows)
+			}
+		case "ablation-policy":
+			rows, err := bench.AblationPolicies(*procs, nil, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVPolicies(os.Stdout, rows))
+			} else {
+				bench.PrintPolicies(os.Stdout, rows)
+			}
+		case "adaptive":
+			rows, err := bench.AblationAdaptiveThreshold(*procs, nil, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVAdaptive(os.Stdout, rows))
+			} else {
+				bench.PrintAdaptive(os.Stdout, rows)
+			}
+		case "distributed":
+			rows, err := bench.AblationDistributedLocks(*procs, nil, opts)
+			check(err)
+			hrRows, err := bench.AblationPartitionHitRatio(nil, nil, 0, *seed)
+			check(err)
+			if csvOut {
+				check(bench.CSVDistributed(os.Stdout, rows))
+				check(bench.CSVPartitionHitRatio(os.Stdout, hrRows))
+			} else {
+				bench.PrintDistributed(os.Stdout, rows)
+				fmt.Println()
+				bench.PrintPartitionHitRatio(os.Stdout, hrRows)
+			}
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		if !csvOut {
+			fmt.Printf("\n(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig2", "fig6", "fig7", "tab2", "tab3", "fig8", "ablation-queue", "ablation-policy", "distributed", "adaptive"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command bpload drives the real (goroutine-based) buffer pool with a
+// chosen workload and prints live statistics — the operational companion
+// to the experiment harnesses, useful for eyeballing behaviour on the
+// machine at hand.
+//
+// Examples:
+//
+//	bpload -workload tpcc -frames 4096 -policy lirs -duration 10s
+//	bpload -workload ycsb-a -policy 2q -batching=false       # feel the lock
+//	bpload -workload zipf -frames 512 -disk 250µs            # I/O bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bpwrapper"
+	"bpwrapper/internal/txn"
+)
+
+func main() {
+	var (
+		wlName      = flag.String("workload", "tpcw", "workload name (see bpwrapper.WorkloadByName)")
+		policyName  = flag.String("policy", "2q", "replacement algorithm")
+		frames      = flag.Int("frames", 0, "buffer frames (0 = full working set)")
+		workers     = flag.Int("workers", 8, "concurrent backends")
+		duration    = flag.Duration("duration", 5*time.Second, "run length")
+		batching    = flag.Bool("batching", true, "BP-Wrapper batching")
+		prefetching = flag.Bool("prefetching", true, "BP-Wrapper prefetching")
+		adaptive    = flag.Bool("adaptive", false, "adaptive batch threshold")
+		diskLat     = flag.Duration("disk", 0, "simulated disk read latency (0 = instant memory device)")
+		bgwriter    = flag.Bool("bgwriter", true, "run the background writer")
+		statsEvery  = flag.Duration("stats", time.Second, "live stats interval")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	wl, err := bpwrapper.WorkloadByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	nFrames := *frames
+	if nFrames <= 0 {
+		nFrames = wl.DataPages()
+	}
+	policy, ok := bpwrapper.NewPolicy(*policyName, nFrames)
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policyName))
+	}
+	var device bpwrapper.Device = bpwrapper.NewMemDevice()
+	if *diskLat > 0 {
+		device = bpwrapper.NewSimDisk(bpwrapper.NewMemDevice(), bpwrapper.SimDiskConfig{ReadLatency: *diskLat})
+	}
+	pool := bpwrapper.NewPool(bpwrapper.PoolConfig{
+		Frames: nFrames,
+		Policy: policy,
+		Wrapper: bpwrapper.WrapperConfig{
+			Batching:          *batching,
+			Prefetching:       *prefetching,
+			AdaptiveThreshold: *adaptive,
+		},
+		Device: device,
+	})
+	if *bgwriter {
+		bw := pool.StartBackgroundWriter(bpwrapper.BackgroundWriterConfig{})
+		defer bw.Stop()
+	}
+
+	fmt.Printf("bpload: %s over %d frames (%s, batching=%v prefetching=%v), %d workers, %v\n",
+		wl.Name(), nFrames, *policyName, *batching, *prefetching, *workers, *duration)
+
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		var lastHits, lastMisses int64
+		for {
+			select {
+			case <-ticker.C:
+				st := pool.Stats()
+				dh, dm := st.Hits-lastHits, st.Misses-lastMisses
+				lastHits, lastMisses = st.Hits, st.Misses
+				hr := 0.0
+				if dh+dm > 0 {
+					hr = float64(dh) / float64(dh+dm)
+				}
+				fmt.Printf("  %8d acc/s  hit %5.1f%%  dirty %4d  free %4d  lock acq %d  contended %d\n",
+					(dh+dm)*int64(time.Second / *statsEvery), 100*hr,
+					st.Dirty, st.Free, st.Wrapper.Lock.Acquisitions, st.Wrapper.Lock.Contentions)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	res, err := txn.Run(txn.Config{
+		Pool:       pool,
+		Workload:   wl,
+		Workers:    *workers,
+		Duration:   *duration,
+		Seed:       *seed,
+		TouchBytes: true,
+	})
+	close(stop)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\ncompleted %d txns in %v (%.0f tps)\n", res.Txns, res.Elapsed.Round(time.Millisecond), res.ThroughputTPS)
+	fmt.Printf("accesses    %d (hit ratio %.2f%%)\n", res.Accesses, 100*res.HitRatio)
+	fmt.Printf("response    mean %v  p50 %v  p99 %v\n",
+		res.Response.Mean.Round(time.Microsecond),
+		res.Response.P50.Round(time.Microsecond),
+		res.Response.P99.Round(time.Microsecond))
+	fmt.Printf("lock        %d acquisitions, %d contended, %d TryLock failures\n",
+		res.Wrapper.Lock.Acquisitions, res.Wrapper.Lock.Contentions, res.Wrapper.Lock.TryFailures)
+	fmt.Printf("batching    %d commits (%d TryLock, %d forced), %d stale dropped\n",
+		res.Wrapper.Commits, res.Wrapper.TryCommits, res.Wrapper.ForcedLocks, res.Wrapper.Dropped)
+	if n, err := pool.FlushDirty(); err == nil && n > 0 {
+		fmt.Printf("flushed     %d dirty pages on shutdown\n", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpload:", err)
+	os.Exit(1)
+}

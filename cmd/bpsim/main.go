@@ -1,0 +1,124 @@
+// Command bpsim runs a single configuration on the deterministic
+// multiprocessor simulator and prints its measurements — the low-level
+// companion to cmd/bpbench for exploring parameter spaces the canned
+// experiments do not sweep.
+//
+// Examples:
+//
+//	bpsim -procs 16 -policy 2q                         # pg2Q baseline
+//	bpsim -procs 16 -policy 2q -batching -prefetching  # full BP-Wrapper
+//	bpsim -procs 16 -policy clock                      # pgClock
+//	bpsim -procs 16 -policy 2q -lock-partitions 16     # distributed locks
+//	bpsim -procs 8 -policy lirs -frames 1000 -workload zipf   # I/O-bound
+//	bpsim -procs 16 -policy 2q -batching -queue 16 -threshold 8
+//	bpsim -procs 16 -policy 2q -batching -adaptive
+//	bpsim -procs 32 -policy 2q -batching -userwork 4µs -ctxswitch 2µs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bpwrapper/internal/sim"
+	"bpwrapper/internal/workload"
+)
+
+func main() {
+	var (
+		procs       = flag.Int("procs", 16, "virtual processors")
+		workers     = flag.Int("workers", 0, "backend threads (0 = 2×procs)")
+		policy      = flag.String("policy", "2q", "replacement algorithm")
+		batching    = flag.Bool("batching", false, "enable BP-Wrapper batching")
+		prefetching = flag.Bool("prefetching", false, "enable BP-Wrapper prefetching")
+		queue       = flag.Int("queue", 64, "batching queue size")
+		threshold   = flag.Int("threshold", 0, "batch threshold (0 = queue/2)")
+		adaptive    = flag.Bool("adaptive", false, "self-tuning batch threshold")
+		sharedQ     = flag.Bool("shared-queue", false, "single shared batching queue (ablation)")
+		partitions  = flag.Int("lock-partitions", 0, "distributed locks: hash partitions (>1)")
+		wlName      = flag.String("workload", "tpcw", "workload: tpcw, tpcc, tablescan, zipf, uniform, hotspot, loop")
+		frames      = flag.Int("frames", 0, "buffer frames (0 = full working set)")
+		prewarm     = flag.Bool("prewarm", true, "preload the working set when it fits")
+		warmup      = flag.Duration("warmup", 0, "virtual warm-up before measurement")
+		duration    = flag.Duration("duration", 500*time.Millisecond, "measured virtual time")
+		seed        = flag.Int64("seed", 1, "workload seed")
+
+		userWork  = flag.Duration("userwork", 0, "override: per-access transaction work")
+		policyOp  = flag.Duration("policyop", 0, "override: per-access critical-section op")
+		warmCost  = flag.Duration("lockwarmup", 0, "override: cache warm-up inside the CS")
+		ctxSwitch = flag.Duration("ctxswitch", 0, "override: blocked-acquire dispatch cost")
+		ioLatency = flag.Duration("iolatency", 0, "override: disk read service time")
+		slice     = flag.Duration("timeslice", 0, "override: scheduler quantum")
+	)
+	flag.Parse()
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	params := sim.DefaultParams()
+	override := func(dst *sim.Time, v time.Duration) {
+		if v > 0 {
+			*dst = sim.Time(v)
+		}
+	}
+	override(&params.UserWork, *userWork)
+	override(&params.PolicyOp, *policyOp)
+	override(&params.LockWarmup, *warmCost)
+	override(&params.PrefetchWork, *warmCost)
+	override(&params.CtxSwitch, *ctxSwitch)
+	override(&params.IOLatency, *ioLatency)
+	override(&params.TimeSlice, *slice)
+
+	res, err := sim.Run(sim.Config{
+		Procs:             *procs,
+		Workers:           *workers,
+		Policy:            *policy,
+		Batching:          *batching,
+		Prefetching:       *prefetching,
+		QueueSize:         *queue,
+		BatchThreshold:    *threshold,
+		AdaptiveThreshold: *adaptive,
+		SharedQueue:       *sharedQ,
+		LockPartitions:    *partitions,
+		Workload:          wl,
+		Frames:            *frames,
+		Prewarm:           *prewarm,
+		Warmup:            sim.Time(*warmup),
+		Duration:          sim.Time(*duration),
+		Seed:              *seed,
+		Params:            &params,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload            %s\n", wl.Name())
+	fmt.Printf("processors          %d (%d workers)\n", res.Procs, res.Workers)
+	fmt.Printf("virtual elapsed     %v\n", res.Elapsed)
+	fmt.Printf("transactions        %d (%.0f tps)\n", res.Txns, res.ThroughputTPS)
+	fmt.Printf("page accesses       %d (%.1f per txn)\n", res.Accesses, perTxn(res))
+	fmt.Printf("avg response        %v\n", res.AvgResponse)
+	fmt.Printf("hit ratio           %.4f (%d misses)\n", res.HitRatio, res.Misses)
+	fmt.Printf("lock acquisitions   %d\n", res.Lock.Acquisitions)
+	fmt.Printf("lock contentions    %d (%.1f per M accesses)\n", res.Lock.Contentions, res.ContentionPerM)
+	fmt.Printf("trylock failures    %d\n", res.Lock.TryFailures)
+	fmt.Printf("lock wait / hold    %v / %v\n", time.Duration(res.Lock.WaitTime), time.Duration(res.Lock.HoldTime))
+	fmt.Printf("lock time / access  %v\n", res.LockTimePerAccess)
+	if res.Committed+res.Dropped > 0 {
+		fmt.Printf("batched commits     %d applied, %d dropped stale\n", res.Committed, res.Dropped)
+	}
+}
+
+func perTxn(r sim.Result) float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return float64(r.Accesses) / float64(r.Txns)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpsim:", err)
+	os.Exit(1)
+}

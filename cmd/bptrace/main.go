@@ -1,0 +1,153 @@
+// Command bptrace records page-access traces from the built-in workloads
+// and replays them through the replacement algorithms, printing hit-ratio
+// tables. Its -compare mode runs the batching-fidelity experiment: the
+// same trace replayed with and without BP-Wrapper's deferred batches,
+// verifying the hit-ratio overlap the paper reports in Figure 8.
+//
+// Usage:
+//
+//	bptrace -workload tpcw -record trace.bin          # capture a trace
+//	bptrace -replay trace.bin -policies lru,2q,lirs   # hit-ratio sweep
+//	bptrace -workload tpcc -sweep                     # record + sweep in one go
+//	bptrace -workload tpcw -compare                   # batched vs plain fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/trace"
+	"bpwrapper/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "tpcw", "workload to record: tpcw, tpcc, tablescan, zipf, uniform, hotspot, loop")
+		workers  = flag.Int("workers", 16, "streams interleaved into the trace")
+		txns     = flag.Int("txns", 500, "transactions per stream")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		record   = flag.String("record", "", "write the recorded trace to this file")
+		replay   = flag.String("replay", "", "read the trace from this file instead of recording")
+		policies = flag.String("policies", "lru,clock,2q,lirs,mq,arc", "policies for -sweep/-compare")
+		caps     = flag.String("capacities", "", "comma-separated buffer capacities (default: 1/64..1/2 of distinct pages)")
+		sweep    = flag.Bool("sweep", false, "replay the trace under each policy and capacity")
+		compare  = flag.Bool("compare", false, "compare batched vs unbatched hit ratios (BP-Wrapper fidelity)")
+	)
+	flag.Parse()
+
+	var tr trace.Trace
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		check(err)
+		_, err = tr.ReadFrom(f)
+		f.Close()
+		check(err)
+	default:
+		wl, err := workload.ByName(*wlName)
+		check(err)
+		tr = *trace.Record(wl, *workers, *txns, *seed)
+	}
+	fmt.Printf("trace: %d accesses over %d distinct pages\n", tr.Len(), tr.DistinctPages())
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		check(err)
+		_, err = tr.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		check(err)
+		fmt.Printf("wrote %s\n", *record)
+	}
+
+	capacities := parseCaps(*caps, tr.DistinctPages())
+	polNames := splitList(*policies)
+
+	if *sweep || (!*compare && *record == "" && *replay != "") {
+		rows, err := trace.Sweep(&tr, polNames, capacities)
+		check(err)
+		fmt.Printf("\n%-10s", "capacity")
+		for _, p := range polNames {
+			fmt.Printf(" %9s", p)
+		}
+		fmt.Println()
+		for _, c := range capacities {
+			fmt.Printf("%-10d", c)
+			for _, p := range polNames {
+				for _, r := range rows {
+					if r.Policy == p && r.Capacity == c {
+						fmt.Printf(" %8.2f%%", 100*r.Result.HitRatio())
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	if *compare {
+		fmt.Printf("\nBatching fidelity (queue 64, threshold 32):\n")
+		fmt.Printf("%-8s %-10s %12s %12s %10s\n", "policy", "capacity", "plain hit%", "batched hit%", "delta")
+		for _, p := range polNames {
+			for _, c := range capacities {
+				plain, ok := replacer.New(p, c)
+				if !ok {
+					fatal(fmt.Errorf("unknown policy %q", p))
+				}
+				batched, _ := replacer.New(p, c)
+				a := trace.Replay(plain, &tr)
+				b := trace.ReplayBatched(batched, &tr, 64, 32)
+				fmt.Printf("%-8s %-10d %11.3f%% %11.3f%% %9.4f\n",
+					p, c, 100*a.HitRatio(), 100*b.HitRatio(), b.HitRatio()-a.HitRatio())
+			}
+		}
+	}
+}
+
+func parseCaps(s string, distinct int) []int {
+	if s == "" {
+		var caps []int
+		for _, div := range []int{64, 32, 16, 8, 4, 2} {
+			c := distinct / div
+			if c >= 16 {
+				caps = append(caps, c)
+			}
+		}
+		if len(caps) == 0 {
+			caps = []int{16}
+		}
+		return caps
+	}
+	var caps []int
+	for _, part := range splitList(s) {
+		c, err := strconv.Atoi(part)
+		check(err)
+		caps = append(caps, c)
+	}
+	return caps
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module bpwrapper
+
+go 1.22

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV emitters for every experiment's rows, for plotting pipelines. Each
+// writes a header line followed by one record per row; durations are in
+// nanoseconds, ratios in [0,1].
+
+func writeCSV(w io.Writer, header []string, n int, record func(int) []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := cw.Write(record(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+func d(n int64) string   { return strconv.FormatInt(n, 10) }
+
+// CSVFig2 writes the Figure 2 rows as CSV.
+func CSVFig2(w io.Writer, rows []BatchSizeRow) error {
+	return writeCSV(w, []string{"batch_size", "lock_ns_per_access", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{d(int64(r.BatchSize)), d(r.LockTimePerAccess.Nanoseconds()), f(r.ContentionPerM)}
+	})
+}
+
+// CSVScalability writes Figure 6/7 rows as CSV.
+func CSVScalability(w io.Writer, rows []ScalabilityRow) error {
+	return writeCSV(w, []string{"workload", "system", "procs", "tps", "avg_response_ns", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.System, d(int64(r.Procs)), f(r.ThroughputTPS), d(r.AvgResponse.Nanoseconds()), f(r.ContentionPerM)}
+	})
+}
+
+// CSVTableII writes Table II rows as CSV.
+func CSVTableII(w io.Writer, rows []QueueSizeRow) error {
+	return writeCSV(w, []string{"workload", "queue_size", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, d(int64(r.QueueSize)), f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}
+
+// CSVTableIII writes Table III rows as CSV.
+func CSVTableIII(w io.Writer, rows []ThresholdRow) error {
+	return writeCSV(w, []string{"workload", "threshold", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, d(int64(r.Threshold)), f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}
+
+// CSVFig8 writes Figure 8 rows as CSV.
+func CSVFig8(w io.Writer, rows []OverallRow) error {
+	return writeCSV(w, []string{"workload", "system", "frames", "buffer_mb", "hit_ratio", "tps"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.System, d(int64(r.Frames)), f(r.BufferMB), f(r.HitRatio), f(r.ThroughputTPS)}
+	})
+}
+
+// CSVSharedQueue writes the E7 ablation rows as CSV.
+func CSVSharedQueue(w io.Writer, rows []SharedQueueRow) error {
+	return writeCSV(w, []string{"workload", "design", "procs", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.Design, d(int64(r.Procs)), f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}
+
+// CSVPolicies writes the E8 ablation rows as CSV.
+func CSVPolicies(w io.Writer, rows []PolicyRow) error {
+	return writeCSV(w, []string{"workload", "policy", "system", "procs", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.Policy, r.System, d(int64(r.Procs)), f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}
+
+// CSVDistributed writes the E10 scalability rows as CSV.
+func CSVDistributed(w io.Writer, rows []DistributedRow) error {
+	return writeCSV(w, []string{"workload", "system", "procs", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.System, d(int64(r.Procs)), f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}
+
+// CSVPartitionHitRatio writes the E10 history rows as CSV.
+func CSVPartitionHitRatio(w io.Writer, rows []PartitionHitRow) error {
+	return writeCSV(w, []string{"policy", "partitions", "hit_ratio"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Policy, d(int64(r.Partitions)), f(r.HitRatio)}
+	})
+}
+
+// CSVAdaptive writes the E11 rows as CSV.
+func CSVAdaptive(w io.Writer, rows []AdaptiveRow) error {
+	return writeCSV(w, []string{"workload", "config", "tps", "contention_per_m"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.Config, f(r.ThroughputTPS), f(r.ContentionPerM)}
+	})
+}

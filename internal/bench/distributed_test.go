@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestAblationDistributedLocksShape(t *testing.T) {
+	rows, err := AblationDistributedLocks(16, []int{4, 64}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sys string) DistributedRow {
+		for _, r := range rows {
+			if r.System == sys {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", sys)
+		return DistributedRow{}
+	}
+	plain := get("pg2Q")
+	dist4 := get("pgDist-4")
+	dist64 := get("pgDist-64")
+	wrapped := get("pgBatPre")
+	// Partitioned locks ameliorate the global-lock collapse...
+	for _, dist := range []DistributedRow{dist4, dist64} {
+		if dist.ThroughputTPS <= plain.ThroughputTPS {
+			t.Errorf("%s (%.0f tps) did not beat the global lock (%.0f)",
+				dist.System, dist.ThroughputTPS, plain.ThroughputTPS)
+		}
+		if dist.ContentionPerM >= plain.ContentionPerM {
+			t.Errorf("%s contention %.1f/M not below pg2Q's %.1f/M",
+				dist.System, dist.ContentionPerM, plain.ContentionPerM)
+		}
+		// ...but hot pages keep contending on their partition's lock:
+		// partitioning retains far more contention than BP-Wrapper.
+		if dist.ContentionPerM < 5*wrapped.ContentionPerM {
+			t.Errorf("%s contention %.1f/M not well above pgBatPre's %.1f/M",
+				dist.System, dist.ContentionPerM, wrapped.ContentionPerM)
+		}
+	}
+}
+
+func TestAblationPartitionHitRatioShape(t *testing.T) {
+	rows, err := AblationPartitionHitRatio([]string{"seq", "2q"}, []int{8}, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := func(pol string, parts int) float64 {
+		for _, r := range rows {
+			if r.Policy == pol && r.Partitions == parts {
+				return r.HitRatio
+			}
+		}
+		t.Fatalf("missing %s/%d", pol, parts)
+		return 0
+	}
+	// SEQ loses its sequence detection when partitioned; the gap should be
+	// clear. 2Q's ghost history also fragments, though less dramatically.
+	if hr("seq", 8) >= hr("seq", 1) {
+		t.Errorf("partitioned SEQ hit ratio %.4f not below global %.4f", hr("seq", 8), hr("seq", 1))
+	}
+	if _, err := AblationPartitionHitRatio([]string{"bogus"}, nil, 0, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestAblationAdaptiveThreshold(t *testing.T) {
+	rows, err := AblationAdaptiveThreshold(16, []int{64, 32}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	var fixed64, adaptive AdaptiveRow
+	for _, r := range rows {
+		switch r.Config {
+		case "fixed-64":
+			fixed64 = r
+		case "adaptive":
+			adaptive = r
+		}
+	}
+	// The adaptive tuner must escape the threshold==queue pathology.
+	if adaptive.ContentionPerM >= fixed64.ContentionPerM {
+		t.Errorf("adaptive contention %.1f/M not below fixed-64's %.1f/M",
+			adaptive.ContentionPerM, fixed64.ContentionPerM)
+	}
+	if adaptive.ThroughputTPS < 0.95*fixed64.ThroughputTPS {
+		t.Errorf("adaptive throughput %.0f well below fixed-64's %.0f",
+			adaptive.ThroughputTPS, fixed64.ThroughputTPS)
+	}
+}

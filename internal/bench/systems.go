@@ -1,0 +1,118 @@
+// Package bench implements the BP-Wrapper paper's evaluation (Section IV):
+// the five tested system configurations of Table I and one experiment
+// function per table and figure, each returning typed rows and able to
+// print itself in the paper's shape.
+//
+// Absolute numbers will differ from the paper's 2007-era Itanium SMP and
+// Xeon hosts; the experiments are designed so the *shapes* reproduce: who
+// wins, by what rough factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// System is one tested configuration from Table I of the paper.
+type System struct {
+	// Name is the paper's system name (pgClock, pg2Q, pgBat, pgPre,
+	// pgBatPre).
+	Name string
+
+	// Policy is the replacement algorithm name in package replacer.
+	Policy string
+
+	// Batching and Prefetching select the BP-Wrapper techniques.
+	Batching    bool
+	Prefetching bool
+}
+
+// The five systems of Table I.
+var (
+	// SystemClock is stock PostgreSQL 8.2's configuration: the clock
+	// algorithm, lock-free on hits — the scalability optimum the paper
+	// measures everything against.
+	SystemClock = System{Name: "pgClock", Policy: "clock"}
+
+	// System2Q replaces clock with 2Q and no contention reduction: the
+	// paper's baseline for an advanced algorithm naively integrated.
+	System2Q = System{Name: "pg2Q", Policy: "2q"}
+
+	// SystemBat is pg2Q plus the batching technique.
+	SystemBat = System{Name: "pgBat", Policy: "2q", Batching: true}
+
+	// SystemPre is pg2Q plus the prefetching technique.
+	SystemPre = System{Name: "pgPre", Policy: "2q", Prefetching: true}
+
+	// SystemBatPre enables both techniques: the full BP-Wrapper.
+	SystemBatPre = System{Name: "pgBatPre", Policy: "2q", Batching: true, Prefetching: true}
+)
+
+// Systems returns the five configurations in the paper's order.
+func Systems() []System {
+	return []System{SystemClock, System2Q, SystemBat, SystemPre, SystemBatPre}
+}
+
+// SystemByName resolves a system by its Table I name.
+func SystemByName(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("bench: unknown system %q", name)
+}
+
+// WithPolicy returns a copy of the system using a different replacement
+// algorithm; used by the policy-independence ablation (the paper reports
+// repeating its experiments with LIRS and MQ in place of 2Q).
+func (s System) WithPolicy(policy string) System {
+	s.Policy = policy
+	s.Name = s.Name + "/" + policy
+	return s
+}
+
+// WrapperConfig materialises the system's core.Config with the paper's
+// queue tuning (size 64, threshold 32) unless overridden by the caller.
+func (s System) WrapperConfig(queueSize, batchThreshold int) core.Config {
+	return core.Config{
+		Batching:       s.Batching,
+		Prefetching:    s.Prefetching,
+		QueueSize:      queueSize,
+		BatchThreshold: batchThreshold,
+	}
+}
+
+// NewPool builds a buffer pool of the given frame count for this system.
+// queueSize/batchThreshold of zero mean the paper's defaults.
+func (s System) NewPool(frames int, device storage.Device, queueSize, batchThreshold int) (*buffer.Pool, error) {
+	pol, ok := replacer.New(s.Policy, frames)
+	if !ok {
+		return nil, fmt.Errorf("bench: system %s uses unknown policy %q", s.Name, s.Policy)
+	}
+	return buffer.New(buffer.Config{
+		Frames:  frames,
+		Policy:  pol,
+		Wrapper: s.WrapperConfig(queueSize, batchThreshold),
+		Device:  device,
+	}), nil
+}
+
+// buildPool constructs a pool with an explicit wrapper configuration (used
+// by ablations that tweak fields beyond queue tuning).
+func buildPool(s System, frames int, wcfg core.Config) (*buffer.Pool, error) {
+	pol, ok := replacer.New(s.Policy, frames)
+	if !ok {
+		return nil, fmt.Errorf("bench: system %s uses unknown policy %q", s.Name, s.Policy)
+	}
+	return buffer.New(buffer.Config{
+		Frames:  frames,
+		Policy:  pol,
+		Wrapper: wcfg,
+		Device:  storage.NewNullDevice(),
+	}), nil
+}

@@ -1,0 +1,145 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// flakyDevice injects read failures for selected pages or on a countdown.
+type flakyDevice struct {
+	inner     storage.Device
+	failPage  atomic.Uint64 // PageID whose reads fail (0 = none)
+	failReads atomic.Int64  // fail this many upcoming reads
+}
+
+var errInjected = errors.New("injected device failure")
+
+func (d *flakyDevice) ReadPage(id page.PageID, p *page.Page) error {
+	if uint64(id) == d.failPage.Load() {
+		return errInjected
+	}
+	if d.failReads.Load() > 0 && d.failReads.Add(-1) >= 0 {
+		return errInjected
+	}
+	return d.inner.ReadPage(id, p)
+}
+
+func (d *flakyDevice) WritePage(p *page.Page) error { return d.inner.WritePage(p) }
+func (d *flakyDevice) Stats() storage.DeviceStats   { return d.inner.Stats() }
+
+func flakyPool(frames int) (*Pool, *flakyDevice) {
+	dev := &flakyDevice{inner: storage.NewMemDevice()}
+	p := New(Config{
+		Frames:  frames,
+		Policy:  replacer.NewLRU(frames),
+		Wrapper: core.Config{Batching: true, QueueSize: 8, BatchThreshold: 4},
+		Device:  dev,
+	})
+	return p, dev
+}
+
+// TestLoadFailureSurfacesAndRecovers checks a failed device read is
+// reported to the caller, leaves the pool consistent, and a subsequent
+// successful read works.
+func TestLoadFailureSurfacesAndRecovers(t *testing.T) {
+	p, dev := flakyPool(4)
+	s := p.NewSession()
+
+	dev.failPage.Store(uint64(pid(1)))
+	if _, err := p.Get(s, pid(1)); !errors.Is(err, errInjected) {
+		t.Fatalf("err=%v, want injected failure", err)
+	}
+	// The failure must not leak a frame or policy residency.
+	p.Wrapper().Locked(func(pol replacer.Policy) {
+		if pol.Contains(pid(1)) {
+			t.Fatal("failed load left the page resident in the policy")
+		}
+	})
+	dev.failPage.Store(0)
+	ref, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatalf("pool did not recover: %v", err)
+	}
+	if !ref.Tag().Page.Valid() {
+		t.Fatal("recovered ref has invalid tag")
+	}
+	ref.Release()
+
+	// Other pages keep working throughout.
+	for i := uint64(2); i < 10; i++ {
+		r, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+}
+
+// TestLoadFailurePropagatesToWaiters checks single-flight followers get the
+// loader's error rather than hanging.
+func TestLoadFailurePropagatesToWaiters(t *testing.T) {
+	p, dev := flakyPool(4)
+	dev.failPage.Store(uint64(pid(7)))
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := p.NewSession()
+			_, errs[g] = p.Get(s, pid(7))
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("goroutine %d: err=%v, want injected failure", g, err)
+		}
+	}
+}
+
+// TestIntermittentFailuresUnderLoad checks the pool survives sporadic
+// device errors during concurrent traffic without leaking frames: after
+// the storm, all frames are reusable.
+func TestIntermittentFailuresUnderLoad(t *testing.T) {
+	p, dev := flakyPool(8)
+	dev.failReads.Store(40) // the next 40 reads fail
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := p.NewSession()
+			defer s.Flush()
+			for i := 0; i < 500; i++ {
+				ref, err := p.Get(s, pid(uint64((g*3+i)%32)))
+				if err != nil {
+					if !errors.Is(err, errInjected) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					continue
+				}
+				ref.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every frame must be reusable: fill the pool completely.
+	s := p.NewSession()
+	for i := uint64(100); i < 108; i++ {
+		ref, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatalf("frame leak after failures: %v", err)
+		}
+		ref.Release()
+	}
+	s.Flush()
+}

@@ -1,0 +1,119 @@
+package buffer
+
+import (
+	"sync"
+
+	"bpwrapper/internal/page"
+)
+
+// Frame is one buffer slot: an 8 KB page image plus the metadata PostgreSQL
+// keeps in a BufferDesc — the tag identifying the cached copy, a pin count,
+// and a dirty flag. The frame mutex guards all state transitions (pin,
+// unpin, eviction, load); it is per-frame and therefore never a scalability
+// hot spot, mirroring PostgreSQL's per-buffer header locks.
+type Frame struct {
+	mu    sync.Mutex
+	tag   page.BufferTag // Page==InvalidPageID when the frame is free
+	pins  int
+	dirty bool
+	data  page.Page
+
+	// contentMu serializes access to the page bytes among concurrent
+	// pinners: pinners acquire it in read or write mode for the lifetime of
+	// their PageRef. Eviction does not need it — a frame with zero pins has
+	// no outstanding references.
+	contentMu sync.RWMutex
+}
+
+// Tag returns the frame's current buffer tag. Callers that need a stable
+// answer must hold the frame mutex; the lock-free form is only for
+// diagnostics.
+func (f *Frame) Tag() page.BufferTag {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tag
+}
+
+// tryPin atomically verifies that the frame still caches the page the
+// caller looked up and, if so, takes a pin. It returns false when the frame
+// has been recycled for another page (the caller should restart its
+// lookup).
+func (f *Frame) tryPin(id page.PageID) (page.BufferTag, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tag.Page != id {
+		return page.BufferTag{}, false
+	}
+	f.pins++
+	return f.tag, true
+}
+
+// unpin drops one pin.
+func (f *Frame) unpin() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pins <= 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	f.pins--
+}
+
+// PageRef is a pinned reference to a buffered page. The referenced bytes
+// stay valid — and the page stays ineligible for eviction — until Release
+// is called. A PageRef must be released exactly once and is not safe for
+// concurrent use.
+type PageRef struct {
+	frame    *Frame
+	id       page.PageID
+	tag      page.BufferTag
+	writable bool
+	released bool
+}
+
+// ID returns the referenced page's identity.
+func (r *PageRef) ID() page.PageID { return r.id }
+
+// Frame returns the underlying buffer frame, for diagnostics and tests.
+func (r *PageRef) Frame() *Frame { return r.frame }
+
+// Tag returns the buffer tag of the cached copy this reference pins.
+func (r *PageRef) Tag() page.BufferTag { return r.tag }
+
+// Data returns the page bytes. The slice aliases the buffer frame: it is
+// valid only until Release, and must not be written through unless the
+// reference was obtained with GetWrite.
+func (r *PageRef) Data() []byte {
+	if r.released {
+		panic("buffer: Data on released PageRef")
+	}
+	return r.frame.data.Data[:]
+}
+
+// MarkDirty records that the caller modified the page, scheduling a
+// write-back before the frame can be recycled. It panics on read-only
+// references: that is always a caller bug.
+func (r *PageRef) MarkDirty() {
+	if r.released {
+		panic("buffer: MarkDirty on released PageRef")
+	}
+	if !r.writable {
+		panic("buffer: MarkDirty on read-only PageRef")
+	}
+	r.frame.mu.Lock()
+	r.frame.dirty = true
+	r.frame.mu.Unlock()
+}
+
+// Release drops the pin and the content lock. It panics on double release.
+func (r *PageRef) Release() {
+	if r.released {
+		panic("buffer: double Release of PageRef")
+	}
+	r.released = true
+	if r.writable {
+		r.frame.contentMu.Unlock()
+	} else {
+		r.frame.contentMu.RUnlock()
+	}
+	r.frame.unpin()
+}

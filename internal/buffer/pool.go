@@ -1,0 +1,558 @@
+// Package buffer implements the DBMS buffer-pool manager of Section II of
+// the BP-Wrapper paper: a fixed array of page frames, a hash table mapping
+// page ids to frames with one lock per bucket (uncontended by design, as
+// the paper argues), and a replacement policy reached through the
+// BP-Wrapper core so that the policy's single global lock — the system's
+// one true hot spot — can be relieved by batching and prefetching.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// ErrNoUnpinnedBuffers is returned when every candidate victim is pinned,
+// matching PostgreSQL's "no unpinned buffers available" condition.
+var ErrNoUnpinnedBuffers = errors.New("buffer: no unpinned buffers available")
+
+// Config assembles a Pool.
+type Config struct {
+	// Frames is the number of page slots in the pool. Required.
+	Frames int
+
+	// Policy is the replacement algorithm instance, sized to Frames.
+	// Required; the pool takes ownership (all access goes through the
+	// wrapper lock).
+	Policy replacer.Policy
+
+	// Wrapper selects the BP-Wrapper techniques (batching, prefetching,
+	// queue tuning). The Validate field is overwritten by the pool with its
+	// BufferTag check.
+	Wrapper core.Config
+
+	// Device is the backing store. Required.
+	Device storage.Device
+}
+
+// Pool is the buffer-pool manager. All methods are safe for concurrent
+// use; per-backend access records flow through core.Sessions obtained from
+// NewSession.
+type Pool struct {
+	frames  []Frame
+	buckets []bucket
+	mask    uint64
+	wrapper *core.Wrapper
+	device  storage.Device
+
+	freeMu   sync.Mutex
+	freeList []*Frame
+
+	counters metrics.AccessCounters
+}
+
+// bucket is one hash-table partition: a small map guarded by its own
+// RWMutex, plus the in-flight load registry used to single-flight misses.
+type bucket struct {
+	mu     sync.RWMutex
+	frames map[page.PageID]*Frame
+	loads  map[page.PageID]*loadOp
+}
+
+// loadOp coordinates concurrent requests for a page that is being read
+// from the device: followers wait on done and then retry their lookup.
+type loadOp struct {
+	done chan struct{}
+	err  error
+}
+
+// New constructs a Pool from cfg. It panics on structural misconfiguration
+// (these are programming errors, not runtime conditions).
+func New(cfg Config) *Pool {
+	if cfg.Frames <= 0 {
+		panic("buffer: Frames must be positive")
+	}
+	if cfg.Policy == nil {
+		panic("buffer: Policy is required")
+	}
+	if cfg.Policy.Cap() < cfg.Frames {
+		panic(fmt.Sprintf("buffer: policy capacity %d below frame count %d", cfg.Policy.Cap(), cfg.Frames))
+	}
+	if cfg.Device == nil {
+		panic("buffer: Device is required")
+	}
+	nb := 1
+	for nb < 4*cfg.Frames {
+		nb <<= 1
+	}
+	if nb > 1<<16 {
+		nb = 1 << 16
+	}
+	p := &Pool{
+		frames:  make([]Frame, cfg.Frames),
+		buckets: make([]bucket, nb),
+		mask:    uint64(nb - 1),
+		device:  cfg.Device,
+	}
+	for i := range p.buckets {
+		p.buckets[i].frames = make(map[page.PageID]*Frame)
+		p.buckets[i].loads = make(map[page.PageID]*loadOp)
+	}
+	p.freeList = make([]*Frame, cfg.Frames)
+	for i := range p.frames {
+		p.freeList[i] = &p.frames[i]
+	}
+	wcfg := cfg.Wrapper
+	wcfg.Validate = p.validTag
+	p.wrapper = core.New(cfg.Policy, wcfg)
+	return p
+}
+
+// NewSession returns a per-backend access session. Sessions must not be
+// shared between goroutines.
+func (p *Pool) NewSession() *core.Session { return p.wrapper.NewSession() }
+
+// Wrapper exposes the BP-Wrapper core for statistics collection.
+func (p *Pool) Wrapper() *core.Wrapper { return p.wrapper }
+
+// Counters exposes the pool's hit/miss counters.
+func (p *Pool) Counters() *metrics.AccessCounters { return &p.counters }
+
+// Device returns the backing device.
+func (p *Pool) Device() storage.Device { return p.device }
+
+// bucketFor hashes a page id to its table partition.
+func (p *Pool) bucketFor(id page.PageID) *bucket {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &p.buckets[h&p.mask]
+}
+
+// validTag is installed as the wrapper's commit-time validator: a queued
+// access is applied to the policy only if the page is still cached by the
+// same frame generation it was recorded against (Section IV-B).
+func (p *Pool) validTag(e core.Entry) bool {
+	b := p.bucketFor(e.ID)
+	b.mu.RLock()
+	f, ok := b.frames[e.ID]
+	b.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return f.Tag().Matches(e.Tag)
+}
+
+// Get pins page id for reading, loading it from the device on a miss. The
+// access is recorded through the session per the BP-Wrapper protocol.
+func (p *Pool) Get(s *core.Session, id page.PageID) (*PageRef, error) {
+	return p.get(s, id, false)
+}
+
+// GetWrite pins page id for writing: the returned reference holds the
+// content lock exclusively and permits MarkDirty.
+func (p *Pool) GetWrite(s *core.Session, id page.PageID) (*PageRef, error) {
+	return p.get(s, id, true)
+}
+
+func (p *Pool) get(s *core.Session, id page.PageID, writable bool) (*PageRef, error) {
+	if !id.Valid() {
+		return nil, storage.ErrInvalidPage
+	}
+	for {
+		b := p.bucketFor(id)
+		b.mu.RLock()
+		f := b.frames[id]
+		b.mu.RUnlock()
+		if f != nil {
+			tag, ok := f.tryPin(id)
+			if !ok {
+				// Frame recycled between lookup and pin; retry.
+				continue
+			}
+			p.counters.Hit()
+			s.Hit(id, tag)
+			return p.ref(f, id, tag, writable), nil
+		}
+		ref, retry, err := p.load(s, id, writable)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return ref, nil
+		}
+	}
+}
+
+// ref completes a pinned reference by taking the content lock.
+func (p *Pool) ref(f *Frame, id page.PageID, tag page.BufferTag, writable bool) *PageRef {
+	if writable {
+		f.contentMu.Lock()
+	} else {
+		f.contentMu.RLock()
+	}
+	return &PageRef{frame: f, id: id, tag: tag, writable: writable}
+}
+
+// load handles a miss: it single-flights concurrent requests for the same
+// page, obtains a frame (free or evicted), reads the page, and installs the
+// frame in the table. retry is true when the caller lost the race and
+// should restart its lookup.
+func (p *Pool) load(s *core.Session, id page.PageID, writable bool) (ref *PageRef, retry bool, err error) {
+	b := p.bucketFor(id)
+	b.mu.Lock()
+	if _, ok := b.frames[id]; ok {
+		// Installed while we were acquiring the lock.
+		b.mu.Unlock()
+		return nil, true, nil
+	}
+	if op, ok := b.loads[id]; ok {
+		// Another backend is loading this page: wait and retry.
+		b.mu.Unlock()
+		<-op.done
+		if op.err != nil {
+			return nil, false, op.err
+		}
+		return nil, true, nil
+	}
+	op := &loadOp{done: make(chan struct{})}
+	b.loads[id] = op
+	b.mu.Unlock()
+
+	finish := func(e error) {
+		op.err = e
+		b.mu.Lock()
+		delete(b.loads, id)
+		b.mu.Unlock()
+		close(op.done)
+	}
+
+	p.counters.Miss()
+	f, err := p.acquireFrame(s, id)
+	if err != nil {
+		finish(err)
+		return nil, false, err
+	}
+	// The frame is exclusively ours (pinned once, not in any bucket), so
+	// the device read can fill it without the content lock.
+	if err := p.device.ReadPage(id, &f.data); err != nil {
+		p.abandonFrame(f)
+		finish(err)
+		return nil, false, err
+	}
+	var tag page.BufferTag
+	f.mu.Lock()
+	f.tag.Page = id
+	f.tag.Gen++
+	f.dirty = false
+	tag = f.tag
+	f.mu.Unlock()
+
+	b.mu.Lock()
+	b.frames[id] = f
+	b.mu.Unlock()
+
+	// Second phase of the miss protocol: the page has a frame and a table
+	// entry, so it may now become policy-resident. If a concurrent miss
+	// consumed the slot MissBegin freed, Admit evicts again and the spare
+	// victim's frame is recycled onto the free list.
+	if victim, evicted := s.MissAdmit(id); evicted {
+		p.recycle(victim)
+	}
+	finish(nil)
+	return p.ref(f, id, tag, writable), false, nil
+}
+
+// recycle reclaims a surplus victim's frame onto the free list, churning
+// through further candidates if the first is pinned.
+func (p *Pool) recycle(victim page.PageID) {
+	for attempt := 0; attempt <= 2*len(p.frames); attempt++ {
+		if victim.Valid() {
+			if f, ok := p.reclaim(victim); ok {
+				f.mu.Lock()
+				f.pins = 0
+				f.mu.Unlock()
+				p.freeMu.Lock()
+				p.freeList = append(p.freeList, f)
+				p.freeMu.Unlock()
+				return
+			}
+		}
+		runtime.Gosched()
+		v, ok := p.nextVictim(victim, page.InvalidPageID)
+		if !ok {
+			return // nothing evictable; the pool is simply over-admitted by pins
+		}
+		victim = v
+	}
+}
+
+// acquireFrame produces an empty, once-pinned frame for page id: from the
+// free list during warm-up, otherwise by evicting the policy's victim. The
+// access is recorded as a miss through the session (taking the policy lock
+// and committing any batched hits, per Figure 4 of the paper); the page
+// itself is admitted later by MissAdmit, once loaded.
+func (p *Pool) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
+	victim, evicted := s.MissBegin(id, page.BufferTag{})
+	if !evicted {
+		p.freeMu.Lock()
+		n := len(p.freeList)
+		if n == 0 {
+			p.freeMu.Unlock()
+			// The policy admitted without eviction but no free frame
+			// exists — possible only after Remove/invalidate churn; fall
+			// back to evicting explicitly.
+			return p.reclaimLoop(id, page.InvalidPageID)
+		}
+		f := p.freeList[n-1]
+		p.freeList = p.freeList[:n-1]
+		p.freeMu.Unlock()
+		f.mu.Lock()
+		f.pins = 1
+		f.mu.Unlock()
+		return f, nil
+	}
+	return p.reclaimLoop(id, victim)
+}
+
+// reclaimLoop turns an eviction victim into a reusable frame, retrying
+// through the policy when the victim is pinned or mid-load. Bounded by
+// twice the pool size, after which every buffer is presumed pinned.
+func (p *Pool) reclaimLoop(id, victim page.PageID) (*Frame, error) {
+	for attempt := 0; attempt <= 2*len(p.frames); attempt++ {
+		if victim.Valid() {
+			if f, ok := p.reclaim(victim); ok {
+				return f, nil
+			}
+		}
+		// Victim unusable (pinned, mid-load, or none yet): let the pinning
+		// goroutines run — short pins are released in microseconds, but a
+		// tight retry loop can exhaust its attempts before the scheduler
+		// ever lets an unpin happen — then exchange the victim for a
+		// different candidate under the policy lock.
+		runtime.Gosched()
+		v, ok := p.nextVictim(victim, id)
+		if !ok {
+			return nil, ErrNoUnpinnedBuffers
+		}
+		victim = v
+	}
+	return nil, ErrNoUnpinnedBuffers
+}
+
+// nextVictim re-admits a wrongly evicted page prev (its frame turned out to
+// be pinned) and returns the replacement victim the policy chose instead;
+// with an invalid prev it simply asks the policy to evict one more page.
+// protect is the page currently being loaded: if the exchange throws it
+// out, it is immediately re-admitted so its residency survives (Admit never
+// returns the page it admits, so this terminates).
+func (p *Pool) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
+	var victim page.PageID
+	var evicted bool
+	p.wrapper.Locked(func(pol replacer.Policy) {
+		if prev.Valid() && !pol.Contains(prev) {
+			victim, evicted = pol.Admit(prev)
+			if !evicted {
+				// The policy had spare capacity (two-phase misses leave a
+				// slot open while a page is in flight), so the
+				// re-admission displaced nothing; take a fresh victim
+				// explicitly.
+				victim, evicted = pol.Evict()
+			}
+		} else {
+			// prev was re-admitted by a concurrent loader (or there is no
+			// prev): take a fresh victim without admitting anything.
+			victim, evicted = pol.Evict()
+		}
+		if evicted && protect.Valid() && victim == protect {
+			victim, evicted = pol.Admit(protect)
+		}
+	})
+	return victim, evicted
+}
+
+// reclaim tries to take exclusive ownership of the victim's frame: it
+// succeeds only if the frame is unpinned, writing back dirty contents and
+// removing the table entry. On success the frame is returned pinned once
+// with an invalid tag.
+func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
+	b := p.bucketFor(victim)
+	b.mu.RLock()
+	f := b.frames[victim]
+	b.mu.RUnlock()
+	if f == nil {
+		// Policy said resident but the table has no entry: the page is
+		// mid-load by another backend (its frame is pinned anyway).
+		return nil, false
+	}
+	f.mu.Lock()
+	if f.tag.Page != victim || f.pins > 0 {
+		f.mu.Unlock()
+		return nil, false
+	}
+	f.pins = 1 // claim
+	needWriteback := f.dirty
+	var wb page.Page
+	if needWriteback {
+		wb = f.data
+		f.dirty = false
+	}
+	f.tag.Page = page.InvalidPageID
+	f.mu.Unlock()
+
+	b.mu.Lock()
+	delete(b.frames, victim)
+	b.mu.Unlock()
+
+	if needWriteback {
+		if err := p.device.WritePage(&wb); err != nil {
+			// The page is already gone from the table; losing the write is
+			// the storage layer's error to surface. Record and continue —
+			// a production system would retry or crash; the simulator
+			// keeps the experiment alive and the error observable.
+			// (MemDevice and SimDisk only fail on invalid ids.)
+			_ = err
+		}
+	}
+	return f, true
+}
+
+// abandonFrame returns a claimed frame to the free list after a failed
+// load. The page was never admitted to the policy (two-phase protocol), so
+// no policy rollback is needed.
+func (p *Pool) abandonFrame(f *Frame) {
+	f.mu.Lock()
+	f.pins = 0
+	f.tag = page.BufferTag{}
+	f.mu.Unlock()
+	p.freeMu.Lock()
+	p.freeList = append(p.freeList, f)
+	p.freeMu.Unlock()
+}
+
+// Invalidate drops page id from the pool (e.g. its table was truncated),
+// discarding dirty contents. It fails with ErrNoUnpinnedBuffers if the page
+// is pinned.
+func (p *Pool) Invalidate(id page.PageID) error {
+	b := p.bucketFor(id)
+	b.mu.RLock()
+	f := b.frames[id]
+	b.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	if f.tag.Page != id {
+		f.mu.Unlock()
+		return nil
+	}
+	if f.pins > 0 {
+		f.mu.Unlock()
+		return ErrNoUnpinnedBuffers
+	}
+	f.pins = 1
+	f.tag.Page = page.InvalidPageID
+	f.dirty = false
+	f.mu.Unlock()
+
+	b.mu.Lock()
+	delete(b.frames, id)
+	b.mu.Unlock()
+
+	p.wrapper.Locked(func(pol replacer.Policy) {
+		pol.Remove(id)
+	})
+	f.mu.Lock()
+	f.pins = 0
+	f.mu.Unlock()
+	p.freeMu.Lock()
+	p.freeList = append(p.freeList, f)
+	p.freeMu.Unlock()
+	return nil
+}
+
+// FlushDirty writes every dirty, unpinned page back to the device and
+// returns the number written. Pinned dirty pages are skipped.
+func (p *Pool) FlushDirty() (int, error) {
+	n := 0
+	for i := range p.frames {
+		f := &p.frames[i]
+		f.mu.Lock()
+		if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
+			f.mu.Unlock()
+			continue
+		}
+		wb := f.data
+		f.dirty = false
+		f.mu.Unlock()
+		if err := p.device.WritePage(&wb); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Prewarm loads the given pages through a throwaway session so that a
+// subsequent measured run starts with the working set resident, as the
+// scalability experiments require ("we pre-warm the buffer", Section IV).
+func (p *Pool) Prewarm(ids []page.PageID) error {
+	s := p.NewSession()
+	for _, id := range ids {
+		ref, err := p.Get(s, id)
+		if err != nil {
+			return err
+		}
+		ref.Release()
+	}
+	s.Flush()
+	return nil
+}
+
+// ResetStats zeroes the pool's access counters and the wrapper's lock and
+// batching statistics; used between warm-up and measurement phases.
+func (p *Pool) ResetStats() {
+	p.counters.Reset()
+	p.wrapper.ResetStats()
+}
+
+// Stats is a point-in-time operational snapshot of the pool.
+type Stats struct {
+	Frames   int     // total page slots
+	Free     int     // slots on the free list
+	Dirty    int     // dirty resident pages
+	Resident int     // pages tracked by the replacement policy
+	Hits     int64   // buffer hits since the last reset
+	Misses   int64   // buffer misses since the last reset
+	HitRatio float64 // hits / (hits + misses)
+	Wrapper  core.Stats
+	Device   storage.DeviceStats
+}
+
+// Stats returns an operational snapshot. It takes the policy lock briefly
+// (for the resident count) and each frame's mutex (for the dirty count);
+// intended for monitoring, not hot paths.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Frames:  len(p.frames),
+		Dirty:   p.DirtyCount(),
+		Hits:    p.counters.Hits(),
+		Misses:  p.counters.Misses(),
+		Wrapper: p.wrapper.Stats(),
+		Device:  p.device.Stats(),
+	}
+	s.HitRatio = p.counters.HitRatio()
+	p.freeMu.Lock()
+	s.Free = len(p.freeList)
+	p.freeMu.Unlock()
+	p.wrapper.Locked(func(pol replacer.Policy) { s.Resident = pol.Len() })
+	return s
+}

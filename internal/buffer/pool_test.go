@@ -1,0 +1,492 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+func pid(n uint64) page.PageID { return page.NewPageID(1, n) }
+
+func newTestPool(frames int, wcfg core.Config) *Pool {
+	return New(Config{
+		Frames:  frames,
+		Policy:  replacer.NewLRU(frames),
+		Wrapper: wcfg,
+		Device:  storage.NewMemDevice(),
+	})
+}
+
+func TestGetLoadsAndHits(t *testing.T) {
+	p := newTestPool(4, core.Config{})
+	s := p.NewSession()
+
+	ref, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want page.Page
+	want.Stamp(pid(1))
+	if string(ref.Data()[:16]) != string(want.Data[:16]) {
+		t.Fatal("loaded page content wrong")
+	}
+	ref.Release()
+
+	ref, err = p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Release()
+
+	if h, m := p.Counters().Hits(), p.Counters().Misses(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	dev := storage.NewMemDevice()
+	p := New(Config{Frames: 2, Policy: replacer.NewLRU(2), Device: dev})
+	s := p.NewSession()
+
+	ref, err := p.GetWrite(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Data()[0] = 0x77
+	ref.MarkDirty()
+	ref.Release()
+
+	// Force pid(1) out by filling the pool.
+	for i := uint64(2); i <= 4; i++ {
+		r, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+
+	var back page.Page
+	if err := dev.ReadPage(pid(1), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Data[0] != 0x77 {
+		t.Fatal("dirty page not written back on eviction")
+	}
+
+	// Reloading must observe the modification.
+	r, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Data()[0] != 0x77 {
+		t.Fatal("reload lost the modification")
+	}
+	r.Release()
+}
+
+func TestPinnedPageNotEvicted(t *testing.T) {
+	p := newTestPool(2, core.Config{})
+	s := p.NewSession()
+
+	pinned, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pid(1) is LRU from here on, but it is pinned: the pool must always
+	// reclaim the other frame, never the pinned one.
+	r2, err := p.Get(s, pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Release()
+	for i := uint64(3); i < 10; i++ {
+		r, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	// The pinned reference must still be valid and correct.
+	var want page.Page
+	want.Stamp(pid(1))
+	if string(pinned.Data()[:32]) != string(want.Data[:32]) {
+		t.Fatal("pinned page was recycled")
+	}
+	pinned.Release()
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	p := newTestPool(2, core.Config{})
+	s := p.NewSession()
+	r1, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Get(s, pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s, pid(3)); !errors.Is(err, ErrNoUnpinnedBuffers) {
+		t.Fatalf("err=%v, want ErrNoUnpinnedBuffers", err)
+	}
+	r1.Release()
+	r2.Release()
+	// With pins gone the pool recovers.
+	r3, err := p.Get(s, pid(3))
+	if err != nil {
+		t.Fatalf("pool did not recover: %v", err)
+	}
+	r3.Release()
+}
+
+func TestReleasePanicsTwice(t *testing.T) {
+	p := newTestPool(2, core.Config{})
+	s := p.NewSession()
+	r, _ := p.Get(s, pid(1))
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release not detected")
+		}
+	}()
+	r.Release()
+}
+
+func TestMarkDirtyOnReadRefPanics(t *testing.T) {
+	p := newTestPool(2, core.Config{})
+	s := p.NewSession()
+	r, _ := p.Get(s, pid(1))
+	defer r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty on read-only ref not detected")
+		}
+	}()
+	r.MarkDirty()
+}
+
+func TestInvalidate(t *testing.T) {
+	p := newTestPool(4, core.Config{})
+	s := p.NewSession()
+	r, _ := p.GetWrite(s, pid(1))
+	r.Data()[0] = 0xEE
+	r.MarkDirty()
+
+	if err := p.Invalidate(pid(1)); !errors.Is(err, ErrNoUnpinnedBuffers) {
+		t.Fatalf("invalidating a pinned page: %v", err)
+	}
+	r.Release()
+	if err := p.Invalidate(pid(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty data must be discarded, not written back.
+	r2, _ := p.Get(s, pid(1))
+	if r2.Data()[0] == 0xEE {
+		t.Fatal("invalidate leaked dirty data")
+	}
+	r2.Release()
+	// Invalidating an absent page is a no-op.
+	if err := p.Invalidate(pid(99)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	dev := storage.NewMemDevice()
+	p := New(Config{Frames: 4, Policy: replacer.NewLRU(4), Device: dev})
+	s := p.NewSession()
+	for i := uint64(1); i <= 3; i++ {
+		r, _ := p.GetWrite(s, pid(i))
+		r.Data()[0] = byte(i)
+		r.MarkDirty()
+		r.Release()
+	}
+	n, err := p.FlushDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("flushed %d, want 3", n)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		var back page.Page
+		dev.ReadPage(pid(i), &back)
+		if back.Data[0] != byte(i) {
+			t.Fatalf("page %d not flushed", i)
+		}
+	}
+	// Second flush finds nothing dirty.
+	if n, _ := p.FlushDirty(); n != 0 {
+		t.Fatalf("second flush wrote %d", n)
+	}
+}
+
+func TestPrewarmEliminatesMisses(t *testing.T) {
+	p := newTestPool(64, core.Config{Batching: true})
+	ids := make([]page.PageID, 64)
+	for i := range ids {
+		ids[i] = pid(uint64(i))
+	}
+	if err := p.Prewarm(ids); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	s := p.NewSession()
+	for round := 0; round < 10; round++ {
+		for _, id := range ids {
+			r, err := p.Get(s, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Release()
+		}
+	}
+	s.Flush()
+	if m := p.Counters().Misses(); m != 0 {
+		t.Fatalf("%d misses after prewarm", m)
+	}
+	if hr := p.Counters().HitRatio(); hr != 1 {
+		t.Fatalf("hit ratio %v", hr)
+	}
+}
+
+func TestConcurrentGetSamePage(t *testing.T) {
+	p := newTestPool(8, core.Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := p.NewSession()
+			for i := 0; i < 200; i++ {
+				r, err := p.Get(s, pid(5))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !r.Tag().Page.Valid() {
+					t.Error("invalid tag on pinned ref")
+				}
+				r.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	// The page must have been read from the device exactly once.
+	if reads := p.Device().Stats().Reads; reads != 1 {
+		t.Fatalf("device reads=%d, want 1 (single-flight broken)", reads)
+	}
+}
+
+func TestConcurrentChurnIntegrity(t *testing.T) {
+	// Heavy concurrent access with far more pages than frames: every read
+	// must observe either the stamp or the last written content.
+	const frames = 32
+	p := New(Config{
+		Frames:  frames,
+		Policy:  replacer.NewTwoQ(frames),
+		Wrapper: core.Config{Batching: true, Prefetching: true, QueueSize: 16, BatchThreshold: 8},
+		Device:  storage.NewMemDevice(),
+	})
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			s := p.NewSession()
+			defer s.Flush()
+			for i := 0; i < 3000; i++ {
+				id := pid(r.Uint64() % 200)
+				if r.Intn(4) == 0 {
+					ref, err := p.GetWrite(s, id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Deterministic overwrite: the page keeps its stamp
+					// except byte 0 becomes 0xFF.
+					ref.Data()[0] = 0xFF
+					ref.MarkDirty()
+					ref.Release()
+				} else {
+					ref, err := p.Get(s, id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var want page.Page
+					want.Stamp(id)
+					d := ref.Data()
+					if d[0] != 0xFF && d[0] != want.Data[0] {
+						t.Errorf("page %v byte0=%x: torn content", id, d[0])
+						ref.Release()
+						return
+					}
+					if string(d[1:64]) != string(want.Data[1:64]) {
+						t.Errorf("page %v tail corrupted", id)
+						ref.Release()
+						return
+					}
+					ref.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Counters().Accesses() != workers*3000 {
+		t.Fatalf("accesses=%d", p.Counters().Accesses())
+	}
+}
+
+func TestValidatorDropsRecycledFrames(t *testing.T) {
+	// Stale queued entries are inherently cross-session: a session's own
+	// miss commits its queue before evicting, but another session's miss
+	// can recycle a frame that a first session has queued hits against.
+	// The commit-time BufferTag validation (Section IV-B) must drop them.
+	p := New(Config{
+		Frames:  2,
+		Policy:  replacer.NewLRU(2),
+		Wrapper: core.Config{Batching: true, QueueSize: 32, BatchThreshold: 32},
+		Device:  storage.NewMemDevice(),
+	})
+	s1 := p.NewSession()
+	s2 := p.NewSession()
+
+	// s1 loads X and queues hits on it.
+	for i := 0; i < 4; i++ {
+		r, err := p.Get(s1, pid(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	if s1.Pending() == 0 {
+		t.Fatal("test setup: no hits queued")
+	}
+
+	// s2's misses evict X and recycle its frame.
+	for i := uint64(2); i < 8; i++ {
+		r, err := p.Get(s2, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+
+	// s1's queued hits on X are now stale and must be dropped at commit.
+	s1.Flush()
+	st := p.Wrapper().Stats()
+	if st.Dropped == 0 {
+		t.Fatal("expected stale queued entries to be dropped")
+	}
+	if st.Committed+st.Dropped != st.Hits {
+		t.Fatalf("committed(%d)+dropped(%d) != hits(%d)", st.Committed, st.Dropped, st.Hits)
+	}
+}
+
+func TestPoolConfigValidation(t *testing.T) {
+	dev := storage.NewMemDevice()
+	for _, cfg := range []Config{
+		{Frames: 0, Policy: replacer.NewLRU(4), Device: dev},
+		{Frames: 4, Policy: nil, Device: dev},
+		{Frames: 4, Policy: replacer.NewLRU(2), Device: dev}, // policy too small
+		{Frames: 4, Policy: replacer.NewLRU(4), Device: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestGetInvalidPage(t *testing.T) {
+	p := newTestPool(2, core.Config{})
+	s := p.NewSession()
+	if _, err := p.Get(s, page.InvalidPageID); err == nil {
+		t.Fatal("invalid page id accepted")
+	}
+}
+
+func TestClockPoolLockFreeHits(t *testing.T) {
+	// The pgClock configuration: hits must not acquire the policy lock.
+	p := New(Config{
+		Frames:  16,
+		Policy:  replacer.NewClock(16),
+		Wrapper: core.Config{},
+		Device:  storage.NewMemDevice(),
+	})
+	ids := make([]page.PageID, 16)
+	for i := range ids {
+		ids[i] = pid(uint64(i))
+	}
+	if err := p.Prewarm(ids); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	s := p.NewSession()
+	for i := 0; i < 1000; i++ {
+		r, err := p.Get(s, ids[i%16])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	st := p.Wrapper().Stats()
+	if st.Lock.Acquisitions != 0 {
+		t.Fatalf("clock hit path acquired the lock %d times", st.Lock.Acquisitions)
+	}
+}
+
+func TestPoolStatsSnapshot(t *testing.T) {
+	p := newTestPool(8, core.Config{Batching: true})
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		r, err := p.GetWrite(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.MarkDirty()
+		r.Release()
+	}
+	r, _ := p.Get(s, pid(1))
+	r.Release()
+	s.Flush()
+
+	st := p.Stats()
+	if st.Frames != 8 {
+		t.Errorf("frames %d", st.Frames)
+	}
+	if st.Free != 4 {
+		t.Errorf("free %d, want 4", st.Free)
+	}
+	if st.Dirty != 4 {
+		t.Errorf("dirty %d, want 4", st.Dirty)
+	}
+	if st.Resident != 4 {
+		t.Errorf("resident %d, want 4", st.Resident)
+	}
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("hits/misses %d/%d", st.Hits, st.Misses)
+	}
+	if st.HitRatio != 0.2 {
+		t.Errorf("hit ratio %v", st.HitRatio)
+	}
+	if st.Device.Reads != 4 {
+		t.Errorf("device reads %d", st.Device.Reads)
+	}
+	if st.Wrapper.Accesses != 5 {
+		t.Errorf("wrapper accesses %d", st.Wrapper.Accesses)
+	}
+}

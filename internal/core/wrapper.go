@@ -1,0 +1,582 @@
+// Package core implements the BP-Wrapper framework from "BP-Wrapper: A
+// System Framework Making Any Replacement Algorithms (Almost) Lock
+// Contention Free" (Ding, Jiang & Zhang, ICDE 2009).
+//
+// BP-Wrapper interposes between transaction-processing threads and a
+// lock-protected replacement algorithm (a replacer.Policy). It reduces the
+// two lock costs the paper identifies:
+//
+//   - Lock acquisition cost, via *batching* (Section III-A): each thread
+//     records page hits in a private FIFO queue and only takes the lock —
+//     opportunistically with TryLock once the queue reaches the batch
+//     threshold, or forcibly when the queue fills — to commit the whole
+//     batch at once.
+//   - Lock warm-up cost, via *prefetching* (Section III-B): immediately
+//     before requesting the lock, the data the critical section will touch
+//     is read (lock-free) so that it is already in the processor cache
+//     while the lock is held.
+//
+// Both techniques are independent of the wrapped algorithm, which is used
+// unmodified — the framework property the paper's title claims.
+//
+// A Wrapper is shared by all threads; each simulated backend owns a private
+// Session (the per-thread FIFO queue of the paper, Figure 3/4). Sessions
+// are not safe for concurrent use; the Wrapper is.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+)
+
+// Default queue tuning from the paper's evaluation (Section IV-C): "we set
+// the FIFO queue size to 64, and batch threshold to 32".
+const (
+	DefaultQueueSize      = 64
+	DefaultBatchThreshold = 32
+)
+
+// Config selects which BP-Wrapper techniques are active and tunes the
+// batching queue. The zero value disables both techniques, yielding the
+// paper's baseline behaviour (one lock acquisition per page access).
+type Config struct {
+	// Batching enables the per-session FIFO queue. When false every hit
+	// acquires the lock immediately (the pg2Q / pgPre configurations).
+	Batching bool
+
+	// Prefetching enables the pre-lock metadata walk for policies that
+	// implement replacer.Prefetcher.
+	Prefetching bool
+
+	// QueueSize is the FIFO queue capacity S. Zero means
+	// DefaultQueueSize. Ignored unless Batching is set.
+	QueueSize int
+
+	// BatchThreshold is the queue fill level T at which a commit is first
+	// attempted with TryLock. Zero means half the queue size, the shape the
+	// paper's sensitivity study (Table III) found robust. Values are
+	// clamped to [1, QueueSize]. Ignored unless Batching is set.
+	BatchThreshold int
+
+	// SharedQueue switches the batching queue from one-per-session to a
+	// single queue shared by all sessions (guarded by its own mutex). The
+	// paper rejects this design for its synchronization cost and loss of
+	// per-thread access ordering (Section III-A); it is implemented here for
+	// the ablation experiment that verifies that argument.
+	SharedQueue bool
+
+	// AdaptiveThreshold lets each session tune its own batch threshold at
+	// run time — an extension of the paper's Table III analysis, which
+	// shows the best threshold sits strictly between "tiny batches"
+	// (premature commits) and "threshold = queue size" (no TryLock
+	// attempts left). A session lowers its threshold after a forced
+	// blocking commit (it should have started trying earlier) and raises
+	// it after a run of first-attempt TryLock successes (it can afford
+	// bigger batches). The threshold moves within
+	// [QueueSize/8, 3·QueueSize/4], starting from BatchThreshold.
+	// Ignored unless Batching is set; incompatible with SharedQueue.
+	AdaptiveThreshold bool
+
+	// Validate, when non-nil, is consulted at commit time for each queued
+	// entry; entries for which it returns false are dropped. The buffer
+	// manager uses it to discard accesses whose frame was re-used for a
+	// different page since the access was queued (the BufferTag check of
+	// Section IV-B).
+	Validate func(Entry) bool
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.BatchThreshold <= 0 {
+		c.BatchThreshold = c.QueueSize / 2
+	}
+	if c.BatchThreshold < 1 {
+		c.BatchThreshold = 1
+	}
+	if c.BatchThreshold > c.QueueSize {
+		c.BatchThreshold = c.QueueSize
+	}
+	if c.SharedQueue {
+		// The shared queue has no per-session state to adapt.
+		c.AdaptiveThreshold = false
+	}
+	return c
+}
+
+// Entry is one recorded page access: the page identity plus the buffer-tag
+// snapshot used for commit-time validation.
+type Entry struct {
+	ID  page.PageID
+	Tag page.BufferTag
+}
+
+// Stats aggregates the Wrapper's activity counters.
+type Stats struct {
+	Accesses    int64 // hits + misses recorded through the wrapper
+	Hits        int64
+	Misses      int64
+	Commits     int64 // commit rounds (lock-holding periods for hits)
+	Committed   int64 // hit entries applied to the policy
+	Dropped     int64 // hit entries dropped by commit-time validation
+	Lock        metrics.LockStats
+	ForcedLocks int64 // commits that needed a blocking Lock (queue full)
+	TryCommits  int64 // commits obtained via TryLock at the threshold
+}
+
+// Wrapper couples a replacement policy with its global lock and the
+// BP-Wrapper techniques. All methods are safe for concurrent use; the
+// per-thread entry points live on Session.
+type Wrapper struct {
+	policy      replacer.Policy
+	prefetcher  replacer.Prefetcher // nil if unsupported or disabled
+	lockFreeHit bool                // policy.Hit needs no lock (clock family)
+	cfg         Config
+
+	lock metrics.ContentionMutex
+
+	shared *sharedQueue // non-nil iff cfg.SharedQueue
+
+	accesses    atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	commits     atomic.Int64
+	committed   atomic.Int64
+	dropped     atomic.Int64
+	forcedLocks atomic.Int64
+	tryCommits  atomic.Int64
+}
+
+// New returns a Wrapper around policy configured by cfg.
+func New(policy replacer.Policy, cfg Config) *Wrapper {
+	cfg = cfg.withDefaults()
+	w := &Wrapper{
+		policy:      policy,
+		cfg:         cfg,
+		lockFreeHit: !replacer.HitNeedsLock(policy),
+	}
+	if cfg.Prefetching {
+		if pf, ok := policy.(replacer.Prefetcher); ok {
+			w.prefetcher = pf
+		}
+	}
+	if cfg.SharedQueue && cfg.Batching {
+		w.shared = &sharedQueue{
+			entries: make([]Entry, 0, cfg.QueueSize),
+		}
+	}
+	return w
+}
+
+// Policy returns the wrapped replacement policy. Callers must hold the
+// wrapper's lock (via Locked) before touching it unless they have exclusive
+// access to the wrapper.
+func (w *Wrapper) Policy() replacer.Policy { return w.policy }
+
+// Config returns the resolved configuration.
+func (w *Wrapper) Config() Config { return w.cfg }
+
+// Stats returns a snapshot of the wrapper's counters.
+func (w *Wrapper) Stats() Stats {
+	return Stats{
+		Accesses:    w.accesses.Load(),
+		Hits:        w.hits.Load(),
+		Misses:      w.misses.Load(),
+		Commits:     w.commits.Load(),
+		Committed:   w.committed.Load(),
+		Dropped:     w.dropped.Load(),
+		Lock:        w.lock.Stats(),
+		ForcedLocks: w.forcedLocks.Load(),
+		TryCommits:  w.tryCommits.Load(),
+	}
+}
+
+// ResetStats zeroes the wrapper's counters (including the lock's). It must
+// not be called while the lock is held.
+func (w *Wrapper) ResetStats() {
+	w.accesses.Store(0)
+	w.hits.Store(0)
+	w.misses.Store(0)
+	w.commits.Store(0)
+	w.committed.Store(0)
+	w.dropped.Store(0)
+	w.forcedLocks.Store(0)
+	w.tryCommits.Store(0)
+	w.lock.Reset()
+}
+
+// Locked runs fn with the policy lock held. It is the escape hatch the
+// buffer manager uses for operations outside the hit/miss protocol
+// (invalidation, warm-up preloading).
+func (w *Wrapper) Locked(fn func(replacer.Policy)) {
+	w.lock.Lock()
+	defer w.lock.Unlock()
+	fn(w.policy)
+}
+
+// NewSession returns the per-thread handle through which one backend
+// records its page accesses. Sessions must not be shared between
+// goroutines.
+func (w *Wrapper) NewSession() *Session {
+	s := &Session{w: w}
+	if w.cfg.Batching && !w.cfg.SharedQueue {
+		s.queue = make([]Entry, 0, w.cfg.QueueSize)
+	}
+	return s
+}
+
+// Session is the per-thread side of the framework: a private FIFO queue of
+// uncommitted hit records (Figure 3 of the paper). Not safe for concurrent
+// use.
+type Session struct {
+	w     *Wrapper
+	queue []Entry // nil when batching is off or the shared queue is in use
+
+	// Adaptive-threshold state (cfg.AdaptiveThreshold only).
+	threshold int // current per-session batch threshold
+	trialRuns int // consecutive first-attempt TryLock successes
+}
+
+// Threshold reports the session's current batch threshold (the configured
+// value unless AdaptiveThreshold has moved it).
+func (s *Session) Threshold() int {
+	if s.threshold > 0 {
+		return s.threshold
+	}
+	return s.w.cfg.BatchThreshold
+}
+
+// adaptDown reacts to a forced blocking commit: start trying earlier.
+func (s *Session) adaptDown() {
+	if !s.w.cfg.AdaptiveThreshold {
+		return
+	}
+	min := s.w.cfg.QueueSize / 8
+	if min < 1 {
+		min = 1
+	}
+	s.trialRuns = 0
+	s.threshold = s.Threshold() - s.w.cfg.QueueSize/8
+	if s.threshold < min {
+		s.threshold = min
+	}
+}
+
+// adaptUp reacts to a sustained run of first-attempt TryLock successes:
+// larger batches amortize better and the lock clearly has headroom.
+func (s *Session) adaptUp() {
+	if !s.w.cfg.AdaptiveThreshold {
+		return
+	}
+	s.trialRuns++
+	if s.trialRuns < 8 {
+		return
+	}
+	s.trialRuns = 0
+	max := 3 * s.w.cfg.QueueSize / 4
+	if max < 1 {
+		max = 1
+	}
+	s.threshold = s.Threshold() + 1
+	if s.threshold > max {
+		s.threshold = max
+	}
+}
+
+// Hit records a buffer hit on id, following the paper's
+// replacement_for_page_hit pseudo-code (Figure 4). With batching enabled
+// the access is queued and possibly committed in a batch; otherwise the
+// lock is taken immediately.
+func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
+	w := s.w
+	w.accesses.Add(1)
+	w.hits.Add(1)
+	if w.lockFreeHit {
+		// Clock-family policy: the hit is an atomic reference-bit update
+		// and needs neither lock nor queue. This is the pgClock baseline.
+		w.policy.Hit(id)
+		return
+	}
+	if !w.cfg.Batching {
+		// No batching (pg2Q / pgPre): one lock acquisition per access.
+		if w.prefetcher != nil {
+			one := [1]page.PageID{id}
+			w.prefetcher.Prefetch(one[:])
+		}
+		w.lock.Lock()
+		w.applyHit(Entry{ID: id, Tag: tag})
+		w.lock.Unlock()
+		w.commits.Add(1)
+		return
+	}
+	if w.shared != nil {
+		w.shared.record(w, Entry{ID: id, Tag: tag})
+		return
+	}
+	s.queue = append(s.queue, Entry{ID: id, Tag: tag})
+	if len(s.queue) < s.Threshold() {
+		return
+	}
+	// Threshold reached: try to commit opportunistically; block only when
+	// the queue is completely full.
+	s.commit(false)
+}
+
+// Miss records a buffer miss on id: the lock is always taken (the paper
+// notes the acquisition cost is negligible next to the I/O a miss
+// implies), any queued hits are committed first — preserving access order —
+// and then the policy admits the page, returning the eviction victim.
+// This is replacement_for_page_miss in Figure 4.
+func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, evicted bool) {
+	w := s.w
+	w.accesses.Add(1)
+	w.misses.Add(1)
+	var pending []Entry
+	switch {
+	case w.shared != nil:
+		pending = w.shared.steal()
+	case s.queue != nil:
+		pending = s.queue
+	}
+	if w.prefetcher != nil {
+		w.prefetchEntries(pending, id)
+	}
+	w.lock.Lock()
+	for _, e := range pending {
+		w.applyHit(e)
+	}
+	victim, evicted = w.policy.Admit(id)
+	w.lock.Unlock()
+	if len(pending) > 0 {
+		w.commits.Add(1)
+	}
+	if s.queue != nil {
+		s.queue = s.queue[:0]
+	}
+	return victim, evicted
+}
+
+// MissBegin is the first half of the two-phase miss protocol the buffer
+// manager uses: it records the miss, commits any queued hits (preserving
+// access order, as in Figure 4), and — when the policy is at capacity —
+// evicts a victim to make room, WITHOUT admitting the missing page. The
+// caller loads the page and then calls MissAdmit.
+//
+// Keeping the in-flight page out of the policy until its frame exists means
+// concurrent loaders can never choose each other's unfinished pages as
+// victims — the frameless-resident deadlock a single-phase protocol allows.
+// Single-phase Miss remains available for standalone (simulation, trace
+// replay) use, where pages have no frames at all.
+func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.PageID, evicted bool) {
+	w := s.w
+	w.accesses.Add(1)
+	w.misses.Add(1)
+	var pending []Entry
+	switch {
+	case w.shared != nil:
+		pending = w.shared.steal()
+	case s.queue != nil:
+		pending = s.queue
+	}
+	if w.prefetcher != nil {
+		w.prefetchEntries(pending, id)
+	}
+	w.lock.Lock()
+	for _, e := range pending {
+		w.applyHit(e)
+	}
+	if w.policy.Len() >= w.policy.Cap() {
+		victim, evicted = w.policy.Evict()
+	}
+	w.lock.Unlock()
+	if len(pending) > 0 {
+		w.commits.Add(1)
+	}
+	if s.queue != nil {
+		s.queue = s.queue[:0]
+	}
+	return victim, evicted
+}
+
+// MissAdmit is the second half of the two-phase miss protocol: the page
+// has been loaded into its frame and becomes resident in the policy. In
+// the rare case a concurrent miss consumed the slot MissBegin freed, Admit
+// evicts again and the victim is returned for the caller to reclaim.
+func (s *Session) MissAdmit(id page.PageID) (victim page.PageID, evicted bool) {
+	w := s.w
+	w.lock.Lock()
+	victim, evicted = w.policy.Admit(id)
+	w.lock.Unlock()
+	return victim, evicted
+}
+
+// Flush commits any queued hit records with a blocking lock acquisition.
+// Backends call it when going idle so their history is not stranded.
+func (s *Session) Flush() {
+	w := s.w
+	if w.shared != nil {
+		pending := w.shared.steal()
+		if len(pending) == 0 {
+			return
+		}
+		if w.prefetcher != nil {
+			w.prefetchEntries(pending, page.InvalidPageID)
+		}
+		w.lock.Lock()
+		for _, e := range pending {
+			w.applyHit(e)
+		}
+		w.lock.Unlock()
+		w.commits.Add(1)
+		return
+	}
+	if len(s.queue) == 0 {
+		return
+	}
+	s.commit(true)
+}
+
+// Pending returns the number of uncommitted accesses in this session's
+// queue; used by tests and diagnostics.
+func (s *Session) Pending() int {
+	if s.w.shared != nil {
+		return s.w.shared.pending()
+	}
+	return len(s.queue)
+}
+
+// commit applies the session's queued entries under the lock. When force
+// is false it follows the paper's protocol: TryLock at the threshold,
+// falling back to a blocking Lock only if the queue is full.
+func (s *Session) commit(force bool) {
+	w := s.w
+	if w.prefetcher != nil {
+		// Prefetch: warm the cache with the metadata the critical section
+		// will touch, immediately before requesting the lock.
+		w.prefetchEntries(s.queue, page.InvalidPageID)
+	}
+	if force {
+		w.lock.Lock()
+		w.forcedLocks.Add(1)
+	} else if w.lock.TryLock() {
+		w.tryCommits.Add(1)
+		if len(s.queue) == s.Threshold() {
+			// First-attempt success: the lock has headroom.
+			s.adaptUp()
+		}
+	} else {
+		if len(s.queue) < w.cfg.QueueSize {
+			// Lock busy and queue not yet full: keep accumulating.
+			return
+		}
+		w.lock.Lock()
+		w.forcedLocks.Add(1)
+		// The queue filled before any TryLock succeeded: start trying
+		// earlier next time.
+		s.adaptDown()
+	}
+	for _, e := range s.queue {
+		w.applyHit(e)
+	}
+	w.lock.Unlock()
+	w.commits.Add(1)
+	s.queue = s.queue[:0]
+}
+
+// applyHit validates one queued entry and delivers it to the policy.
+// Callers must hold the lock.
+func (w *Wrapper) applyHit(e Entry) {
+	if w.cfg.Validate != nil && !w.cfg.Validate(e) {
+		w.dropped.Add(1)
+		return
+	}
+	w.policy.Hit(e.ID)
+	w.committed.Add(1)
+}
+
+// prefetchEntries warms the cache for the queued ids plus the (optional)
+// missing page.
+func (w *Wrapper) prefetchEntries(entries []Entry, extra page.PageID) {
+	ids := make([]page.PageID, 0, len(entries)+1)
+	for _, e := range entries {
+		ids = append(ids, e.ID)
+	}
+	if extra.Valid() {
+		ids = append(ids, extra)
+	}
+	w.prefetcher.Prefetch(ids)
+}
+
+// sharedQueue is the rejected alternative design of Section III-A: one
+// FIFO queue shared by all sessions, with its own mutex. Implemented only
+// for the ablation experiment.
+type sharedQueue struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// record appends an entry; when the wrapper's threshold is reached the
+// caller attempts a commit following the same TryLock protocol.
+func (q *sharedQueue) record(w *Wrapper, e Entry) {
+	q.mu.Lock()
+	q.entries = append(q.entries, e)
+	n := len(q.entries)
+	if n < w.cfg.BatchThreshold {
+		q.mu.Unlock()
+		return
+	}
+	full := n >= w.cfg.QueueSize
+	// Take the batch out while still holding the queue mutex so no other
+	// session commits the same entries.
+	batch := make([]Entry, n)
+	copy(batch, q.entries)
+	q.entries = q.entries[:0]
+	q.mu.Unlock()
+
+	if w.prefetcher != nil {
+		w.prefetchEntries(batch, page.InvalidPageID)
+	}
+	if full {
+		w.lock.Lock()
+		w.forcedLocks.Add(1)
+	} else if w.lock.TryLock() {
+		w.tryCommits.Add(1)
+	} else {
+		// Lock busy: put the batch back and keep accumulating.
+		q.mu.Lock()
+		q.entries = append(batch, q.entries...)
+		q.mu.Unlock()
+		return
+	}
+	for _, e := range batch {
+		w.applyHit(e)
+	}
+	w.lock.Unlock()
+	w.commits.Add(1)
+}
+
+// steal removes and returns all queued entries.
+func (q *sharedQueue) steal() []Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		return nil
+	}
+	batch := make([]Entry, len(q.entries))
+	copy(batch, q.entries)
+	q.entries = q.entries[:0]
+	return batch
+}
+
+// pending returns the current queue length.
+func (q *sharedQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}

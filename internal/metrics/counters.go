@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AccessCounters aggregates the buffer-access statistics every experiment
+// reports: hits, misses, and (derived) hit ratio. All methods are safe for
+// concurrent use.
+type AccessCounters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Hit records one buffer hit.
+func (c *AccessCounters) Hit() { c.hits.Add(1) }
+
+// Miss records one buffer miss.
+func (c *AccessCounters) Miss() { c.misses.Add(1) }
+
+// Hits returns the number of recorded hits.
+func (c *AccessCounters) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of recorded misses.
+func (c *AccessCounters) Misses() int64 { return c.misses.Load() }
+
+// Accesses returns hits + misses.
+func (c *AccessCounters) Accesses() int64 { return c.hits.Load() + c.misses.Load() }
+
+// HitRatio returns hits / (hits + misses), or 0 with no accesses.
+func (c *AccessCounters) HitRatio() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Reset zeroes the counters.
+func (c *AccessCounters) Reset() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Throughput converts a completed-operation count over an elapsed wall-clock
+// interval into operations per second.
+func Throughput(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

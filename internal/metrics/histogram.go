@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram. Buckets grow geometrically
+// from Min to Max; values outside the range are clamped into the first or
+// last bucket. It is safe for concurrent use by multiple recorders.
+//
+// Response-time reporting in the paper (Figures 6 and 7) needs only the
+// mean, but percentiles are cheap to provide and useful for examples.
+type Histogram struct {
+	mu      sync.Mutex
+	min     float64 // lower bound of bucket 0, nanoseconds
+	growth  float64 // geometric growth factor between buckets
+	buckets []int64
+	count   int64
+	sum     float64 // nanoseconds
+	maxSeen float64
+	minSeen float64
+}
+
+// NewHistogram creates a histogram covering [min, max] with the given number
+// of geometric buckets. It panics on nonsensical arguments so that
+// misconfiguration fails fast in tests rather than silently mis-binning.
+func NewHistogram(min, max time.Duration, buckets int) *Histogram {
+	if min <= 0 || max <= min || buckets < 2 {
+		panic(fmt.Sprintf("metrics: invalid histogram bounds [%v, %v] x %d", min, max, buckets))
+	}
+	lo, hi := float64(min.Nanoseconds()), float64(max.Nanoseconds())
+	return &Histogram{
+		min:     lo,
+		growth:  math.Pow(hi/lo, 1/float64(buckets)),
+		buckets: make([]int64, buckets),
+		minSeen: math.Inf(1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram with bounds suitable for
+// transaction response times in the simulator: 100 ns to 100 s.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100*time.Nanosecond, 100*time.Second, 120)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	idx := 0
+	if ns > h.min {
+		idx = int(math.Log(ns/h.min) / math.Log(h.growth))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += ns
+	if ns > h.maxSeen {
+		h.maxSeen = ns
+	}
+	if ns < h.minSeen {
+		h.minSeen = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean of the recorded observations, or 0 if none.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Max returns the largest recorded observation, or 0 if none.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.maxSeen)
+}
+
+// Min returns the smallest recorded observation, or 0 if none.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.minSeen)
+}
+
+// Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) using the
+// geometric upper bound of the bucket containing the quantile rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			upper := h.min * math.Pow(h.growth, float64(i+1))
+			if upper > h.maxSeen {
+				upper = h.maxSeen
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(h.maxSeen)
+}
+
+// Merge adds other's observations into h. Both histograms must have been
+// created with identical bounds and bucket counts; Merge panics otherwise.
+// It is the cheap way to combine per-worker histograms after a run without
+// sharing one lock during it.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.min != other.min || h.growth != other.growth || len(h.buckets) != len(other.buckets) {
+		panic("metrics: Merge of histograms with different geometry")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.maxSeen > h.maxSeen {
+			h.maxSeen = other.maxSeen
+		}
+		if other.minSeen < h.minSeen {
+			h.minSeen = other.minSeen
+		}
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.maxSeen = 0
+	h.minSeen = math.Inf(1)
+}
+
+// Summary describes a distribution compactly for reports.
+type Summary struct {
+	Count          int64
+	Mean, P50, P99 time.Duration
+	MinVal, MaxVal time.Duration
+}
+
+// Summarize returns a Summary of the histogram's current contents.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		P50:    h.Quantile(0.50),
+		P99:    h.Quantile(0.99),
+		MinVal: h.Min(),
+		MaxVal: h.Max(),
+	}
+}
+
+// SortDurations sorts a slice of durations ascending; a small helper for
+// exact-percentile computations in tests and tools.
+func SortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

@@ -1,0 +1,196 @@
+package replacer
+
+import "container/heap"
+
+// LRUK implements the LRU-K replacement algorithm (O'Neil, O'Neil &
+// Weikum, SIGMOD 1993) for K=2 by default. 2Q — the BP-Wrapper paper's
+// headline policy — was introduced as "a low overhead, high performance"
+// alternative to exactly this algorithm, so having the original here lets
+// the hit-ratio studies show what 2Q approximates.
+//
+// LRU-K evicts the resident page whose K-th most recent reference is
+// oldest (backward K-distance), treating pages with fewer than K
+// references as having infinite distance (evicted first, LRU among
+// themselves). The Correlated Reference Period of the original paper is
+// set to zero: in a DBMS buffer the upper layers have already collapsed
+// intra-transaction re-references, as the paper's own deployment notes.
+//
+// The victim search uses a lazy min-heap keyed by the K-th reference time:
+// stale heap entries (for pages re-referenced or evicted since the entry
+// was pushed) are skipped on pop, keeping Hit at O(log n) amortized.
+type LRUK struct {
+	prefetchIndex
+	capacity int
+	k        int
+	clock    int64
+
+	table map[PageID]*lrukEntry
+	heap  lrukHeap
+}
+
+// lrukEntry is the per-page reference history: a circular buffer of the
+// last K reference times.
+type lrukEntry struct {
+	id      PageID
+	hist    []int64 // hist[i]: i-th most recent is maintained via rotation
+	n       int     // references recorded (capped at k)
+	version uint64  // bumped on every update; stale heap items are skipped
+}
+
+// touch implements touchable for prefetching.
+func (e *lrukEntry) touch() uint64 {
+	s := uint64(e.id) ^ uint64(e.n) ^ e.version
+	for _, h := range e.hist {
+		s ^= uint64(h)
+	}
+	return s
+}
+
+// kDistanceKey returns the eviction key: the K-th most recent reference
+// time, or a value that sorts before every real time when the page has
+// fewer than K references (infinite backward distance). Ties among
+// <K-reference pages break by their most recent reference (LRU).
+func (e *lrukEntry) kDistanceKey(k int) (int64, int64) {
+	if e.n < k {
+		return -1, e.hist[0] // infinite distance; LRU tie-break
+	}
+	return e.hist[k-1], e.hist[0]
+}
+
+// lrukItem is a heap entry snapshot.
+type lrukItem struct {
+	entry   *lrukEntry
+	version uint64
+	kth     int64
+	recent  int64
+}
+
+type lrukHeap []lrukItem
+
+func (h lrukHeap) Len() int { return len(h) }
+func (h lrukHeap) Less(i, j int) bool {
+	if h[i].kth != h[j].kth {
+		return h[i].kth < h[j].kth
+	}
+	return h[i].recent < h[j].recent
+}
+func (h lrukHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lrukHeap) Push(x any)   { *h = append(*h, x.(lrukItem)) }
+func (h *lrukHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+var (
+	_ Policy     = (*LRUK)(nil)
+	_ Prefetcher = (*LRUK)(nil)
+)
+
+// NewLRU2 returns an LRU-2 policy, the classic configuration.
+func NewLRU2(capacity int) *LRUK { return NewLRUK(capacity, 2) }
+
+// NewLRUK returns an LRU-K policy with explicit K >= 1 (K=1 degenerates to
+// plain LRU).
+func NewLRUK(capacity, k int) *LRUK {
+	checkCap("lru2", capacity)
+	if k < 1 {
+		panic("replacer: lruk: k must be >= 1")
+	}
+	return &LRUK{
+		capacity: capacity,
+		k:        k,
+		table:    make(map[PageID]*lrukEntry, capacity),
+	}
+}
+
+// Name implements Policy.
+func (p *LRUK) Name() string { return "lru2" }
+
+// Cap implements Policy.
+func (p *LRUK) Cap() int { return p.capacity }
+
+// Len implements Policy.
+func (p *LRUK) Len() int { return len(p.table) }
+
+// Contains implements Policy.
+func (p *LRUK) Contains(id PageID) bool {
+	_, ok := p.table[id]
+	return ok
+}
+
+// record registers a reference: rotate the history and repush the heap
+// snapshot.
+func (p *LRUK) record(e *lrukEntry) {
+	p.clock++
+	// Shift history: newest at [0].
+	copy(e.hist[1:], e.hist[:len(e.hist)-1])
+	e.hist[0] = p.clock
+	if e.n < p.k {
+		e.n++
+	}
+	e.version++
+	kth, recent := e.kDistanceKey(p.k)
+	heap.Push(&p.heap, lrukItem{entry: e, version: e.version, kth: kth, recent: recent})
+	if len(p.heap) > 8*p.capacity {
+		p.compact()
+	}
+}
+
+// compact rebuilds the heap from the live entries, discarding stale
+// snapshots; amortized O(1) per operation by the 8× growth trigger.
+func (p *LRUK) compact() {
+	p.heap = p.heap[:0]
+	for _, e := range p.table {
+		kth, recent := e.kDistanceKey(p.k)
+		p.heap = append(p.heap, lrukItem{entry: e, version: e.version, kth: kth, recent: recent})
+	}
+	heap.Init(&p.heap)
+}
+
+// Hit implements Policy.
+func (p *LRUK) Hit(id PageID) {
+	if e, ok := p.table[id]; ok {
+		p.record(e)
+	}
+}
+
+// Admit implements Policy.
+func (p *LRUK) Admit(id PageID) (victim PageID, evicted bool) {
+	mustAbsent("lru2", p.Contains(id))
+	if len(p.table) == p.capacity {
+		victim, evicted = p.Evict()
+	}
+	e := &lrukEntry{id: id, hist: make([]int64, p.k)}
+	p.table[id] = e
+	p.record(e)
+	p.note(id, e)
+	return victim, evicted
+}
+
+// Evict implements Policy: pop heap items until one matches a live,
+// current entry; that page has the maximal backward K-distance.
+func (p *LRUK) Evict() (PageID, bool) {
+	for p.heap.Len() > 0 {
+		it := heap.Pop(&p.heap).(lrukItem)
+		e := it.entry
+		if cur, ok := p.table[e.id]; !ok || cur != e || e.version != it.version {
+			continue // stale snapshot
+		}
+		delete(p.table, e.id)
+		p.forget(e.id)
+		return e.id, true
+	}
+	return 0, false
+}
+
+// Remove implements Policy. The heap entries become stale and are skipped
+// lazily.
+func (p *LRUK) Remove(id PageID) {
+	if _, ok := p.table[id]; ok {
+		delete(p.table, id)
+		p.forget(id)
+	}
+}

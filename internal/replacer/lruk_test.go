@@ -1,0 +1,137 @@
+package replacer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLRU2OnceReferencedEvictedFirst checks the defining LRU-2 behaviour:
+// pages with fewer than two references have infinite backward 2-distance
+// and are evicted before any twice-referenced page.
+func TestLRU2OnceReferencedEvictedFirst(t *testing.T) {
+	p := NewLRU2(4)
+	p.Admit(tid(1))
+	p.Hit(tid(1)) // 1 has two references
+	p.Admit(tid(2))
+	p.Hit(tid(2)) // 2 has two references
+	p.Admit(tid(3))
+	p.Admit(tid(4)) // 3, 4 have one reference each
+	// Eviction order: 3 (oldest single-ref), 4, then 1 (older 2nd ref).
+	if v, _ := p.Admit(tid(5)); v != tid(3) {
+		t.Fatalf("victim=%v want %v", v, tid(3))
+	}
+	if v, _ := p.Admit(tid(6)); v != tid(4) {
+		t.Fatalf("victim=%v want %v", v, tid(4))
+	}
+	if v, _ := p.Admit(tid(7)); v != tid(5) {
+		t.Fatalf("victim=%v want %v (newly admitted are single-ref)", v, tid(5))
+	}
+	if v, _ := p.Admit(tid(8)); v != tid(6) {
+		t.Fatalf("victim=%v want %v", v, tid(6))
+	}
+	// Only 1, 2, 7, 8 remain; 7 and 8 are single-ref... wait, they were
+	// just admitted. Give them second references so the 2-distance decides.
+	p.Hit(tid(7))
+	p.Hit(tid(8))
+	// Now all four have K references; 1's 2nd-most-recent is oldest.
+	if v, _ := p.Admit(tid(9)); v != tid(1) {
+		t.Fatalf("victim=%v want %v (oldest K-th reference)", v, tid(1))
+	}
+}
+
+// TestLRU2ScanResistance checks the motivation: a one-shot scan cannot
+// displace twice-referenced hot pages.
+func TestLRU2ScanResistance(t *testing.T) {
+	p := NewLRU2(16)
+	hot := make([]PageID, 8)
+	for i := range hot {
+		hot[i] = tid(uint64(1000 + i))
+		p.Admit(hot[i])
+		p.Hit(hot[i])
+	}
+	for b := uint64(0); b < 200; b++ {
+		if !p.Contains(tid(b)) {
+			p.Admit(tid(b))
+		}
+	}
+	for _, id := range hot {
+		if !p.Contains(id) {
+			t.Fatalf("one-shot scan evicted twice-referenced page %v", id)
+		}
+	}
+}
+
+// TestLRUKDegeneratesToLRU checks K=1 matches plain LRU exactly.
+func TestLRUKDegeneratesToLRU(t *testing.T) {
+	k1 := NewLRUK(32, 1)
+	lru := NewLRU(32)
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 20000; i++ {
+		id := tid(r.Uint64() % 100)
+		if k1.Contains(id) != lru.Contains(id) {
+			t.Fatalf("step %d: residency diverged", i)
+		}
+		if lru.Contains(id) {
+			k1.Hit(id)
+			lru.Hit(id)
+			continue
+		}
+		v1, e1 := k1.Admit(id)
+		v2, e2 := lru.Admit(id)
+		if e1 != e2 || v1 != v2 {
+			t.Fatalf("step %d: victims diverged (%v,%v) vs (%v,%v)", i, v1, e1, v2, e2)
+		}
+	}
+}
+
+// TestLRUKHeapCompaction checks the lazy heap stays bounded under a
+// hit-heavy workload.
+func TestLRUKHeapCompaction(t *testing.T) {
+	p := NewLRU2(8)
+	for i := uint64(0); i < 8; i++ {
+		p.Admit(tid(i))
+	}
+	for i := 0; i < 100000; i++ {
+		p.Hit(tid(uint64(i) % 8))
+	}
+	if len(p.heap) > 8*8+1 {
+		t.Fatalf("heap grew to %d entries despite compaction", len(p.heap))
+	}
+	// Residency must be intact afterwards.
+	if p.Len() != 8 {
+		t.Fatalf("Len()=%d", p.Len())
+	}
+}
+
+// TestLRUKValidation checks constructor bounds.
+func TestLRUKValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	NewLRUK(4, 0)
+}
+
+// TestLRU2BeatsLRUOnMixedTrace checks the hit-ratio property LRU-K was
+// designed for: on a mix of skewed reuse and one-shot traffic it clearly
+// beats LRU.
+func TestLRU2BeatsLRUOnMixedTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	z := rand.NewZipf(r, 1.3, 1, 499)
+	var trace []PageID
+	oneShot := uint64(1 << 20)
+	for i := 0; i < 60000; i++ {
+		if i%3 == 0 { // one-shot page, never repeated
+			trace = append(trace, tid(oneShot))
+			oneShot++
+		} else {
+			trace = append(trace, tid(z.Uint64()))
+		}
+	}
+	lruHits := simulate(t, NewLRU(64), trace)
+	lru2Hits := simulate(t, NewLRU2(64), trace)
+	if lru2Hits <= lruHits {
+		t.Fatalf("LRU-2 hits %d not above LRU's %d on scan-polluted trace", lru2Hits, lruHits)
+	}
+}

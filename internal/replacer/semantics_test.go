@@ -1,0 +1,418 @@
+package replacer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refLRU is an obviously-correct LRU model used to verify the real one.
+type refLRU struct {
+	capacity int
+	order    []PageID // order[0] = LRU end
+}
+
+func (m *refLRU) indexOf(id PageID) int {
+	for i, x := range m.order {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *refLRU) access(id PageID) (victim PageID, evicted, hit bool) {
+	if i := m.indexOf(id); i >= 0 {
+		m.order = append(append(append([]PageID{}, m.order[:i]...), m.order[i+1:]...), id)
+		return 0, false, true
+	}
+	if len(m.order) == m.capacity {
+		victim, evicted = m.order[0], true
+		m.order = m.order[1:]
+	}
+	m.order = append(m.order, id)
+	return victim, evicted, false
+}
+
+// TestLRUExact cross-checks LRU against the reference model access by
+// access, including victim identity.
+func TestLRUExact(t *testing.T) {
+	p := NewLRU(16)
+	m := &refLRU{capacity: 16}
+	trace := append(zipfTrace(3, 30000, 200), loopTrace(5000, 40)...)
+	for i, id := range trace {
+		wantVictim, wantEvicted, wantHit := m.access(id)
+		if gotHit := p.Contains(id); gotHit != wantHit {
+			t.Fatalf("step %d: hit=%v want %v", i, gotHit, wantHit)
+		}
+		if wantHit {
+			p.Hit(id)
+			continue
+		}
+		victim, evicted := p.Admit(id)
+		if evicted != wantEvicted || (evicted && victim != wantVictim) {
+			t.Fatalf("step %d: victim=(%v,%v) want (%v,%v)", i, victim, evicted, wantVictim, wantEvicted)
+		}
+	}
+}
+
+// TestLRUVictimOrder checks textbook behaviour on a tiny example.
+func TestLRUVictimOrder(t *testing.T) {
+	p := NewLRU(3)
+	p.Admit(tid(1))
+	p.Admit(tid(2))
+	p.Admit(tid(3))
+	p.Hit(tid(1)) // order now 2,3,1 (LRU first)
+	v, ev := p.Admit(tid(4))
+	if !ev || v != tid(2) {
+		t.Fatalf("victim=%v,%v want %v", v, ev, tid(2))
+	}
+	v, ev = p.Admit(tid(5))
+	if !ev || v != tid(3) {
+		t.Fatalf("victim=%v,%v want %v", v, ev, tid(3))
+	}
+}
+
+// TestFIFOIgnoresHits checks FIFO's defining property: hits do not save a
+// page from eviction.
+func TestFIFOIgnoresHits(t *testing.T) {
+	p := NewFIFO(3)
+	p.Admit(tid(1))
+	p.Admit(tid(2))
+	p.Admit(tid(3))
+	for i := 0; i < 10; i++ {
+		p.Hit(tid(1))
+	}
+	v, ev := p.Admit(tid(4))
+	if !ev || v != tid(1) {
+		t.Fatalf("victim=%v,%v want %v (FIFO must ignore hits)", v, ev, tid(1))
+	}
+}
+
+// TestLFUVictims checks frequency-ordered eviction with LRU tie-break.
+func TestLFUVictims(t *testing.T) {
+	p := NewLFU(3)
+	p.Admit(tid(1))
+	p.Admit(tid(2))
+	p.Admit(tid(3))
+	p.Hit(tid(1))
+	p.Hit(tid(1))
+	p.Hit(tid(2))
+	// freqs: 1→3, 2→2, 3→1
+	if v, _ := p.Admit(tid(4)); v != tid(3) {
+		t.Fatalf("victim=%v want %v", v, tid(3))
+	}
+	// freqs: 1→3, 2→2, 4→1
+	if v, _ := p.Admit(tid(5)); v != tid(4) {
+		t.Fatalf("victim=%v want %v", v, tid(4))
+	}
+	// 5 and... freqs: 1→3, 2→2, 5→1; tie-break: evict 5 (oldest at freq 1)
+	p.Hit(tid(5))
+	// freqs: 1→3, 2→2, 5→2; evict 2 (same freq as 5, older arrival)
+	if v, _ := p.Admit(tid(6)); v != tid(2) {
+		t.Fatalf("victim=%v want %v (LRU tie-break)", v, tid(2))
+	}
+}
+
+// TestClockSecondChance checks the reference bit grants exactly one
+// additional sweep.
+func TestClockSecondChance(t *testing.T) {
+	p := NewClock(3)
+	p.Admit(tid(1))
+	p.Admit(tid(2))
+	p.Admit(tid(3))
+	p.Hit(tid(1)) // ref bit set on 1
+	// Sweep starts at 1 (oldest): 1 has ref → cleared, spared; 2 evicted.
+	v, ev := p.Admit(tid(4))
+	if !ev || v != tid(2) {
+		t.Fatalf("victim=%v,%v want %v", v, ev, tid(2))
+	}
+	if !p.Contains(tid(1)) {
+		t.Fatal("referenced page 1 was evicted despite second chance")
+	}
+	// No new references: next sweep evicts 3.
+	if v, _ := p.Admit(tid(5)); v != tid(3) {
+		t.Fatalf("victim=%v want %v", v, tid(3))
+	}
+	// Then 1 (its bit was consumed).
+	if v, _ := p.Admit(tid(6)); v != tid(1) {
+		t.Fatalf("victim=%v want %v", v, tid(1))
+	}
+}
+
+// TestGClockCounterSaturation checks the usage counter caps at maxCount and
+// each sweep decrements once.
+func TestGClockCounterSaturation(t *testing.T) {
+	p := NewGClock(2, 2)
+	p.Admit(tid(1))
+	p.Admit(tid(2))
+	for i := 0; i < 50; i++ {
+		p.Hit(tid(1)) // saturates at 2
+	}
+	// Evictions sweep: 1 has count 2, 2 has count 0 → 2 evicted first.
+	if v, _ := p.Admit(tid(3)); v != tid(2) {
+		t.Fatalf("victim=%v want %v", v, tid(2))
+	}
+	// Now 1 (count 2), 3 (count 0): 3 evicted.
+	if v, _ := p.Admit(tid(4)); v != tid(3) {
+		t.Fatalf("victim=%v want %v", v, tid(3))
+	}
+	// 1's counter (saturated at 2) was decremented by each of the two
+	// sweeps above, so the next sweep finds it at zero and evicts it.
+	if v, _ := p.Admit(tid(5)); v != tid(1) {
+		t.Fatalf("victim=%v want %v (counter drained)", v, tid(1))
+	}
+	if v, _ := p.Admit(tid(6)); v != tid(4) {
+		t.Fatalf("victim=%v want %v", v, tid(4))
+	}
+}
+
+// TestTwoQStructure checks the A1in/A1out/Am partition behaviour.
+func TestTwoQStructure(t *testing.T) {
+	p := NewTwoQTuned(8, 2, 4)
+	// Fill A1in beyond Kin; early pages spill to A1out as ghosts.
+	for i := uint64(1); i <= 8; i++ {
+		p.Admit(tid(i))
+	}
+	a1in, a1out, am := p.QueueLengths()
+	if a1in != 8 || a1out != 0 || am != 0 {
+		t.Fatalf("after fill: (%d,%d,%d) want (8,0,0)", a1in, a1out, am)
+	}
+	// Next miss evicts from A1in (over Kin), ghosting the victim.
+	v, _ := p.Admit(tid(9))
+	if v != tid(1) {
+		t.Fatalf("victim=%v want %v (A1in FIFO order)", v, tid(1))
+	}
+	if p.Contains(tid(1)) {
+		t.Fatal("ghost counted as resident")
+	}
+	// Re-reference the ghost: it must enter Am directly.
+	p.Admit(tid(1))
+	_, a1out, am = p.QueueLengths()
+	if am != 1 {
+		t.Fatalf("ghost hit did not promote to Am (am=%d)", am)
+	}
+	if a1out != 1 {
+		t.Fatalf("a1out=%d want 1 (promotion consumes ghost, eviction adds one)", a1out)
+	}
+	// A hit on an A1in page must NOT move it (correlated-reference filter):
+	// the A1in FIFO order decides victims regardless of hits.
+	p2 := NewTwoQTuned(4, 4, 4)
+	for i := uint64(1); i <= 4; i++ {
+		p2.Admit(tid(i))
+	}
+	p2.Hit(tid(1))
+	if v, _ := p2.Admit(tid(5)); v != tid(1) {
+		t.Fatalf("victim=%v want %v (hits must not reorder A1in)", v, tid(1))
+	}
+}
+
+// TestTwoQGhostBound checks A1out never exceeds Kout.
+func TestTwoQGhostBound(t *testing.T) {
+	p := NewTwoQTuned(4, 2, 3)
+	for i := uint64(0); i < 1000; i++ {
+		if !p.Contains(tid(i)) {
+			p.Admit(tid(i))
+		}
+	}
+	if _, a1out, _ := p.QueueLengths(); a1out > 3 {
+		t.Fatalf("a1out=%d exceeds Kout=3", a1out)
+	}
+}
+
+// TestLIRSInvariants checks the LIR-set bound and the stack-bottom
+// invariant across a messy trace.
+func TestLIRSInvariants(t *testing.T) {
+	p := NewLIRSTuned(64, 4, 128)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		id := tid(r.Uint64() % 300)
+		if p.Contains(id) {
+			p.Hit(id)
+		} else {
+			p.Admit(id)
+		}
+		if p.LIRCount() > 60 {
+			t.Fatalf("step %d: LIR count %d exceeds target %d", i, p.LIRCount(), 60)
+		}
+		if g := p.GhostCount(); g > 128 {
+			t.Fatalf("step %d: ghost count %d exceeds bound", i, g)
+		}
+	}
+}
+
+// TestLIRSLoopBeatsLRU demonstrates LIRS's defining advantage: on a loop
+// slightly larger than the buffer LRU gets ~0% hits while LIRS retains most
+// of the loop (this is Figure 1 territory of the LIRS paper and the kind of
+// hit-ratio advantage BP-Wrapper exists to preserve).
+func TestLIRSLoopBeatsLRU(t *testing.T) {
+	const capacity, span, length = 100, 110, 50000
+	trace := loopTrace(length, span)
+
+	lru := NewLRU(capacity)
+	lruHits := simulate(t, lru, trace)
+
+	lirs := NewLIRS(capacity)
+	lirsHits := simulate(t, lirs, trace)
+
+	if lruHits > length/50 {
+		t.Fatalf("LRU got %d hits on a pathological loop; expected ~0", lruHits)
+	}
+	if lirsHits < length/2 {
+		t.Fatalf("LIRS got only %d/%d hits on the loop; expected most of it", lirsHits, length)
+	}
+}
+
+// TestARCBounds checks the Megiddo–Modha directory invariants.
+func TestARCBounds(t *testing.T) {
+	const c = 32
+	p := NewARC(c)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		id := tid(r.Uint64() % 120)
+		if p.Contains(id) {
+			p.Hit(id)
+		} else {
+			p.Admit(id)
+		}
+		t1, t2, b1, b2 := p.ListLengths()
+		if t1+t2 > c {
+			t.Fatalf("step %d: |T1|+|T2| = %d > c", i, t1+t2)
+		}
+		if t1+b1 > c {
+			t.Fatalf("step %d: |T1|+|B1| = %d > c", i, t1+b1)
+		}
+		if t1+t2+b1+b2 > 2*c {
+			t.Fatalf("step %d: directory size %d > 2c", i, t1+t2+b1+b2)
+		}
+		if p.Target() < 0 || p.Target() > c {
+			t.Fatalf("step %d: p = %d out of [0, c]", i, p.Target())
+		}
+	}
+}
+
+// TestARCHitPromotes checks a second access moves a page from T1 to T2.
+func TestARCHitPromotes(t *testing.T) {
+	p := NewARC(4)
+	p.Admit(tid(1))
+	t1, t2, _, _ := p.ListLengths()
+	if t1 != 1 || t2 != 0 {
+		t.Fatalf("after admit: t1=%d t2=%d", t1, t2)
+	}
+	p.Hit(tid(1))
+	t1, t2, _, _ = p.ListLengths()
+	if t1 != 0 || t2 != 1 {
+		t.Fatalf("after hit: t1=%d t2=%d (want promotion to T2)", t1, t2)
+	}
+}
+
+// TestCARBounds checks CAR's equivalents of the ARC invariants.
+func TestCARBounds(t *testing.T) {
+	const c = 32
+	p := NewCAR(c)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100000; i++ {
+		id := tid(r.Uint64() % 120)
+		if p.Contains(id) {
+			p.Hit(id)
+		} else {
+			p.Admit(id)
+		}
+		t1, t2, b1, b2 := p.ListLengths()
+		if t1+t2 > c {
+			t.Fatalf("step %d: |T1|+|T2| = %d > c", i, t1+t2)
+		}
+		if t1+t2+b1+b2 > 2*c+1 {
+			t.Fatalf("step %d: directory size %d > 2c", i, t1+t2+b1+b2)
+		}
+		if p.Target() < 0 || p.Target() > c {
+			t.Fatalf("step %d: p = %d out of range", i, p.Target())
+		}
+	}
+}
+
+// TestClockProCounts checks resident and non-resident metadata bounds.
+func TestClockProCounts(t *testing.T) {
+	const c = 32
+	p := NewClockPro(c)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		id := tid(r.Uint64() % 120)
+		if p.Contains(id) {
+			p.Hit(id)
+		} else {
+			p.Admit(id)
+		}
+		hot, cold, nr := p.Counts()
+		if hot+cold > c {
+			t.Fatalf("step %d: resident %d > capacity", i, hot+cold)
+		}
+		if nr > c+1 {
+			t.Fatalf("step %d: non-resident %d > capacity bound", i, nr)
+		}
+	}
+}
+
+// TestMQFrequencyPromotion checks that frequently accessed pages climb
+// queues and survive eviction pressure from one-shot pages.
+func TestMQFrequencyPromotion(t *testing.T) {
+	p := NewMQTuned(8, 4, 1000, 8)
+	hot := tid(1)
+	p.Admit(hot)
+	for i := 0; i < 20; i++ {
+		p.Hit(hot)
+	}
+	// Flood with one-shot pages; the hot page must survive.
+	for i := uint64(100); i < 140; i++ {
+		p.Admit(tid(i))
+	}
+	if !p.Contains(hot) {
+		t.Fatal("frequently accessed page evicted by one-shot flood")
+	}
+}
+
+// TestMQGhostFrequencyRestore checks Qout remembers frequency: a page
+// re-admitted after eviction re-enters a high queue and outlives colder
+// pages.
+func TestMQGhostFrequencyRestore(t *testing.T) {
+	p := NewMQTuned(4, 4, 10000, 16)
+	hot := tid(1)
+	p.Admit(hot)
+	for i := 0; i < 20; i++ {
+		p.Hit(hot)
+	}
+	// Force hot out (it is the only high-queue page; flood evicts the
+	// lowest queue first, so fill with pages and then hit them to raise
+	// them, starving queue 0... simpler: evict explicitly).
+	for p.Contains(hot) {
+		p.Evict()
+	}
+	// Ghost hit: frequency restored.
+	p.Admit(hot)
+	// Admit cold pages; hot must outlive them all.
+	for i := uint64(100); i < 106; i++ {
+		if !p.Contains(tid(i)) {
+			p.Admit(tid(i))
+		}
+	}
+	if !p.Contains(hot) {
+		t.Fatal("ghost-restored page evicted before cold newcomers")
+	}
+}
+
+// TestAdvancedBeatClockOnLoop checks the hit-ratio ordering the paper's
+// Figure 8 depends on: on LRU-hostile traces the advanced algorithms beat
+// the clock approximation.
+func TestAdvancedBeatClockOnLoop(t *testing.T) {
+	const capacity, span, length = 128, 160, 60000
+	trace := loopTrace(length, span)
+	hits := func(name string) int {
+		p, _ := New(name, capacity)
+		return simulate(t, p, trace)
+	}
+	clock := hits("clock")
+	for _, adv := range []string{"lirs", "2q"} {
+		if h := hits(adv); h <= clock+length/20 {
+			t.Errorf("%s hits %d not clearly above clock %d on loop trace", adv, h, clock)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim is a deterministic discrete-event simulator of a symmetric
+// multiprocessor executing the DBMS buffer-manager protocol of the
+// BP-Wrapper paper.
+//
+// The paper's scalability results (Figures 2, 6, 7; Tables II, III) were
+// measured on a 16-processor SGI Altix 350 and an 8-core Dell PowerEdge
+// 1900. Reproducing parallel lock contention requires parallel hardware;
+// on a small host (this reproduction was built on a single-core machine)
+// the contention the paper studies cannot physically occur. Following the
+// substitution methodology in DESIGN.md, this package simulates the
+// hardware: virtual processors, a virtual policy lock with FIFO blocking
+// and context-switch costs, critical-section cache-warmup costs that the
+// prefetching technique removes (Figure 5 of the paper), and a bounded-
+// parallelism disk. The replacement policies and workload streams are the
+// real ones from internal/replacer and internal/workload, so hit ratios
+// and victim choices are exact; only *time* is virtual.
+//
+// The kernel below is a process-oriented virtual-time executor in the
+// style of SimPy: each simulated thread runs as a goroutine, but exactly
+// one runs at a time, handing control back to the kernel whenever it
+// performs a timed or blocking operation. Execution is fully deterministic:
+// the event queue breaks time ties by sequence number, and all resource
+// queues are FIFO.
+package sim
+
+import "container/heap"
+
+// Time is virtual nanoseconds since simulation start.
+type Time int64
+
+// event is a scheduled wakeup for a process.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	p   *Process
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel is the virtual-time executor. Create one with NewKernel, add
+// processes with Spawn, then call Run. Not safe for concurrent use (the
+// whole point is that simulated concurrency is deterministic).
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running int // live processes (spawned, not finished)
+
+	// handoff synchronizes the kernel with the single running process:
+	// the kernel sends control to a process via its resume channel and
+	// waits on yield for it to block, sleep, or finish.
+	yield chan struct{}
+}
+
+// NewKernel returns an empty simulation.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Process is one simulated thread of execution. Its body runs as a
+// goroutine that must interact with virtual time only through the
+// process's methods (Sleep, resource acquire/release); between those calls
+// it has the kernel to itself.
+type Process struct {
+	k      *Kernel
+	resume chan struct{}
+	// dead reports the body returned; used by the kernel to stop waiting.
+	dead bool
+}
+
+// Spawn registers a new process whose body starts at the current virtual
+// time.
+func (k *Kernel) Spawn(body func(p *Process)) *Process {
+	p := &Process{k: k, resume: make(chan struct{})}
+	k.running++
+	go func() {
+		<-p.resume // wait for the kernel to schedule us the first time
+		body(p)
+		p.dead = true
+		k.running--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(p, 0)
+	return p
+}
+
+// schedule enqueues a wakeup for p after delay d.
+func (k *Kernel) schedule(p *Process, d Time) {
+	k.seq++
+	heap.Push(&k.events, event{at: k.now + d, seq: k.seq, p: p})
+}
+
+// Run executes events until the queue drains (every process finished or is
+// blocked forever) or until virtual time exceeds horizon (0 means no
+// horizon). It returns the final virtual time.
+func (k *Kernel) Run(horizon Time) Time {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if horizon > 0 && e.at > horizon {
+			k.now = horizon
+			break
+		}
+		k.now = e.at
+		e.p.resume <- struct{}{}
+		<-k.yield
+	}
+	return k.now
+}
+
+// pause returns control to the kernel and blocks the calling process until
+// its next scheduled wakeup.
+func (p *Process) pause() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of pure virtual delay (no resource
+// held). d may be zero (the process re-queues behind simultaneous events).
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.k.schedule(p, d)
+	p.pause()
+}
+
+// block parks the process with no scheduled wakeup; a resource will
+// schedule it when granted.
+func (p *Process) block() {
+	p.pause()
+}
+
+// unblock schedules a parked process to resume after delay d.
+func (p *Process) unblock(d Time) {
+	p.k.schedule(p, d)
+}
+
+// Now returns the current virtual time (valid while the process runs).
+func (p *Process) Now() Time { return p.k.now }

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/workload"
+)
+
+// FuzzTraceDeserialize hardens ReadFrom against arbitrary byte streams:
+// it must never panic or allocate absurdly, only return an error or a
+// valid trace that re-serializes to an equivalent byte stream.
+func FuzzTraceDeserialize(f *testing.F) {
+	// Seed with a real serialized trace and some corruptions of it.
+	wl := workload.NewZipf(workload.SyntheticConfig{Pages: 64, TxnLen: 4})
+	tr := Record(wl, 2, 5, 1)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:8])
+	f.Add(good[:17])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Trace
+		if _, err := got.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Successful parse: round-trip must be stable.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		var again Trace
+		if _, err := again.ReadFrom(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again.Accesses) != len(got.Accesses) {
+			t.Fatalf("round-trip length %d != %d", len(again.Accesses), len(got.Accesses))
+		}
+	})
+}
+
+// FuzzReplayArbitraryTrace hardens every policy against arbitrary access
+// sequences, including invalid page ids: Replay treats the trace as data,
+// so only the policy invariants matter (no panics, Len within capacity).
+func FuzzReplayArbitraryTrace(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 200, 0}, uint8(4))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{7}, 100), uint8(2))
+
+	f.Fuzz(func(t *testing.T, raw []byte, capacity uint8) {
+		c := int(capacity%32) + 1
+		tr := &Trace{}
+		for i, b := range raw {
+			if i > 2000 {
+				break
+			}
+			tr.Accesses = append(tr.Accesses, workload.Access{
+				Page:  page.NewPageID(uint32(b%7)+1, uint64(b)),
+				Write: b&1 == 1,
+			})
+		}
+		rows, err := Sweep(tr, []string{"lru", "2q", "lirs", "arc", "clockpro", "seq", "lru2"}, []int{c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Result.Hits+r.Result.Misses != int64(len(tr.Accesses)) {
+				t.Fatalf("%s: accounting broken", r.Policy)
+			}
+		}
+	})
+}

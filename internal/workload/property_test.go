@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bpwrapper/internal/page"
+)
+
+// wlChoice is a generated workload selection for property tests.
+type wlChoice struct {
+	Kind   uint8
+	Seed   int64
+	Worker uint8
+}
+
+// Generate implements quick.Generator.
+func (wlChoice) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(wlChoice{
+		Kind:   uint8(r.Intn(7)),
+		Seed:   r.Int63(),
+		Worker: uint8(r.Intn(32)),
+	})
+}
+
+func (c wlChoice) build() Workload {
+	switch c.Kind % 7 {
+	case 0:
+		return NewTPCW(TPCWConfig{Items: 500, Customers: 600, Workers: 32})
+	case 1:
+		return NewTPCC(TPCCConfig{Warehouses: 2, Items: 400, Customers: 200, Workers: 32})
+	case 2:
+		return NewTableScan(TableScanConfig{Tables: 3, PagesPerTable: 30})
+	case 3:
+		return NewZipf(SyntheticConfig{Pages: 500, TxnLen: 9})
+	case 4:
+		return NewUniform(SyntheticConfig{Pages: 500, TxnLen: 9})
+	case 5:
+		return NewHotspot(SyntheticConfig{Pages: 500, TxnLen: 9})
+	default:
+		return NewLoop(SyntheticConfig{Pages: 500, TxnLen: 9})
+	}
+}
+
+// TestQuickWorkloadInvariants property-tests every generator: transactions
+// are non-empty and bounded, every page is valid and within the declared
+// page set, and identical (seed, worker) pairs replay identically.
+func TestQuickWorkloadInvariants(t *testing.T) {
+	prop := func(c wlChoice) bool {
+		wl := c.build()
+		declared := make(map[page.PageID]bool, wl.DataPages())
+		for _, id := range wl.Pages() {
+			declared[id] = true
+		}
+		a := wl.NewStream(int(c.Worker), c.Seed)
+		b := wl.NewStream(int(c.Worker), c.Seed)
+		var bufA, bufB []Access
+		for i := 0; i < 20; i++ {
+			bufA = a.NextTxn(bufA[:0])
+			bufB = b.NextTxn(bufB[:0])
+			if len(bufA) == 0 || len(bufA) > 4096 {
+				return false
+			}
+			if len(bufA) != len(bufB) {
+				return false
+			}
+			for j := range bufA {
+				if bufA[j] != bufB[j] {
+					return false
+				}
+				if !bufA[j].Page.Valid() || !declared[bufA[j].Page] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndexWalkWithinBounds property-tests the B-tree model: every
+// walk stays inside the index's declared page range and starts at the
+// root.
+func TestQuickIndexWalkWithinBounds(t *testing.T) {
+	prop := func(keys, keysPerLeaf, fanout uint32, key uint64) bool {
+		k := uint64(keys%1_000_000) + 1
+		kpl := uint64(keysPerLeaf%500) + 1
+		f := uint64(fanout%500) + 1
+		ix := NewIndex(7, k, kpl, f)
+		walk := ix.Walk(nil, key)
+		if len(walk) != 3 {
+			return false
+		}
+		if walk[0].Page != page.NewPageID(7, 0) {
+			return false
+		}
+		for _, a := range walk {
+			if a.Page.Table() != 7 || a.Page.Block() >= ix.Pages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTablePageWrap property-tests Table.Page's modulo addressing.
+func TestQuickTablePageWrap(t *testing.T) {
+	prop := func(pages uint32, block uint64) bool {
+		n := uint64(pages%10000) + 1
+		tab := NewTable(3, n)
+		id := tab.Page(block)
+		return id.Table() == 3 && id.Block() == block%n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

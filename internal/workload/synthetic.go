@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bpwrapper/internal/page"
+)
+
+// SyntheticConfig tunes the single-table synthetic workloads used by the
+// hit-ratio studies and the property tests.
+type SyntheticConfig struct {
+	// Pages is the data size in pages. Zero means 65536.
+	Pages int
+
+	// TxnLen is the number of accesses per transaction. Zero means 16.
+	TxnLen int
+
+	// WriteFraction is the probability an access is a write, in [0, 1].
+	WriteFraction float64
+
+	// ZipfS is the Zipf exponent for NewZipf. Values <= 1 mean 1.1 (a
+	// realistic web/OLTP skew).
+	ZipfS float64
+
+	// HotFraction / HotProbability shape NewHotspot: HotProbability of the
+	// accesses go to the first HotFraction of the pages. Zeros mean the
+	// classic 80/20.
+	HotFraction    float64
+	HotProbability float64
+
+	// TableID is the relation number the synthetic table occupies. Zero
+	// means 1. Set it when composing a synthetic workload with others so
+	// their page spaces do not collide.
+	TableID uint32
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.Pages <= 0 {
+		c.Pages = 65536
+	}
+	if c.TxnLen <= 0 {
+		c.TxnLen = 16
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.HotFraction <= 0 || c.HotFraction >= 1 {
+		c.HotFraction = 0.2
+	}
+	if c.HotProbability <= 0 || c.HotProbability >= 1 {
+		c.HotProbability = 0.8
+	}
+	if c.TableID == 0 {
+		c.TableID = syntheticTableID
+	}
+	return c
+}
+
+// pickFunc selects the next block for a synthetic stream. i is the
+// stream's running access counter (for deterministic patterns like loops).
+type pickFunc func(r *rand.Rand, z *rand.Zipf, i uint64) uint64
+
+// synthetic is the shared chassis for the single-table distributions.
+type synthetic struct {
+	name     string
+	cfg      SyntheticConfig
+	tab      Table
+	needZipf bool
+	pick     pickFunc
+}
+
+// syntheticTableID is the relation number used by all single-table
+// synthetic workloads.
+const syntheticTableID = 1
+
+func newSynthetic(name string, cfg SyntheticConfig, needZipf bool, pick pickFunc) *synthetic {
+	cfg = cfg.withDefaults()
+	return &synthetic{
+		name:     name,
+		cfg:      cfg,
+		tab:      NewTable(cfg.TableID, uint64(cfg.Pages)),
+		needZipf: needZipf,
+		pick:     pick,
+	}
+}
+
+// Name implements Workload.
+func (s *synthetic) Name() string { return s.name }
+
+// DataPages implements Workload.
+func (s *synthetic) DataPages() int { return int(s.tab.Pages()) }
+
+// Pages implements Workload: the whole table is the working set.
+func (s *synthetic) Pages() []page.PageID {
+	return s.tab.appendAll(make([]page.PageID, 0, s.tab.Pages()))
+}
+
+// NewStream implements Workload.
+func (s *synthetic) NewStream(w int, seed int64) Stream {
+	r := newRand(seed, w)
+	st := &syntheticStream{w: s, r: r}
+	if s.needZipf {
+		st.z = rand.NewZipf(r, s.cfg.ZipfS, 1, uint64(s.cfg.Pages-1))
+	}
+	return st
+}
+
+type syntheticStream struct {
+	w *synthetic
+	r *rand.Rand
+	z *rand.Zipf
+	i uint64
+}
+
+// NextTxn implements Stream.
+func (st *syntheticStream) NextTxn(buf []Access) []Access {
+	cfg := st.w.cfg
+	for k := 0; k < cfg.TxnLen; k++ {
+		b := st.w.pick(st.r, st.z, st.i)
+		st.i++
+		a := Access{Page: st.w.tab.Page(b)}
+		if cfg.WriteFraction > 0 && st.r.Float64() < cfg.WriteFraction {
+			a.Write = true
+		}
+		buf = append(buf, a)
+	}
+	return buf
+}
+
+// NewUniform returns a workload whose accesses are uniform over the table —
+// the worst case for every caching policy and the baseline for hit-ratio
+// comparisons.
+func NewUniform(cfg SyntheticConfig) Workload {
+	return newSynthetic("uniform", cfg, false, func(r *rand.Rand, _ *rand.Zipf, _ uint64) uint64 {
+		return r.Uint64()
+	})
+}
+
+// NewZipf returns a workload with Zipf-distributed page popularity, the
+// skew shape of web catalogues and OLTP row access.
+func NewZipf(cfg SyntheticConfig) Workload {
+	return newSynthetic("zipf", cfg, true, func(_ *rand.Rand, z *rand.Zipf, _ uint64) uint64 {
+		return z.Uint64()
+	})
+}
+
+// NewHotspot returns the classic hotspot workload: HotProbability of the
+// accesses fall uniformly in the first HotFraction of the pages.
+func NewHotspot(cfg SyntheticConfig) Workload {
+	c := cfg.withDefaults()
+	hotPages := uint64(float64(c.Pages) * c.HotFraction)
+	if hotPages == 0 {
+		hotPages = 1
+	}
+	return newSynthetic("hotspot", cfg, false, func(r *rand.Rand, _ *rand.Zipf, _ uint64) uint64 {
+		if r.Float64() < c.HotProbability {
+			return r.Uint64() % hotPages
+		}
+		return hotPages + r.Uint64()%(uint64(c.Pages)-hotPages)
+	})
+}
+
+// NewLoop returns a cyclic-sequential workload (each stream repeatedly
+// scans the table in order). Loops one page larger than the buffer are the
+// canonical LRU-pathological pattern that LIRS/2Q/ARC were designed to
+// survive; the hit-ratio study uses it to separate the policy families.
+func NewLoop(cfg SyntheticConfig) Workload {
+	return newSynthetic("loop", cfg, false, func(_ *rand.Rand, _ *rand.Zipf, i uint64) uint64 {
+		return i
+	})
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bpwrapper/internal/page"
+)
+
+// TableScanConfig tunes the TableScan workload, the paper's synthetic
+// benchmark: "It makes concurrent queries, each of which scans an entire
+// table" (Section IV-C).
+type TableScanConfig struct {
+	// Tables is the number of distinct tables scanned. Zero means 16.
+	Tables int
+
+	// PagesPerTable is each table's size. The paper's tables hold 10,000
+	// rows of ~200 bytes, about 250 pages at 8 KB. Zero means 250.
+	PagesPerTable int
+}
+
+func (c TableScanConfig) withDefaults() TableScanConfig {
+	if c.Tables <= 0 {
+		c.Tables = 16
+	}
+	if c.PagesPerTable <= 0 {
+		c.PagesPerTable = 250
+	}
+	return c
+}
+
+// tableScan implements Workload.
+type tableScan struct {
+	cfg    TableScanConfig
+	tables []Table
+}
+
+// NewTableScan returns the TableScan workload.
+func NewTableScan(cfg TableScanConfig) Workload {
+	cfg = cfg.withDefaults()
+	ts := &tableScan{cfg: cfg}
+	for i := 0; i < cfg.Tables; i++ {
+		ts.tables = append(ts.tables, NewTable(uint32(i+1), uint64(cfg.PagesPerTable)))
+	}
+	return ts
+}
+
+// Name implements Workload.
+func (ts *tableScan) Name() string { return "tablescan" }
+
+// DataPages implements Workload.
+func (ts *tableScan) DataPages() int { return ts.cfg.Tables * ts.cfg.PagesPerTable }
+
+// Pages implements Workload: every table page is in the working set.
+func (ts *tableScan) Pages() []page.PageID {
+	ids := make([]page.PageID, 0, ts.DataPages())
+	for _, t := range ts.tables {
+		ids = t.appendAll(ids)
+	}
+	return ids
+}
+
+// NewStream implements Workload. Each transaction is one full sequential
+// scan of a randomly chosen table.
+func (ts *tableScan) NewStream(w int, seed int64) Stream {
+	return &tableScanStream{w: ts, r: newRand(seed, w)}
+}
+
+type tableScanStream struct {
+	w *tableScan
+	r interface{ Intn(int) int }
+}
+
+// NextTxn implements Stream: a complete scan of one table.
+func (st *tableScanStream) NextTxn(buf []Access) []Access {
+	t := st.w.tables[st.r.Intn(len(st.w.tables))]
+	for b := uint64(0); b < t.Pages(); b++ {
+		buf = append(buf, Access{Page: t.Page(b)})
+	}
+	return buf
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bpwrapper/internal/page"
+)
+
+// TPCCConfig scales the TPC-C-like OLTP workload (the paper's DBT-2
+// analogue). Defaults give a working set of roughly 9,000 pages while
+// preserving TPC-C's structure: a handful of extremely hot warehouse and
+// district pages written by nearly every transaction, skewed item
+// popularity, large customer/stock tables, and append-mostly history.
+type TPCCConfig struct {
+	// Warehouses is the scale factor. Zero means 8 (the paper used 50 on
+	// a 6 GB server; we scale to keep the fully cached experiments within
+	// laptop memory — the per-page contention pattern is unchanged).
+	Warehouses int
+
+	// ItemsPerWarehouse sizes the stock table; Items is shared. Zero means
+	// 10000 (TPC-C specifies 100k; scaled 1:10).
+	Items int
+
+	// CustomersPerWarehouse. Zero means 3000 (TPC-C's 30k scaled 1:10).
+	Customers int
+
+	// Workers bounds concurrent streams with private append regions.
+	// Zero means 64.
+	Workers int
+
+	// ZipfS is the item-popularity exponent approximating TPC-C's NURand
+	// skew. Values <= 1 mean 1.1.
+	ZipfS float64
+}
+
+func (c TPCCConfig) withDefaults() TPCCConfig {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 8
+	}
+	if c.Items <= 0 {
+		c.Items = 10000
+	}
+	if c.Customers <= 0 {
+		c.Customers = 3000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	return c
+}
+
+// Relation numbers for the TPC-C schema.
+const (
+	tpccWarehouse uint32 = iota + 1
+	tpccDistrict
+	tpccCustomer
+	tpccStock
+	tpccItem
+	tpccOrders
+	tpccNewOrder
+	tpccOrderLine
+	tpccHistory
+	tpccCustomerIdx
+	tpccStockIdx
+	tpccItemIdx
+	tpccOrdersIdx
+)
+
+// Rows per page for the main relations.
+const (
+	tpccDistrictsPerPage = 10
+	tpccCustomersPerPage = 20
+	tpccStockPerPage     = 30
+	tpccItemsPerPage     = 40
+)
+
+// TPCC is the TPC-C-like OLTP workload.
+type TPCC struct {
+	cfg TPCCConfig
+
+	warehouse Table
+	district  Table
+	customer  Table
+	stock     Table
+	item      Table
+	orders    Table
+	newOrder  Table
+	orderLine Table
+	history   Table
+
+	customerIdx Index
+	stockIdx    Index
+	itemIdx     Index
+	ordersIdx   Index
+
+	ordersPerWorker uint64
+	noPerWorker     uint64
+	linesPerWorker  uint64
+	histPerWorker   uint64
+}
+
+// NewTPCC returns the TPC-C-like workload at the given scale.
+func NewTPCC(cfg TPCCConfig) *TPCC {
+	cfg = cfg.withDefaults()
+	wh := uint64(cfg.Warehouses)
+	items := uint64(cfg.Items)
+	cust := uint64(cfg.Customers)
+	workers := uint64(cfg.Workers)
+
+	w := &TPCC{cfg: cfg}
+	w.warehouse = NewTable(tpccWarehouse, wh) // one (hot) page per warehouse
+	w.district = NewTable(tpccDistrict, max(1, wh*10/tpccDistrictsPerPage))
+	w.customer = NewTable(tpccCustomer, (wh*cust+tpccCustomersPerPage-1)/tpccCustomersPerPage)
+	w.stock = NewTable(tpccStock, (wh*items+tpccStockPerPage-1)/tpccStockPerPage)
+	w.item = NewTable(tpccItem, (items+tpccItemsPerPage-1)/tpccItemsPerPage)
+
+	w.ordersPerWorker = 16
+	w.noPerWorker = 8
+	w.linesPerWorker = 64
+	w.histPerWorker = 8
+	w.orders = NewTable(tpccOrders, workers*w.ordersPerWorker)
+	w.newOrder = NewTable(tpccNewOrder, workers*w.noPerWorker)
+	w.orderLine = NewTable(tpccOrderLine, workers*w.linesPerWorker)
+	w.history = NewTable(tpccHistory, workers*w.histPerWorker)
+
+	w.customerIdx = NewIndex(tpccCustomerIdx, wh*cust, 200, 200)
+	w.stockIdx = NewIndex(tpccStockIdx, wh*items, 200, 200)
+	w.itemIdx = NewIndex(tpccItemIdx, items, 200, 200)
+	w.ordersIdx = NewIndex(tpccOrdersIdx, workers*w.ordersPerWorker*16, 200, 200)
+	return w
+}
+
+// Name implements Workload.
+func (w *TPCC) Name() string { return "tpcc" }
+
+// DataPages implements Workload.
+func (w *TPCC) DataPages() int {
+	return int(w.warehouse.Pages() + w.district.Pages() + w.customer.Pages() +
+		w.stock.Pages() + w.item.Pages() + w.orders.Pages() + w.newOrder.Pages() +
+		w.orderLine.Pages() + w.history.Pages() +
+		w.customerIdx.Pages() + w.stockIdx.Pages() + w.itemIdx.Pages() + w.ordersIdx.Pages())
+}
+
+// Pages implements Workload.
+func (w *TPCC) Pages() []page.PageID {
+	ids := make([]page.PageID, 0, w.DataPages())
+	ids = w.warehouse.appendAll(ids)
+	ids = w.district.appendAll(ids)
+	ids = w.customer.appendAll(ids)
+	ids = w.stock.appendAll(ids)
+	ids = w.item.appendAll(ids)
+	ids = w.orders.appendAll(ids)
+	ids = w.newOrder.appendAll(ids)
+	ids = w.orderLine.appendAll(ids)
+	ids = w.history.appendAll(ids)
+	ids = w.customerIdx.appendAll(ids)
+	ids = w.stockIdx.appendAll(ids)
+	ids = w.itemIdx.appendAll(ids)
+	ids = w.ordersIdx.appendAll(ids)
+	return ids
+}
+
+// NewStream implements Workload.
+func (w *TPCC) NewStream(worker int, seed int64) Stream {
+	r := newRand(seed, worker)
+	return &tpccStream{
+		w:    w,
+		r:    r,
+		zipf: rand.NewZipf(r, w.cfg.ZipfS, 1, uint64(w.cfg.Items-1)),
+		id:   uint64(worker) % uint64(w.cfg.Workers),
+		home: uint64(worker) % uint64(w.cfg.Warehouses),
+	}
+}
+
+// tpccStream emits the page walks of TPC-C's five transaction types at the
+// standard mix.
+type tpccStream struct {
+	w    *TPCC
+	r    *rand.Rand
+	zipf *rand.Zipf
+	id   uint64 // worker slot for append regions
+	home uint64 // home warehouse, as TPC-C terminals have
+
+	orders, nos, lines, hists uint64
+}
+
+func (st *tpccStream) item() uint64 { return st.zipf.Uint64() }
+
+func (st *tpccStream) customerKey(wh uint64) uint64 {
+	return wh*uint64(st.w.cfg.Customers) + st.r.Uint64()%uint64(st.w.cfg.Customers)
+}
+
+func (st *tpccStream) warehouseRead(buf []Access, wh uint64, write bool) []Access {
+	return append(buf, Access{Page: st.w.warehouse.Page(wh), Write: write})
+}
+
+func (st *tpccStream) districtAccess(buf []Access, wh uint64, write bool) []Access {
+	d := wh*10 + st.r.Uint64()%10
+	return append(buf, Access{Page: st.w.district.Page(d / tpccDistrictsPerPage), Write: write})
+}
+
+func (st *tpccStream) customerAccess(buf []Access, wh uint64, write bool) []Access {
+	key := st.customerKey(wh)
+	buf = st.w.customerIdx.Walk(buf, key)
+	return append(buf, Access{Page: st.w.customer.Page(key / tpccCustomersPerPage), Write: write})
+}
+
+func (st *tpccStream) appendTo(buf []Access, tab Table, perWorker uint64, ctr *uint64) []Access {
+	blk := st.id*perWorker + *ctr%perWorker
+	*ctr++
+	return append(buf, Access{Page: tab.Page(blk), Write: true})
+}
+
+// NextTxn implements Stream: one TPC-C transaction at the standard mix
+// (45% New-Order, 43% Payment, 4% each Order-Status, Delivery,
+// Stock-Level).
+func (st *tpccStream) NextTxn(buf []Access) []Access {
+	w := st.w
+	wh := st.home
+	// 1% of New-Order lines and 15% of Payments are remote, as specified.
+	switch p := st.r.Intn(100); {
+	case p < 45: // New-Order
+		buf = st.warehouseRead(buf, wh, false)
+		buf = st.districtAccess(buf, wh, true) // next order id increment
+		buf = st.customerAccess(buf, wh, false)
+		buf = st.appendTo(buf, w.orders, w.ordersPerWorker, &st.orders)
+		buf = st.appendTo(buf, w.newOrder, w.noPerWorker, &st.nos)
+		nItems := 5 + st.r.Intn(11)
+		for i := 0; i < nItems; i++ {
+			key := st.item()
+			supply := wh
+			if st.r.Intn(100) == 0 { // remote line
+				supply = st.r.Uint64() % uint64(w.cfg.Warehouses)
+			}
+			buf = w.itemIdx.Walk(buf, key)
+			buf = append(buf, Access{Page: w.item.Page(key / tpccItemsPerPage)})
+			stockKey := supply*uint64(w.cfg.Items) + key
+			buf = w.stockIdx.Walk(buf, stockKey)
+			buf = append(buf, Access{Page: w.stock.Page(stockKey / tpccStockPerPage), Write: true})
+			buf = st.appendTo(buf, w.orderLine, w.linesPerWorker, &st.lines)
+		}
+	case p < 88: // Payment
+		payWh := wh
+		if st.r.Intn(100) < 15 { // remote payment
+			payWh = st.r.Uint64() % uint64(w.cfg.Warehouses)
+		}
+		buf = st.warehouseRead(buf, wh, true) // warehouse YTD update
+		buf = st.districtAccess(buf, wh, true)
+		buf = st.customerAccess(buf, payWh, true)
+		buf = st.appendTo(buf, w.history, w.histPerWorker, &st.hists)
+	case p < 92: // Order-Status
+		buf = st.customerAccess(buf, wh, false)
+		buf = w.ordersIdx.Walk(buf, st.r.Uint64())
+		buf = append(buf, Access{Page: w.orders.Page(st.r.Uint64() % w.orders.Pages())})
+		for i := 0; i < 8; i++ {
+			buf = append(buf, Access{Page: w.orderLine.Page(st.r.Uint64() % w.orderLine.Pages())})
+		}
+	case p < 96: // Delivery: one batch over the ten districts
+		for d := 0; d < 10; d++ {
+			buf = append(buf, Access{Page: w.newOrder.Page(st.id*w.noPerWorker + uint64(d)%w.noPerWorker), Write: true})
+			buf = append(buf, Access{Page: w.orders.Page(st.id*w.ordersPerWorker + uint64(d)%w.ordersPerWorker), Write: true})
+			buf = append(buf, Access{Page: w.orderLine.Page(st.id*w.linesPerWorker + uint64(d)%w.linesPerWorker)})
+			buf = st.customerAccess(buf, wh, true)
+		}
+	default: // Stock-Level
+		buf = st.districtAccess(buf, wh, false)
+		for i := 0; i < 20; i++ {
+			buf = append(buf, Access{Page: w.orderLine.Page(st.r.Uint64() % w.orderLine.Pages())})
+			stockKey := wh*uint64(w.cfg.Items) + st.item()
+			buf = append(buf, Access{Page: w.stock.Page(stockKey / tpccStockPerPage)})
+		}
+	}
+	return buf
+}

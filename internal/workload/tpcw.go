@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bpwrapper/internal/page"
+)
+
+// TPCWConfig scales the TPC-W-like workload (the paper's DBT-1 analogue:
+// "activities of web users who browse and order items from an on-line
+// bookstore"). Defaults give a working set of roughly 8,000 pages (64 MB of
+// buffer), small enough for fully cached scalability runs while preserving
+// the benchmark's skew: very hot index roots, Zipf-popular items, a long
+// cold customer tail, and append-mostly order tables.
+type TPCWConfig struct {
+	// Items is the catalogue size. Zero means 10000 (the paper's DB).
+	Items int
+
+	// Customers is the registered-customer count. Zero means 14400 (the
+	// paper's 2.88M scaled 1:200 to keep frames affordable; the access
+	// skew, not the raw size, is what the experiments exercise).
+	Customers int
+
+	// Workers bounds the number of concurrent streams that get private
+	// append regions in the order tables. Zero means 64.
+	Workers int
+
+	// ZipfS is the item-popularity exponent. Values <= 1 mean 1.1.
+	ZipfS float64
+}
+
+func (c TPCWConfig) withDefaults() TPCWConfig {
+	if c.Items <= 0 {
+		c.Items = 10000
+	}
+	if c.Customers <= 0 {
+		c.Customers = 14400
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	return c
+}
+
+// Relation numbers for the TPC-W schema.
+const (
+	tpcwItem uint32 = iota + 1
+	tpcwAuthor
+	tpcwCustomer
+	tpcwAddress
+	tpcwOrders
+	tpcwOrderLine
+	tpcwCCXacts
+	tpcwCart
+	tpcwItemIdx
+	tpcwCustomerIdx
+	tpcwOrdersIdx
+)
+
+// Rows per 8 KB page for the main relations (approximate TPC-W row widths).
+const (
+	tpcwItemsPerPage     = 40
+	tpcwAuthorsPerPage   = 40
+	tpcwCustomersPerPage = 20
+	tpcwAddressesPerPage = 40
+)
+
+// TPCW is the TPC-W-like bookstore workload.
+type TPCW struct {
+	cfg TPCWConfig
+
+	item      Table
+	author    Table
+	customer  Table
+	address   Table
+	orders    Table
+	orderLine Table
+	ccXacts   Table
+	cart      Table
+
+	itemIdx     Index
+	customerIdx Index
+	ordersIdx   Index
+
+	ordersPerWorker    uint64
+	linesPerWorker     uint64
+	ccPerWorker        uint64
+	cartPagesPerWorker uint64
+}
+
+// NewTPCW returns the TPC-W-like workload at the given scale.
+func NewTPCW(cfg TPCWConfig) *TPCW {
+	cfg = cfg.withDefaults()
+	items := uint64(cfg.Items)
+	customers := uint64(cfg.Customers)
+	workers := uint64(cfg.Workers)
+
+	w := &TPCW{cfg: cfg}
+	w.item = NewTable(tpcwItem, (items+tpcwItemsPerPage-1)/tpcwItemsPerPage)
+	w.author = NewTable(tpcwAuthor, max(1, items/4/tpcwAuthorsPerPage))
+	w.customer = NewTable(tpcwCustomer, (customers+tpcwCustomersPerPage-1)/tpcwCustomersPerPage)
+	w.address = NewTable(tpcwAddress, (2*customers+tpcwAddressesPerPage-1)/tpcwAddressesPerPage)
+
+	// Order-side tables are bounded rings, partitioned per worker so that
+	// appends stay deterministic without cross-stream coordination.
+	w.ordersPerWorker = 16
+	w.linesPerWorker = 48
+	w.ccPerWorker = 8
+	w.cartPagesPerWorker = 4
+	w.orders = NewTable(tpcwOrders, workers*w.ordersPerWorker)
+	w.orderLine = NewTable(tpcwOrderLine, workers*w.linesPerWorker)
+	w.ccXacts = NewTable(tpcwCCXacts, workers*w.ccPerWorker)
+	w.cart = NewTable(tpcwCart, workers*w.cartPagesPerWorker)
+
+	w.itemIdx = NewIndex(tpcwItemIdx, items, 200, 200)
+	w.customerIdx = NewIndex(tpcwCustomerIdx, customers, 200, 200)
+	w.ordersIdx = NewIndex(tpcwOrdersIdx, workers*w.ordersPerWorker*16, 200, 200)
+	return w
+}
+
+// Name implements Workload.
+func (w *TPCW) Name() string { return "tpcw" }
+
+// DataPages implements Workload.
+func (w *TPCW) DataPages() int {
+	return int(w.item.Pages() + w.author.Pages() + w.customer.Pages() +
+		w.address.Pages() + w.orders.Pages() + w.orderLine.Pages() +
+		w.ccXacts.Pages() + w.cart.Pages() +
+		w.itemIdx.Pages() + w.customerIdx.Pages() + w.ordersIdx.Pages())
+}
+
+// Pages implements Workload: the full database is the working set.
+func (w *TPCW) Pages() []page.PageID {
+	ids := make([]page.PageID, 0, w.DataPages())
+	ids = w.item.appendAll(ids)
+	ids = w.author.appendAll(ids)
+	ids = w.customer.appendAll(ids)
+	ids = w.address.appendAll(ids)
+	ids = w.orders.appendAll(ids)
+	ids = w.orderLine.appendAll(ids)
+	ids = w.ccXacts.appendAll(ids)
+	ids = w.cart.appendAll(ids)
+	ids = w.itemIdx.appendAll(ids)
+	ids = w.customerIdx.appendAll(ids)
+	ids = w.ordersIdx.appendAll(ids)
+	return ids
+}
+
+// NewStream implements Workload.
+func (w *TPCW) NewStream(worker int, seed int64) Stream {
+	r := newRand(seed, worker)
+	return &tpcwStream{
+		w:    w,
+		r:    r,
+		zipf: rand.NewZipf(r, w.cfg.ZipfS, 1, uint64(w.cfg.Items-1)),
+		id:   uint64(worker) % uint64(w.cfg.Workers),
+	}
+}
+
+// tpcwStream emits the page walks of TPC-W's web interactions at the
+// shopping mix's browse/order ratio.
+type tpcwStream struct {
+	w    *TPCW
+	r    *rand.Rand
+	zipf *rand.Zipf
+	id   uint64 // worker slot, selects the private append regions
+
+	orders, lines, ccs, carts uint64 // per-worker append counters
+}
+
+// item returns a Zipf-popular item key.
+func (st *tpcwStream) item() uint64 { return st.zipf.Uint64() }
+
+// customer returns a uniformly chosen customer key.
+func (st *tpcwStream) customer() uint64 {
+	return st.r.Uint64() % uint64(st.w.cfg.Customers)
+}
+
+// itemRead appends an index walk plus the item data page.
+func (st *tpcwStream) itemRead(buf []Access, key uint64) []Access {
+	buf = st.w.itemIdx.Walk(buf, key)
+	return append(buf, Access{Page: st.w.item.Page(key / tpcwItemsPerPage)})
+}
+
+// customerRead appends an index walk plus the customer data page.
+func (st *tpcwStream) customerRead(buf []Access, key uint64, write bool) []Access {
+	buf = st.w.customerIdx.Walk(buf, key)
+	return append(buf, Access{Page: st.w.customer.Page(key / tpcwCustomersPerPage), Write: write})
+}
+
+// appendTo emits a write to the stream's private append ring in tab.
+func (st *tpcwStream) appendTo(buf []Access, tab Table, perWorker uint64, ctr *uint64) []Access {
+	blk := st.id*perWorker + *ctr%perWorker
+	*ctr++
+	return append(buf, Access{Page: tab.Page(blk), Write: true})
+}
+
+// NextTxn implements Stream: one TPC-W interaction.
+func (st *tpcwStream) NextTxn(buf []Access) []Access {
+	w := st.w
+	switch p := st.r.Intn(100); {
+	case p < 16: // Home: customer greeting + promotional items
+		buf = st.customerRead(buf, st.customer(), false)
+		for i := 0; i < 5; i++ {
+			buf = st.itemRead(buf, st.item())
+		}
+	case p < 21: // New Products: index range scan over one subject
+		start := st.item()
+		buf = w.itemIdx.Walk(buf, start)
+		for i := uint64(0); i < 10; i++ {
+			buf = append(buf, Access{Page: w.item.Page((start + i) / tpcwItemsPerPage)})
+		}
+	case p < 26: // Best Sellers: recent orders join items
+		buf = w.ordersIdx.Walk(buf, st.r.Uint64())
+		for i := 0; i < 20; i++ {
+			buf = st.itemRead(buf, st.item())
+		}
+	case p < 56: // Product Detail: the bread-and-butter interaction
+		key := st.item()
+		buf = st.itemRead(buf, key)
+		buf = append(buf, Access{Page: w.author.Page(key / 4 / tpcwAuthorsPerPage)})
+	case p < 73: // Search Results
+		key := st.item()
+		buf = w.itemIdx.Walk(buf, key)
+		for i := uint64(0); i < 8; i++ {
+			buf = append(buf, Access{Page: w.item.Page((key + i*7) / tpcwItemsPerPage)})
+		}
+	case p < 80: // Shopping Cart: update cart, re-read items
+		buf = st.appendTo(buf, w.cart, w.cartPagesPerWorker, &st.carts)
+		for i := 0; i < 3; i++ {
+			buf = st.itemRead(buf, st.item())
+		}
+	case p < 85: // Buy Request: customer + address + cart read
+		c := st.customer()
+		buf = st.customerRead(buf, c, false)
+		buf = append(buf, Access{Page: w.address.Page(2 * c / tpcwAddressesPerPage)})
+		buf = append(buf, Access{Page: w.cart.Page(st.id*w.cartPagesPerWorker + st.carts%w.cartPagesPerWorker)})
+	case p < 90: // Buy Confirm: the write-heavy order path
+		c := st.customer()
+		buf = st.customerRead(buf, c, true)
+		buf = st.appendTo(buf, w.orders, w.ordersPerWorker, &st.orders)
+		nLines := 1 + st.r.Intn(5)
+		for i := 0; i < nLines; i++ {
+			buf = st.appendTo(buf, w.orderLine, w.linesPerWorker, &st.lines)
+			key := st.item()
+			buf = st.itemRead(buf, key)
+			// Stock decrement on the item row.
+			buf = append(buf, Access{Page: w.item.Page(key / tpcwItemsPerPage), Write: true})
+		}
+		buf = st.appendTo(buf, w.ccXacts, w.ccPerWorker, &st.ccs)
+	default: // Order Inquiry / Display
+		c := st.customer()
+		buf = st.customerRead(buf, c, false)
+		buf = w.ordersIdx.Walk(buf, c)
+		buf = append(buf, Access{Page: w.orders.Page(st.r.Uint64() % w.orders.Pages())})
+		for i := 0; i < 3; i++ {
+			buf = append(buf, Access{Page: w.orderLine.Page(st.r.Uint64() % w.orderLine.Pages())})
+		}
+	}
+	return buf
+}

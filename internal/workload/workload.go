@@ -1,0 +1,188 @@
+// Package workload generates the page-access streams that drive the
+// BP-Wrapper experiments. It provides Go analogues of the three benchmarks
+// the paper uses — DBT-1 (TPC-W-like web bookstore), DBT-2 (TPC-C-like
+// OLTP), and TableScan (concurrent sequential scans) — plus the synthetic
+// distributions (uniform, Zipfian, hotspot, looping-sequential) used by the
+// hit-ratio studies.
+//
+// Generators are deterministic: the same (seed, worker) pair always yields
+// the same stream, so experiments are reproducible and hit-ratio
+// comparisons across policies are exact.
+//
+// We do not have the OSDL DBT kits or a SQL engine; what the experiments
+// need from a workload is its *page reference stream*: which buffer pages a
+// transaction touches, in what order, with what skew, and with what
+// read/write mix. Each generator therefore models its benchmark's schema as
+// tables and B-tree indexes laid out over page ranges and emits the page
+// walks its transactions would perform.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bpwrapper/internal/page"
+)
+
+// Access is one page touch within a transaction.
+type Access struct {
+	Page  page.PageID
+	Write bool
+}
+
+// Workload describes a benchmark: its working set and per-worker streams.
+type Workload interface {
+	// Name returns a short identifier ("tpcw", "tpcc", "tablescan", ...).
+	Name() string
+
+	// Pages returns the hot working set — every page the workload can
+	// touch in steady state, used for pre-warming and pool sizing in the
+	// zero-miss scalability experiments. Generators whose total data
+	// exceeds any sensible buffer (for the I/O-bound experiments) return
+	// only the always-hot core here and report the full span via DataPages.
+	Pages() []page.PageID
+
+	// DataPages returns the total number of distinct pages the workload
+	// can reference (the database size, in pages).
+	DataPages() int
+
+	// NewStream returns worker w's access stream. Streams are independent
+	// and not safe for concurrent use.
+	NewStream(w int, seed int64) Stream
+}
+
+// Stream produces transactions: bounded sequences of page accesses.
+type Stream interface {
+	// NextTxn appends the next transaction's accesses to buf and returns
+	// the extended slice. Implementations reuse buf's capacity; callers
+	// must consume the result before the next call.
+	NextTxn(buf []Access) []Access
+}
+
+// mix derives a per-worker RNG seed from a base seed, decorrelating workers
+// without losing determinism (splitmix64 finalizer).
+func mix(seed int64, w int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(w+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func newRand(seed int64, w int) *rand.Rand {
+	return rand.New(rand.NewSource(mix(seed, w)))
+}
+
+// Table is a contiguous range of data pages belonging to one relation.
+type Table struct {
+	id    uint32
+	pages uint64
+}
+
+// NewTable defines a table with the given relation number and page count.
+func NewTable(id uint32, pages uint64) Table {
+	if pages == 0 {
+		panic("workload: table with zero pages")
+	}
+	return Table{id: id, pages: pages}
+}
+
+// Pages returns the table's size in pages.
+func (t Table) Pages() uint64 { return t.pages }
+
+// Page returns the PageID of the table's block b (modulo the table size,
+// so generators can pass raw keys).
+func (t Table) Page(b uint64) page.PageID {
+	return page.NewPageID(t.id, b%t.pages)
+}
+
+// appendAll appends every page of the table to ids.
+func (t Table) appendAll(ids []page.PageID) []page.PageID {
+	for b := uint64(0); b < t.pages; b++ {
+		ids = append(ids, page.NewPageID(t.id, b))
+	}
+	return ids
+}
+
+// Index models a B-tree over a key space as three page levels: a single
+// (extremely hot) root, a level of internal pages, and a level of leaves.
+// Index pages are what give OLTP buffer traces their sharp skew — the
+// paper's lock-contention results depend on that skew because every
+// transaction hits the same few root pages.
+type Index struct {
+	id     uint32
+	keys   uint64
+	leaves uint64
+	inner  uint64
+}
+
+// NewIndex defines an index with the given relation number over a key
+// space, with roughly keysPerLeaf keys per leaf page and fanout internal
+// fan-in.
+func NewIndex(id uint32, keys, keysPerLeaf uint64, fanout uint64) Index {
+	if keys == 0 || keysPerLeaf == 0 || fanout == 0 {
+		panic("workload: invalid index geometry")
+	}
+	leaves := (keys + keysPerLeaf - 1) / keysPerLeaf
+	inner := (leaves + fanout - 1) / fanout
+	return Index{id: id, keys: keys, leaves: leaves, inner: inner}
+}
+
+// Pages returns the index's total page count (root + internal + leaves).
+func (ix Index) Pages() uint64 { return 1 + ix.inner + ix.leaves }
+
+// Walk appends the root→internal→leaf page path for key to buf (all
+// reads).
+func (ix Index) Walk(buf []Access, key uint64) []Access {
+	leaf := key % ix.keys * ix.leaves / ix.keys
+	inner := leaf * ix.inner / ix.leaves
+	buf = append(buf,
+		Access{Page: page.NewPageID(ix.id, 0)},               // root
+		Access{Page: page.NewPageID(ix.id, 1+inner)},         // internal
+		Access{Page: page.NewPageID(ix.id, 1+ix.inner+leaf)}, // leaf
+	)
+	return buf
+}
+
+// appendAll appends every page of the index to ids.
+func (ix Index) appendAll(ids []page.PageID) []page.PageID {
+	total := ix.Pages()
+	for b := uint64(0); b < total; b++ {
+		ids = append(ids, page.NewPageID(ix.id, b))
+	}
+	return ids
+}
+
+// ByName constructs one of the built-in workloads at its default scale.
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "tpcw", "dbt1":
+		return NewTPCW(TPCWConfig{}), nil
+	case "tpcc", "dbt2":
+		return NewTPCC(TPCCConfig{}), nil
+	case "tablescan", "scan":
+		return NewTableScan(TableScanConfig{}), nil
+	case "zipf":
+		return NewZipf(SyntheticConfig{}), nil
+	case "uniform":
+		return NewUniform(SyntheticConfig{}), nil
+	case "hotspot":
+		return NewHotspot(SyntheticConfig{}), nil
+	case "loop":
+		return NewLoop(SyntheticConfig{}), nil
+	case "ycsb", "ycsb-a":
+		return NewYCSB(YCSBConfig{Mix: 'A'}), nil
+	case "ycsb-b":
+		return NewYCSB(YCSBConfig{Mix: 'B'}), nil
+	case "ycsb-c":
+		return NewYCSB(YCSBConfig{Mix: 'C'}), nil
+	case "ycsb-d":
+		return NewYCSB(YCSBConfig{Mix: 'D'}), nil
+	case "ycsb-e":
+		return NewYCSB(YCSBConfig{Mix: 'E'}), nil
+	case "ycsb-f":
+		return NewYCSB(YCSBConfig{Mix: 'F'}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}

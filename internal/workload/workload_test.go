@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"testing"
+
+	"bpwrapper/internal/page"
+)
+
+// allWorkloads returns one instance of every built-in workload at a small
+// scale suitable for tests.
+func allWorkloads() []Workload {
+	return []Workload{
+		NewTPCW(TPCWConfig{Items: 1000, Customers: 2000, Workers: 8}),
+		NewTPCC(TPCCConfig{Warehouses: 2, Items: 1000, Customers: 300, Workers: 8}),
+		NewTableScan(TableScanConfig{Tables: 4, PagesPerTable: 50}),
+		NewZipf(SyntheticConfig{Pages: 1000}),
+		NewUniform(SyntheticConfig{Pages: 1000}),
+		NewHotspot(SyntheticConfig{Pages: 1000}),
+		NewLoop(SyntheticConfig{Pages: 1000}),
+	}
+}
+
+func collect(w Workload, worker int, seed int64, txns int) []Access {
+	st := w.NewStream(worker, seed)
+	var all []Access
+	buf := make([]Access, 0, 512)
+	for i := 0; i < txns; i++ {
+		buf = st.NextTxn(buf[:0])
+		all = append(all, buf...)
+	}
+	return all
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			a := collect(w, 3, 42, 50)
+			b := collect(w, 3, 42, 50)
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("access %d differs: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWorkersDecorrelated(t *testing.T) {
+	for _, w := range allWorkloads() {
+		if w.Name() == "loop" || w.Name() == "tablescan" {
+			continue // deliberately similar across workers
+		}
+		t.Run(w.Name(), func(t *testing.T) {
+			a := collect(w, 0, 42, 20)
+			b := collect(w, 1, 42, 20)
+			same := 0
+			n := min(len(a), len(b))
+			for i := 0; i < n; i++ {
+				if a[i].Page == b[i].Page {
+					same++
+				}
+			}
+			// Some overlap is expected (hot index roots); identical streams
+			// are not.
+			if same == n {
+				t.Fatal("workers 0 and 1 produce identical streams")
+			}
+		})
+	}
+}
+
+func TestAccessesWithinDeclaredPages(t *testing.T) {
+	for _, w := range allWorkloads() {
+		t.Run(w.Name(), func(t *testing.T) {
+			declared := make(map[page.PageID]bool, w.DataPages())
+			for _, id := range w.Pages() {
+				if declared[id] {
+					t.Fatalf("Pages() lists %v twice", id)
+				}
+				declared[id] = true
+			}
+			if len(declared) != w.DataPages() {
+				t.Fatalf("Pages() has %d entries, DataPages()=%d", len(declared), w.DataPages())
+			}
+			for worker := 0; worker < 4; worker++ {
+				for _, a := range collect(w, worker, 7, 100) {
+					if !declared[a.Page] {
+						t.Fatalf("worker %d accessed undeclared page %v", worker, a.Page)
+					}
+					if !a.Page.Valid() {
+						t.Fatalf("invalid page id emitted")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableScanScansWholeTables(t *testing.T) {
+	w := NewTableScan(TableScanConfig{Tables: 3, PagesPerTable: 40})
+	st := w.NewStream(0, 1)
+	buf := st.NextTxn(nil)
+	if len(buf) != 40 {
+		t.Fatalf("scan length %d, want 40", len(buf))
+	}
+	table := buf[0].Page.Table()
+	for i, a := range buf {
+		if a.Page.Table() != table {
+			t.Fatalf("scan crossed tables at %d", i)
+		}
+		if a.Page.Block() != uint64(i) {
+			t.Fatalf("scan not sequential: block %d at position %d", a.Page.Block(), i)
+		}
+		if a.Write {
+			t.Fatal("scan contains writes")
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	w := NewZipf(SyntheticConfig{Pages: 10000, TxnLen: 100})
+	counts := make(map[page.PageID]int)
+	for _, a := range collect(w, 0, 9, 200) {
+		counts[a.Page]++
+	}
+	// The most popular page should absorb far more than the uniform share.
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	total := 200 * 100
+	if best < total/100 {
+		t.Fatalf("hottest page has %d/%d accesses; Zipf skew missing", best, total)
+	}
+}
+
+func TestHotspotRatio(t *testing.T) {
+	cfg := SyntheticConfig{Pages: 1000, TxnLen: 100, HotFraction: 0.2, HotProbability: 0.8}
+	w := NewHotspot(cfg)
+	hot, total := 0, 0
+	for _, a := range collect(w, 0, 3, 300) {
+		if a.Page.Block() < 200 {
+			hot++
+		}
+		total++
+	}
+	ratio := float64(hot) / float64(total)
+	if ratio < 0.75 || ratio > 0.85 {
+		t.Fatalf("hot ratio %.3f, want ~0.8", ratio)
+	}
+}
+
+func TestLoopIsCyclic(t *testing.T) {
+	w := NewLoop(SyntheticConfig{Pages: 10, TxnLen: 25})
+	accs := collect(w, 0, 1, 2)
+	for i, a := range accs {
+		if a.Page.Block() != uint64(i%10) {
+			t.Fatalf("position %d: block %d, want %d", i, a.Page.Block(), i%10)
+		}
+	}
+}
+
+func TestTPCWHasWritesAndReads(t *testing.T) {
+	w := NewTPCW(TPCWConfig{Items: 1000, Customers: 1000, Workers: 4})
+	reads, writes := 0, 0
+	for _, a := range collect(w, 0, 5, 500) {
+		if a.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("TPC-W stream has no writes")
+	}
+	if reads < writes {
+		t.Fatalf("TPC-W should be read-mostly: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestTPCCWriteHeavierThanTPCW(t *testing.T) {
+	frac := func(w Workload) float64 {
+		writes, total := 0, 0
+		for _, a := range collect(w, 0, 5, 500) {
+			if a.Write {
+				writes++
+			}
+			total++
+		}
+		return float64(writes) / float64(total)
+	}
+	tpcw := frac(NewTPCW(TPCWConfig{Items: 1000, Customers: 1000, Workers: 4}))
+	tpcc := frac(NewTPCC(TPCCConfig{Warehouses: 2, Items: 1000, Customers: 300, Workers: 4}))
+	if tpcc <= tpcw {
+		t.Fatalf("TPC-C write fraction %.3f not above TPC-W's %.3f", tpcc, tpcw)
+	}
+}
+
+func TestTPCCIndexRootIsHot(t *testing.T) {
+	// The defining OLTP property: a few index-root pages absorb a large
+	// share of all accesses. This skew is what makes the replacement
+	// algorithm's lock a hot spot in the first place.
+	w := NewTPCC(TPCCConfig{Warehouses: 2, Items: 1000, Customers: 300, Workers: 4})
+	counts := make(map[page.PageID]int)
+	total := 0
+	for worker := 0; worker < 4; worker++ {
+		for _, a := range collect(w, worker, 7, 200) {
+			counts[a.Page]++
+			total++
+		}
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if best < total/50 {
+		t.Fatalf("hottest page only %d/%d accesses; expected sharp skew", best, total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"tpcw", "dbt1", "tpcc", "dbt2", "tablescan", "scan", "zipf", "uniform", "hotspot", "loop"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if w == nil {
+			t.Fatalf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestIndexWalkShape(t *testing.T) {
+	ix := NewIndex(5, 100000, 200, 200)
+	buf := ix.Walk(nil, 12345)
+	if len(buf) != 3 {
+		t.Fatalf("walk length %d", len(buf))
+	}
+	if buf[0].Page != page.NewPageID(5, 0) {
+		t.Fatalf("walk does not start at the root: %v", buf[0].Page)
+	}
+	for _, a := range buf {
+		if a.Write {
+			t.Fatal("index walk contains writes")
+		}
+		if a.Page.Block() >= ix.Pages() {
+			t.Fatalf("walk page %v outside index", a.Page)
+		}
+	}
+	// Same key, same path; nearby keys share the root.
+	again := ix.Walk(nil, 12345)
+	for i := range buf {
+		if buf[i] != again[i] {
+			t.Fatal("walk not deterministic")
+		}
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := NewTable(9, 10)
+	if tab.Pages() != 10 {
+		t.Fatalf("Pages()=%d", tab.Pages())
+	}
+	if tab.Page(23) != page.NewPageID(9, 3) {
+		t.Fatalf("Page(23)=%v, want wraparound to block 3", tab.Page(23))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-page table accepted")
+		}
+	}()
+	NewTable(1, 0)
+}

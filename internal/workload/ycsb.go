@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bpwrapper/internal/page"
+)
+
+// YCSBConfig scales the YCSB-like workload: the standard cloud-serving
+// benchmark mixes (Cooper et al., SoCC 2010) expressed as page accesses
+// over a primary table and its index. It post-dates the BP-Wrapper paper
+// but has become the lingua franca for cache evaluation, so the library
+// ships it alongside the paper's own workloads.
+type YCSBConfig struct {
+	// Records is the table size in rows. Zero means 100000.
+	Records int
+
+	// Mix selects the standard workload letter: 'A' (50/50 read/update),
+	// 'B' (95/5), 'C' (read-only), 'D' (read-latest, 95/5 with inserts),
+	// 'E' (short range scans, 95/5 scan/insert), 'F' (read-modify-write).
+	// Zero means 'B'.
+	Mix byte
+
+	// OpsPerTxn is the number of operations per transaction. Zero means 10.
+	OpsPerTxn int
+
+	// ZipfS is the request-distribution exponent. Values <= 1 mean 1.1.
+	ZipfS float64
+
+	// Workers bounds streams with private insert regions. Zero means 64.
+	Workers int
+}
+
+func (c YCSBConfig) withDefaults() YCSBConfig {
+	if c.Records <= 0 {
+		c.Records = 100000
+	}
+	switch c.Mix {
+	case 'A', 'B', 'C', 'D', 'E', 'F':
+	case 0:
+		c.Mix = 'B'
+	default:
+		panic("workload: ycsb: Mix must be one of A-F")
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 10
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	return c
+}
+
+// Rows per 8 KB page for the YCSB table (1 KB records).
+const ycsbRowsPerPage = 8
+
+// Relation numbers for the YCSB schema.
+const (
+	ycsbTable uint32 = 1
+	ycsbIdx   uint32 = 2
+)
+
+// YCSB is the YCSB-like workload.
+type YCSB struct {
+	cfg             YCSBConfig
+	table           Table
+	index           Index
+	insertPerWorker uint64
+	insertBase      uint64 // first block of the insert region
+}
+
+// NewYCSB returns the YCSB-like workload at the given scale.
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	cfg = cfg.withDefaults()
+	base := (uint64(cfg.Records) + ycsbRowsPerPage - 1) / ycsbRowsPerPage
+	w := &YCSB{cfg: cfg, insertBase: base, insertPerWorker: 16}
+	total := base
+	if cfg.Mix == 'D' || cfg.Mix == 'E' {
+		total += uint64(cfg.Workers) * w.insertPerWorker
+	}
+	w.table = NewTable(ycsbTable, total)
+	w.index = NewIndex(ycsbIdx, uint64(cfg.Records), 200, 200)
+	return w
+}
+
+// Name implements Workload.
+func (w *YCSB) Name() string { return "ycsb-" + string(w.cfg.Mix) }
+
+// DataPages implements Workload.
+func (w *YCSB) DataPages() int { return int(w.table.Pages() + w.index.Pages()) }
+
+// Pages implements Workload.
+func (w *YCSB) Pages() []page.PageID {
+	ids := make([]page.PageID, 0, w.DataPages())
+	for b := uint64(0); b < w.table.Pages(); b++ {
+		ids = append(ids, page.NewPageID(ycsbTable, b))
+	}
+	total := w.index.Pages()
+	for b := uint64(0); b < total; b++ {
+		ids = append(ids, page.NewPageID(ycsbIdx, b))
+	}
+	return ids
+}
+
+// NewStream implements Workload.
+func (w *YCSB) NewStream(worker int, seed int64) Stream {
+	r := newRand(seed, worker)
+	return &ycsbStream{
+		w:    w,
+		r:    r,
+		zipf: rand.NewZipf(r, w.cfg.ZipfS, 1, uint64(w.cfg.Records-1)),
+		id:   uint64(worker) % uint64(w.cfg.Workers),
+	}
+}
+
+type ycsbStream struct {
+	w       *YCSB
+	r       *rand.Rand
+	zipf    *rand.Zipf
+	id      uint64
+	inserts uint64
+}
+
+// key picks a record following the mix's request distribution.
+func (st *ycsbStream) key() uint64 {
+	if st.w.cfg.Mix == 'D' {
+		// Read-latest: favour the most recently inserted records; model as
+		// the tail of the key space with Zipf-distributed distance.
+		d := st.zipf.Uint64()
+		return uint64(st.w.cfg.Records-1) - d%uint64(st.w.cfg.Records)
+	}
+	return st.zipf.Uint64()
+}
+
+// record emits the index walk plus the data page for key, with the given
+// write intent on the data page.
+func (st *ycsbStream) record(buf []Access, key uint64, write bool) []Access {
+	buf = st.w.index.Walk(buf, key)
+	return append(buf, Access{Page: st.w.table.Page(key / ycsbRowsPerPage), Write: write})
+}
+
+// insert appends a row to the stream's private insert region.
+func (st *ycsbStream) insert(buf []Access) []Access {
+	blk := st.w.insertBase + st.id*st.w.insertPerWorker + st.inserts%st.w.insertPerWorker
+	st.inserts++
+	buf = st.w.index.Walk(buf, st.r.Uint64()%uint64(st.w.cfg.Records))
+	return append(buf, Access{Page: st.w.table.Page(blk), Write: true})
+}
+
+// NextTxn implements Stream.
+func (st *ycsbStream) NextTxn(buf []Access) []Access {
+	cfg := st.w.cfg
+	for op := 0; op < cfg.OpsPerTxn; op++ {
+		p := st.r.Intn(100)
+		switch cfg.Mix {
+		case 'A': // 50% read / 50% update
+			buf = st.record(buf, st.key(), p < 50)
+		case 'B': // 95% read / 5% update
+			buf = st.record(buf, st.key(), p >= 95)
+		case 'C': // read-only
+			buf = st.record(buf, st.key(), false)
+		case 'D': // 95% read-latest / 5% insert
+			if p < 95 {
+				buf = st.record(buf, st.key(), false)
+			} else {
+				buf = st.insert(buf)
+			}
+		case 'E': // 95% short range scan / 5% insert
+			if p < 95 {
+				start := st.key()
+				n := uint64(1 + st.r.Intn(10))
+				buf = st.w.index.Walk(buf, start)
+				for i := uint64(0); i < n; i++ {
+					buf = append(buf, Access{Page: st.w.table.Page((start + i*ycsbRowsPerPage) / ycsbRowsPerPage)})
+				}
+			} else {
+				buf = st.insert(buf)
+			}
+		case 'F': // read-modify-write
+			key := st.key()
+			buf = st.record(buf, key, false)
+			buf = append(buf, Access{Page: st.w.table.Page(key / ycsbRowsPerPage), Write: true})
+		}
+	}
+	return buf
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"bpwrapper/internal/page"
+)
+
+func ycsb(mix byte) *YCSB {
+	return NewYCSB(YCSBConfig{Records: 5000, Mix: mix, Workers: 8})
+}
+
+func TestYCSBMixes(t *testing.T) {
+	writeFrac := map[byte]float64{}
+	for _, mix := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		w := ycsb(mix)
+		if w.Name() != "ycsb-"+string(mix) {
+			t.Fatalf("name %q", w.Name())
+		}
+		declared := make(map[page.PageID]bool)
+		for _, id := range w.Pages() {
+			declared[id] = true
+		}
+		writes, total := 0, 0
+		for worker := 0; worker < 4; worker++ {
+			for _, a := range collect(w, worker, 11, 100) {
+				if !declared[a.Page] {
+					t.Fatalf("mix %c: undeclared page %v", mix, a.Page)
+				}
+				if a.Write {
+					writes++
+				}
+				total++
+			}
+		}
+		writeFrac[mix] = float64(writes) / float64(total)
+	}
+	// The defining ordering of the standard mixes.
+	if writeFrac['C'] != 0 {
+		t.Errorf("workload C write fraction %.3f, want 0", writeFrac['C'])
+	}
+	if !(writeFrac['A'] > writeFrac['B']) {
+		t.Errorf("A (%.3f) not more write-heavy than B (%.3f)", writeFrac['A'], writeFrac['B'])
+	}
+	// Each op is ~4 accesses (3 index reads + 1 data page), so A's 50%%
+	// data-page update rate is ~12.5%% of all accesses.
+	if writeFrac['A'] < 0.08 || writeFrac['A'] > 0.2 {
+		t.Errorf("A write fraction %.3f, want ~0.125 of all accesses", writeFrac['A'])
+	}
+	if writeFrac['F'] < 0.15 {
+		t.Errorf("F write fraction %.3f; read-modify-write should write often", writeFrac['F'])
+	}
+}
+
+func TestYCSBDeterministic(t *testing.T) {
+	for _, mix := range []byte{'A', 'D', 'E'} {
+		a := collect(ycsb(mix), 2, 99, 30)
+		b := collect(ycsb(mix), 2, 99, 30)
+		if len(a) != len(b) {
+			t.Fatalf("mix %c lengths differ", mix)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mix %c access %d differs", mix, i)
+			}
+		}
+	}
+}
+
+func TestYCSBSkew(t *testing.T) {
+	w := ycsb('C')
+	counts := map[page.PageID]int{}
+	total := 0
+	for _, a := range collect(w, 0, 5, 400) {
+		if a.Page.Table() == 1 { // data pages only
+			counts[a.Page]++
+			total++
+		}
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if best < total/200 {
+		t.Fatalf("hottest data page %d/%d; Zipf skew missing", best, total)
+	}
+}
+
+func TestYCSBValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad mix accepted")
+		}
+	}()
+	NewYCSB(YCSBConfig{Mix: 'Z'})
+}
+
+func TestYCSBScanLengths(t *testing.T) {
+	w := ycsb('E')
+	st := w.NewStream(0, 3)
+	buf := st.NextTxn(nil)
+	if len(buf) < 10 {
+		t.Fatalf("workload E txn only %d accesses; scans expected", len(buf))
+	}
+}
