@@ -163,12 +163,17 @@ type PageRef = buffer.PageRef
 // PoolStats is an operational snapshot of a Pool (see Pool.Stats).
 type PoolStats = buffer.Stats
 
-// BackgroundWriter periodically writes dirty pages back to the device;
+// BackgroundWriter periodically writes dirty pages back to the device and
+// drains the pool's dirty quarantine, backing off when the device is down;
 // start one with Pool.StartBackgroundWriter.
 type BackgroundWriter = buffer.BackgroundWriter
 
 // BackgroundWriterConfig tunes a BackgroundWriter.
 type BackgroundWriterConfig = buffer.BackgroundWriterConfig
+
+// BackgroundWriterStats snapshots a BackgroundWriter's activity (rounds,
+// pages written, write failures, backoff rounds).
+type BackgroundWriterStats = buffer.BackgroundWriterStats
 
 // ErrNoUnpinnedBuffers is returned when every candidate victim is pinned.
 var ErrNoUnpinnedBuffers = buffer.ErrNoUnpinnedBuffers
@@ -200,6 +205,63 @@ func NewSimDisk(backing Device, cfg SimDiskConfig) *storage.SimDisk {
 
 // NewNullDevice returns a zero-latency device for fully cached runs.
 func NewNullDevice() *storage.NullDevice { return storage.NewNullDevice() }
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+
+// Error taxonomy of the fault-tolerance stack; classify device failures
+// with errors.Is.
+var (
+	// ErrTransient marks failures worth retrying (a flaky bus, a
+	// momentary controller error).
+	ErrTransient = storage.ErrTransient
+
+	// ErrPermanent marks failures retrying cannot fix (a dead sector).
+	ErrPermanent = storage.ErrPermanent
+
+	// ErrCorruptPage marks a page whose bytes do not match the checksum
+	// recorded at write time (torn write, bit rot).
+	ErrCorruptPage = storage.ErrCorruptPage
+)
+
+// RetryableError reports whether a device error is worth retrying:
+// transient faults and checksum mismatches are, permanent errors are not.
+func RetryableError(err error) bool { return storage.Retryable(err) }
+
+// FaultDevice injects deterministic, seedable storage faults (transient or
+// permanent errors, latency spikes, page corruption) for testing and the
+// bpbench faults experiment.
+type FaultDevice = storage.FaultDevice
+
+// FaultConfig tunes a FaultDevice's probabilistic injection.
+type FaultConfig = storage.FaultConfig
+
+// RetryDevice retries retryable failures with bounded exponential backoff
+// and jitter.
+type RetryDevice = storage.RetryDevice
+
+// RetryConfig tunes a RetryDevice.
+type RetryConfig = storage.RetryConfig
+
+// ChecksumDevice stamps a checksum on every write and verifies it on
+// read, surfacing torn or corrupted pages as ErrCorruptPage.
+type ChecksumDevice = storage.ChecksumDevice
+
+// NewFaultDevice wraps a device with fault injection. Compose the
+// production stack as NewRetryDevice(NewChecksumDevice(device), cfg).
+func NewFaultDevice(backing Device, cfg FaultConfig) *FaultDevice {
+	return storage.NewFaultDevice(backing, cfg)
+}
+
+// NewRetryDevice wraps a device with retry/backoff.
+func NewRetryDevice(backing Device, cfg RetryConfig) *RetryDevice {
+	return storage.NewRetryDevice(backing, cfg)
+}
+
+// NewChecksumDevice wraps a device with end-to-end checksum verification.
+func NewChecksumDevice(backing Device) *ChecksumDevice {
+	return storage.NewChecksumDevice(backing)
+}
 
 // ---------------------------------------------------------------------------
 // Workloads

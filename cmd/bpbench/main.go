@@ -13,7 +13,13 @@
 //	bpbench -exp fig8             # Figure 8: hit ratio & throughput vs buffer size
 //	bpbench -exp ablation-queue   # shared vs private FIFO queues
 //	bpbench -exp ablation-policy  # LIRS/MQ under the wrapper
+//	bpbench -exp faults           # throughput under injected storage faults
 //	bpbench -exp all              # everything above, in order
+//
+// The faults experiment (also reachable as -faults) measures batched vs
+// unbatched wrappers against a degraded device — injected transient
+// errors, latency spikes, and corruption, healed by the retry/checksum
+// stack — and always runs on real goroutines.
 package main
 
 import (
@@ -30,7 +36,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, faults, all")
+		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -39,6 +46,9 @@ func main() {
 		format   = flag.String("format", "table", "output format: table (paper-shaped) or csv")
 	)
 	flag.Parse()
+	if *faults {
+		*exp = "faults"
+	}
 
 	opts := bench.Options{
 		Mode:     bench.Mode(*mode),
@@ -152,6 +162,14 @@ func main() {
 				bench.PrintDistributed(os.Stdout, rows)
 				fmt.Println()
 				bench.PrintPartitionHitRatio(os.Stdout, hrRows)
+			}
+		case "faults":
+			rows, err := bench.FaultTolerance(*procs, opts)
+			check(err)
+			if csvOut {
+				check(bench.CSVFaults(os.Stdout, rows))
+			} else {
+				bench.PrintFaults(os.Stdout, rows)
 			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))

@@ -2,6 +2,7 @@ package bpwrapper_test
 
 import (
 	"fmt"
+	"time"
 
 	"bpwrapper"
 )
@@ -88,4 +89,34 @@ func ExampleNewPolicy() {
 	fmt.Println(len(bpwrapper.PolicyNames()), "algorithms")
 	// Output:
 	// 13 algorithms
+}
+
+// ExampleNewRetryDevice composes the production fault-tolerance stack —
+// retries over checksummed I/O over a (here deliberately flaky) device —
+// and shows a transient write fault being healed and counted.
+func ExampleNewRetryDevice() {
+	flaky := bpwrapper.NewFaultDevice(bpwrapper.NewMemDevice(), bpwrapper.FaultConfig{})
+	dev := bpwrapper.NewRetryDevice(bpwrapper.NewChecksumDevice(flaky), bpwrapper.RetryConfig{
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) {}, // keep the example instant
+	})
+
+	var p bpwrapper.Page
+	p.Stamp(bpwrapper.NewPageID(1, 7))
+
+	flaky.FailNextWrites(2) // two transient faults, then the device recovers
+	if err := dev.WritePage(&p); err != nil {
+		panic(err)
+	}
+
+	var back bpwrapper.Page
+	if err := dev.ReadPage(p.ID, &back); err != nil {
+		panic(err)
+	}
+	st := dev.Stats()
+	fmt.Println("intact:", back.Data == p.Data)
+	fmt.Println("write errors:", st.WriteErrors, "retries:", st.Retries, "corrupt:", st.CorruptPages)
+	// Output:
+	// intact: true
+	// write errors: 2 retries: 2 corrupt: 0
 }

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bpwrapper/internal/storage"
+	"bpwrapper/internal/txn"
+)
+
+// The faults experiment measures how much of BP-Wrapper's batching benefit
+// survives a degraded storage device. The paper evaluates contention on
+// healthy hardware; related work on contention under adverse conditions
+// (lock-holding times inflated by slow I/O) predicts that batching matters
+// *more* when misses stall longer, because the replacement-policy lock is
+// held across fewer, larger critical sections. Each workload runs on an
+// undersized buffer (so the device is actually exercised) with the batched
+// and unbatched wrappers, against a healthy device and against the same
+// device wrapped in deterministic fault injection + checksums + retries.
+
+// FaultRow is one measured (workload, system, device-condition) point.
+type FaultRow struct {
+	Workload string
+	System   string
+	Faulty   bool
+
+	ThroughputTPS float64
+	HitRatio      float64
+
+	// Fault-path observability, from Pool.Stats after the run.
+	Retries           int64
+	ReadErrors        int64
+	WriteErrors       int64
+	CorruptDetected   int64
+	Quarantined       int
+	WriteBackFailures int64
+}
+
+// FaultProfile is the injected degradation used by the faulty half of the
+// experiment. The rates are chosen so that the retry layer (8 attempts)
+// heals essentially every fault: the degradation measured is pure overhead
+// — retry sleeps, latency spikes, redundant write-backs — not failed
+// transactions.
+var FaultProfile = storage.FaultConfig{
+	ReadFailProb:  0.02,
+	WriteFailProb: 0.02,
+	CorruptProb:   0.005,
+	SpikeProb:     0.01,
+	SpikeLatency:  200 * time.Microsecond,
+}
+
+// FaultTolerance measures throughput and hit-ratio degradation under
+// injected storage faults for the batched vs unbatched wrapper. It always
+// runs in real mode (fault latency is wall-clock); the buffer is sized to
+// 1/8 of each workload's data so misses reach the device.
+func FaultTolerance(procs int, o Options) ([]FaultRow, error) {
+	o = o.withDefaults()
+	systems := []System{System2Q, SystemBat}
+	var rows []FaultRow
+	for _, wl := range o.Workloads {
+		frames := wl.DataPages() / 8
+		if frames < 64 {
+			frames = 64
+		}
+		for _, sys := range systems {
+			for _, faulty := range []bool{false, true} {
+				var dev storage.Device = storage.NewMemDevice()
+				if faulty {
+					profile := FaultProfile
+					profile.Seed = o.Seed
+					dev = storage.NewFaultDevice(dev, profile)
+				}
+				dev = storage.NewRetryDevice(storage.NewChecksumDevice(dev), storage.RetryConfig{
+					MaxAttempts: 8,
+					BaseBackoff: 20 * time.Microsecond,
+					MaxBackoff:  time.Millisecond,
+					Seed:        o.Seed,
+				})
+				pool, err := sys.NewPool(frames, dev, 0, 0)
+				if err != nil {
+					return nil, err
+				}
+				cfg := txn.Config{
+					Pool:          pool,
+					Workload:      wl,
+					Workers:       o.WorkersPerProc * procs,
+					Procs:         procs,
+					Seed:          o.Seed,
+					TouchBytes:    true,
+					Duration:      o.Duration,
+					TxnsPerWorker: o.TxnsPerWorker,
+				}
+				if o.TxnsPerWorker > 0 {
+					cfg.Duration = 0
+				}
+				res, err := txn.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("faults %s/%s faulty=%v: %w", wl.Name(), sys.Name, faulty, err)
+				}
+				st := pool.Stats()
+				rows = append(rows, FaultRow{
+					Workload:          wl.Name(),
+					System:            sys.Name,
+					Faulty:            faulty,
+					ThroughputTPS:     res.ThroughputTPS,
+					HitRatio:          res.HitRatio,
+					Retries:           st.Device.Retries,
+					ReadErrors:        st.Device.ReadErrors,
+					WriteErrors:       st.Device.WriteErrors,
+					CorruptDetected:   st.Device.CorruptPages,
+					Quarantined:       st.Quarantined,
+					WriteBackFailures: st.WriteBackFailures,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintFaults renders the experiment: per workload, the healthy and faulty
+// throughput of each system and the retained fraction, plus the fault-path
+// counters observed on the faulty run.
+func PrintFaults(w io.Writer, rows []FaultRow) {
+	fmt.Fprintln(w, "Fault tolerance — throughput under a degraded device (batched vs unbatched)")
+	type pair struct{ healthy, faulty *FaultRow }
+	byKey := map[string]*pair{}
+	var order []string
+	for i := range rows {
+		r := &rows[i]
+		k := r.Workload + "/" + r.System
+		p, ok := byKey[k]
+		if !ok {
+			p = &pair{}
+			byKey[k] = p
+			order = append(order, k)
+		}
+		if r.Faulty {
+			p.faulty = r
+		} else {
+			p.healthy = r
+		}
+	}
+	fmt.Fprintf(w, "%-22s %12s %12s %9s %9s %8s %8s %8s %6s\n",
+		"workload/system", "healthy tps", "faulty tps", "retained", "hit", "retries", "errors", "corrupt", "wbfail")
+	for _, k := range order {
+		p := byKey[k]
+		if p.healthy == nil || p.faulty == nil {
+			continue
+		}
+		retained := 0.0
+		if p.healthy.ThroughputTPS > 0 {
+			retained = p.faulty.ThroughputTPS / p.healthy.ThroughputTPS
+		}
+		fmt.Fprintf(w, "%-22s %12.0f %12.0f %8.1f%% %8.1f%% %8d %8d %8d %6d\n",
+			k, p.healthy.ThroughputTPS, p.faulty.ThroughputTPS, retained*100,
+			p.faulty.HitRatio*100, p.faulty.Retries,
+			p.faulty.ReadErrors+p.faulty.WriteErrors, p.faulty.CorruptDetected,
+			p.faulty.WriteBackFailures)
+	}
+}
+
+// CSVFaults writes the rows as CSV.
+func CSVFaults(w io.Writer, rows []FaultRow) error {
+	header := []string{"workload", "system", "faulty", "tps", "hit_ratio",
+		"retries", "read_errors", "write_errors", "corrupt_pages", "quarantined", "writeback_failures"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.System, fmt.Sprintf("%v", r.Faulty),
+			f(r.ThroughputTPS), f(r.HitRatio), d(r.Retries), d(r.ReadErrors),
+			d(r.WriteErrors), d(r.CorruptDetected), d(int64(r.Quarantined)), d(r.WriteBackFailures)}
+	})
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bpwrapper/internal/workload"
+)
+
+func TestFaultToleranceRowsAndCounters(t *testing.T) {
+	o := Options{
+		TxnsPerWorker: 60,
+		Seed:          7,
+		Workloads: []workload.Workload{
+			workload.NewTPCW(workload.TPCWConfig{Items: 800, Customers: 800, Workers: 64}),
+		},
+	}
+	rows, err := FaultTolerance(2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 workload × 2 systems × {healthy, faulty}.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.ThroughputTPS <= 0 {
+			t.Fatalf("%s/%s faulty=%v: zero throughput", r.Workload, r.System, r.Faulty)
+		}
+		if !r.Faulty && (r.ReadErrors != 0 || r.WriteErrors != 0 || r.CorruptDetected != 0) {
+			t.Fatalf("healthy run reported device errors: %+v", r)
+		}
+		if r.Faulty && r.Retries == 0 {
+			t.Fatalf("faulty run recorded no retries: %+v", r)
+		}
+		if r.Faulty && r.ReadErrors+r.WriteErrors == 0 {
+			t.Fatalf("faulty run recorded no injected errors: %+v", r)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintFaults(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "pgBat") || !strings.Contains(out, "retained") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+	buf.Reset()
+	if err := CSVFaults(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(rows)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(rows)+1)
+	}
+}
+
+func TestFaultProfileIsHealableByRetryStack(t *testing.T) {
+	// The experiment relies on every injected fault being healed within
+	// the retry budget; a profile drifting toward unhealable rates would
+	// turn measured degradation into aborted runs.
+	if FaultProfile.ReadFailProb > 0.2 || FaultProfile.WriteFailProb > 0.2 {
+		t.Fatalf("fault profile too hot for an 8-attempt retry budget: %+v", FaultProfile)
+	}
+	if FaultProfile.SpikeProb > 0 && FaultProfile.SpikeLatency > time.Millisecond {
+		t.Fatalf("spike latency %v would dominate the measurement", FaultProfile.SpikeLatency)
+	}
+}

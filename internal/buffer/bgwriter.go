@@ -10,25 +10,41 @@ import (
 // BackgroundWriter periodically writes dirty, unpinned pages back to the
 // device, the way PostgreSQL's bgwriter does, so that evictions mostly
 // find clean victims and the miss path is not stalled by write-back I/O.
-// The paper's experiments do not exercise it (their buffers are pre-warmed
-// or read-mostly) but any production deployment of the pool wants one.
+// It also drains the pool's dirty quarantine (pages whose eviction
+// write-back failed), making it the retry engine of the fault-tolerance
+// path. When a round makes no progress at all — every write failed — the
+// writer backs off exponentially up to MaxInterval instead of hammering a
+// device that is clearly down; the first successful round resets the
+// cadence.
 type BackgroundWriter struct {
-	pool     *Pool
-	interval time.Duration
-	maxPages int
+	pool        *Pool
+	interval    time.Duration
+	maxInterval time.Duration
+	maxPages    int
 
-	mu      sync.Mutex
-	written int64
-	rounds  int64
+	mu    sync.Mutex
+	stats BackgroundWriterStats
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// BackgroundWriterStats counts the writer's activity.
+type BackgroundWriterStats struct {
+	Rounds        int64 // completed write-back rounds
+	Written       int64 // pages made durable (frames + quarantine)
+	WriteFailures int64 // failed write attempts
+	BackoffRounds int64 // rounds that triggered a backoff (no progress)
 }
 
 // BackgroundWriterConfig tunes a BackgroundWriter.
 type BackgroundWriterConfig struct {
 	// Interval between write-back rounds. Zero means 100ms.
 	Interval time.Duration
+
+	// MaxInterval caps the exponential backoff entered when a round's
+	// writes all fail. Zero means 16×Interval.
+	MaxInterval time.Duration
 
 	// MaxPagesPerRound bounds each round's write burst so the writer
 	// cannot monopolize the device. Zero means 64.
@@ -41,15 +57,19 @@ func (p *Pool) StartBackgroundWriter(cfg BackgroundWriterConfig) *BackgroundWrit
 	if cfg.Interval <= 0 {
 		cfg.Interval = 100 * time.Millisecond
 	}
+	if cfg.MaxInterval <= 0 {
+		cfg.MaxInterval = 16 * cfg.Interval
+	}
 	if cfg.MaxPagesPerRound <= 0 {
 		cfg.MaxPagesPerRound = 64
 	}
 	w := &BackgroundWriter{
-		pool:     p,
-		interval: cfg.Interval,
-		maxPages: cfg.MaxPagesPerRound,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		pool:        p,
+		interval:    cfg.Interval,
+		maxInterval: cfg.MaxInterval,
+		maxPages:    cfg.MaxPagesPerRound,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	go w.run()
 	return w
@@ -57,12 +77,27 @@ func (p *Pool) StartBackgroundWriter(cfg BackgroundWriterConfig) *BackgroundWrit
 
 func (w *BackgroundWriter) run() {
 	defer close(w.done)
-	ticker := time.NewTicker(w.interval)
-	defer ticker.Stop()
+	interval := w.interval
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
 		select {
-		case <-ticker.C:
-			w.round()
+		case <-timer.C:
+			written, failed := w.round()
+			if failed > 0 && written == 0 {
+				// The device refused everything: retrying at full cadence
+				// only adds load to a struggling device. Back off.
+				interval *= 2
+				if interval > w.maxInterval {
+					interval = w.maxInterval
+				}
+				w.mu.Lock()
+				w.stats.BackoffRounds++
+				w.mu.Unlock()
+			} else {
+				interval = w.interval
+			}
+			timer.Reset(interval)
 		case <-w.stop:
 			w.round() // final sweep so Stop leaves the pool clean-ish
 			return
@@ -70,12 +105,12 @@ func (w *BackgroundWriter) run() {
 	}
 }
 
-// round writes back up to maxPages dirty, unpinned frames.
-func (w *BackgroundWriter) round() {
+// round writes back up to maxPages dirty, unpinned frames, then retries
+// the quarantine. It reports pages made durable and failed attempts.
+func (w *BackgroundWriter) round() (written, failed int64) {
 	p := w.pool
-	n := 0
 	for i := range p.frames {
-		if n >= w.maxPages {
+		if written+failed >= int64(w.maxPages) {
 			break
 		}
 		f := &p.frames[i]
@@ -91,19 +126,37 @@ func (w *BackgroundWriter) round() {
 		f.dirty = false
 		f.mu.Unlock()
 		if err := p.device.WritePage(&wb); err != nil {
+			p.writeBackFailures.Add(1)
+			failed++
 			// Restore the dirty flag so the data is not lost; the next
-			// round (or eviction) retries.
+			// round (or eviction) retries. If the frame was recycled while
+			// the write was in flight, park the copy in the quarantine
+			// instead.
 			f.mu.Lock()
-			f.dirty = true
-			f.mu.Unlock()
+			if f.tag.Page == wb.ID {
+				f.dirty = true
+				f.mu.Unlock()
+			} else {
+				f.mu.Unlock()
+				p.quarMu.Lock()
+				if _, ok := p.quarantine[wb.ID]; !ok {
+					p.quarantine[wb.ID] = &wb
+				}
+				p.quarMu.Unlock()
+			}
 			continue
 		}
-		n++
+		written++
 	}
+	qn, qfailed, _ := p.drainQuarantine()
+	written += int64(qn)
+	failed += int64(qfailed)
 	w.mu.Lock()
-	w.rounds++
-	w.written += int64(n)
+	w.stats.Rounds++
+	w.stats.Written += written
+	w.stats.WriteFailures += failed
 	w.mu.Unlock()
+	return written, failed
 }
 
 // Stop terminates the writer after a final write-back round.
@@ -112,11 +165,11 @@ func (w *BackgroundWriter) Stop() {
 	<-w.done
 }
 
-// Stats reports (completed rounds, pages written).
-func (w *BackgroundWriter) Stats() (rounds, written int64) {
+// Stats returns a snapshot of the writer's counters.
+func (w *BackgroundWriter) Stats() BackgroundWriterStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.rounds, w.written
+	return w.stats
 }
 
 // DirtyCount reports the number of dirty frames right now; used by tests

@@ -36,9 +36,9 @@ func TestBackgroundWriterFlushesDirtyPages(t *testing.T) {
 	if d := p.DirtyCount(); d != 0 {
 		t.Fatalf("dirty count %d after background writer", d)
 	}
-	rounds, written := w.Stats()
-	if rounds == 0 || written != 8 {
-		t.Fatalf("rounds=%d written=%d, want >0/8", rounds, written)
+	st := w.Stats()
+	if st.Rounds == 0 || st.Written != 8 {
+		t.Fatalf("rounds=%d written=%d, want >0/8", st.Rounds, st.Written)
 	}
 	for i := uint64(1); i <= 8; i++ {
 		var back page.Page
@@ -130,7 +130,7 @@ func TestBackgroundWriterConcurrentWithTraffic(t *testing.T) {
 	}
 	wg.Wait()
 	w.Stop()
-	if _, written := w.Stats(); written == 0 {
+	if st := w.Stats(); st.Written == 0 {
 		t.Fatal("background writer wrote nothing under write traffic")
 	}
 }

@@ -3,8 +3,8 @@ package buffer
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"testing"
+	"time"
 
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/page"
@@ -12,49 +12,28 @@ import (
 	"bpwrapper/internal/storage"
 )
 
-// flakyDevice injects read failures for selected pages or on a countdown.
-type flakyDevice struct {
-	inner     storage.Device
-	failPage  atomic.Uint64 // PageID whose reads fail (0 = none)
-	failReads atomic.Int64  // fail this many upcoming reads
-}
-
-var errInjected = errors.New("injected device failure")
-
-func (d *flakyDevice) ReadPage(id page.PageID, p *page.Page) error {
-	if uint64(id) == d.failPage.Load() {
-		return errInjected
-	}
-	if d.failReads.Load() > 0 && d.failReads.Add(-1) >= 0 {
-		return errInjected
-	}
-	return d.inner.ReadPage(id, p)
-}
-
-func (d *flakyDevice) WritePage(p *page.Page) error { return d.inner.WritePage(p) }
-func (d *flakyDevice) Stats() storage.DeviceStats   { return d.inner.Stats() }
-
-func flakyPool(frames int) (*Pool, *flakyDevice) {
-	dev := &flakyDevice{inner: storage.NewMemDevice()}
+func flakyPool(frames int) (*Pool, *storage.FaultDevice, *storage.MemDevice) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
 	p := New(Config{
 		Frames:  frames,
 		Policy:  replacer.NewLRU(frames),
 		Wrapper: core.Config{Batching: true, QueueSize: 8, BatchThreshold: 4},
 		Device:  dev,
 	})
-	return p, dev
+	return p, dev, mem
 }
 
 // TestLoadFailureSurfacesAndRecovers checks a failed device read is
 // reported to the caller, leaves the pool consistent, and a subsequent
 // successful read works.
 func TestLoadFailureSurfacesAndRecovers(t *testing.T) {
-	p, dev := flakyPool(4)
+	p, dev, _ := flakyPool(4)
 	s := p.NewSession()
 
-	dev.failPage.Store(uint64(pid(1)))
-	if _, err := p.Get(s, pid(1)); !errors.Is(err, errInjected) {
-		t.Fatalf("err=%v, want injected failure", err)
+	dev.SetFailPage(pid(1))
+	if _, err := p.Get(s, pid(1)); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("err=%v, want injected transient failure", err)
 	}
 	// The failure must not leak a frame or policy residency.
 	p.Wrapper().Locked(func(pol replacer.Policy) {
@@ -62,7 +41,7 @@ func TestLoadFailureSurfacesAndRecovers(t *testing.T) {
 			t.Fatal("failed load left the page resident in the policy")
 		}
 	})
-	dev.failPage.Store(0)
+	dev.SetFailPage(page.InvalidPageID)
 	ref, err := p.Get(s, pid(1))
 	if err != nil {
 		t.Fatalf("pool did not recover: %v", err)
@@ -85,8 +64,8 @@ func TestLoadFailureSurfacesAndRecovers(t *testing.T) {
 // TestLoadFailurePropagatesToWaiters checks single-flight followers get the
 // loader's error rather than hanging.
 func TestLoadFailurePropagatesToWaiters(t *testing.T) {
-	p, dev := flakyPool(4)
-	dev.failPage.Store(uint64(pid(7)))
+	p, dev, _ := flakyPool(4)
+	dev.SetFailPage(pid(7))
 	var wg sync.WaitGroup
 	errs := make([]error, 8)
 	for g := 0; g < 8; g++ {
@@ -99,7 +78,7 @@ func TestLoadFailurePropagatesToWaiters(t *testing.T) {
 	}
 	wg.Wait()
 	for g, err := range errs {
-		if !errors.Is(err, errInjected) {
+		if !errors.Is(err, storage.ErrTransient) {
 			t.Fatalf("goroutine %d: err=%v, want injected failure", g, err)
 		}
 	}
@@ -109,8 +88,8 @@ func TestLoadFailurePropagatesToWaiters(t *testing.T) {
 // device errors during concurrent traffic without leaking frames: after
 // the storm, all frames are reusable.
 func TestIntermittentFailuresUnderLoad(t *testing.T) {
-	p, dev := flakyPool(8)
-	dev.failReads.Store(40) // the next 40 reads fail
+	p, dev, _ := flakyPool(8)
+	dev.FailNextReads(40) // the next 40 reads fail
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
@@ -121,7 +100,7 @@ func TestIntermittentFailuresUnderLoad(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				ref, err := p.Get(s, pid(uint64((g*3+i)%32)))
 				if err != nil {
-					if !errors.Is(err, errInjected) {
+					if !errors.Is(err, storage.ErrTransient) {
 						t.Errorf("unexpected error: %v", err)
 						return
 					}
@@ -142,4 +121,222 @@ func TestIntermittentFailuresUnderLoad(t *testing.T) {
 		ref.Release()
 	}
 	s.Flush()
+}
+
+// dirtyPage writes a recognizable non-default pattern into page id through
+// the pool: the stamp of id+stampShift, which differs from the stamp the
+// device would synthesize for an unwritten page.
+const stampShift = 1 << 20
+
+func dirtyPage(t *testing.T, p *Pool, s *core.Session, id page.PageID) {
+	t.Helper()
+	ref, err := p.GetWrite(s, id)
+	if err != nil {
+		t.Fatalf("GetWrite(%v): %v", id, err)
+	}
+	var want page.Page
+	want.Stamp(id + stampShift)
+	copy(ref.Data(), want.Data[:])
+	ref.MarkDirty()
+	ref.Release()
+}
+
+// TestEvictionWriteBackFailureIsLossless is the acceptance test for the
+// zero-data-loss eviction path: a dirty page whose eviction write-back
+// fails must never be dropped. The write is killed, the page evicted (and
+// quarantined), re-read through the pool (adoption must serve the modified
+// bytes, not the stale device copy), and finally — after the device is
+// restored — proven to reach storage.
+func TestEvictionWriteBackFailureIsLossless(t *testing.T) {
+	p, dev, mem := flakyPool(4)
+	s := p.NewSession()
+
+	dirtyPage(t, p, s, pid(1))
+	dev.SetWriteFailRate(1) // device down for writes
+
+	// Evict page 1 by filling the pool with other pages.
+	for i := uint64(10); i < 20; i++ {
+		ref, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+	st := p.Stats()
+	if st.WriteBackFailures == 0 {
+		t.Fatal("eviction under a dead device recorded no write-back failure")
+	}
+	if st.Quarantined == 0 && st.Dirty == 0 {
+		t.Fatal("failed write-back left the page neither quarantined nor dirty")
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("device recorded %d writes while killed", mem.Len())
+	}
+
+	// Re-reading the page must serve the modified bytes from quarantine,
+	// not the stale device copy.
+	ref, err := p.Get(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got page.Page
+	copy(got.Data[:], ref.Data())
+	ref.Release()
+	if !got.VerifyStamp(pid(1) + stampShift) {
+		t.Fatal("re-read after failed write-back returned stale device data")
+	}
+
+	// Restore the device: the contents must reach storage.
+	dev.SetWriteFailRate(0)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after device restore: %v", err)
+	}
+	var back page.Page
+	if err := mem.ReadPage(pid(1), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.VerifyStamp(pid(1) + stampShift) {
+		t.Fatal("page contents never reached storage after device restore")
+	}
+	if p.QuarantineLen() != 0 {
+		t.Fatalf("%d pages still quarantined after Close", p.QuarantineLen())
+	}
+}
+
+// TestQuarantineBoundRefusesDirtyEvictions checks the quarantine cap: with
+// the device down and the quarantine full, dirty evictions fail (bounded
+// memory) but no data is lost — after the device recovers everything
+// drains to storage.
+func TestQuarantineBoundRefusesDirtyEvictions(t *testing.T) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
+	p := New(Config{
+		Frames:        4,
+		Policy:        replacer.NewLRU(4),
+		Device:        dev,
+		QuarantineCap: 2,
+	})
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+	dev.SetWriteFailRate(1)
+
+	// Each dirtying miss evicts a dirty page; the first two park in the
+	// quarantine, after which dirty evictions are refused and misses fail
+	// with ErrNoUnpinnedBuffers rather than dropping data.
+	var lastErr error
+	for i := uint64(50); i < 60; i++ {
+		ref, err := p.GetWrite(s, pid(i))
+		if err != nil {
+			lastErr = err
+			break
+		}
+		var want page.Page
+		want.Stamp(pid(i) + stampShift)
+		copy(ref.Data(), want.Data[:])
+		ref.MarkDirty()
+		ref.Release()
+	}
+	if !errors.Is(lastErr, ErrNoUnpinnedBuffers) {
+		t.Fatalf("full quarantine + dead device: err=%v, want ErrNoUnpinnedBuffers", lastErr)
+	}
+	if q := p.QuarantineLen(); q > 2 {
+		t.Fatalf("quarantine grew to %d entries past its cap of 2", q)
+	}
+
+	dev.SetWriteFailRate(0)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		var back page.Page
+		if err := mem.ReadPage(pid(i), &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.VerifyStamp(pid(i) + stampShift) {
+			t.Fatalf("page %d lost across the quarantine-full episode", i)
+		}
+	}
+}
+
+// TestFlushDirtyAggregatesErrors checks a failing flush reports every
+// failed page, keeps flushing the rest, and loses nothing.
+func TestFlushDirtyAggregatesErrors(t *testing.T) {
+	p, dev, mem := flakyPool(8)
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+	dev.FailNextWrites(2) // exactly two of the four writes fail
+	n, err := p.FlushDirty()
+	if err == nil {
+		t.Fatal("flush with injected write failures returned nil error")
+	}
+	if !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("aggregated error lost the taxonomy: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("flushed %d pages, want 2 (the other 2 fail)", n)
+	}
+	if d := p.DirtyCount(); d != 2 {
+		t.Fatalf("dirty count %d after partial flush, want 2 restored", d)
+	}
+	// Second flush completes.
+	if _, err := p.FlushDirty(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		var back page.Page
+		mem.ReadPage(pid(i), &back)
+		if !back.VerifyStamp(pid(i) + stampShift) {
+			t.Fatalf("page %d not durable after flushes", i)
+		}
+	}
+}
+
+// TestBackgroundWriterBacksOffWhenDeviceDown checks the bgwriter stops
+// hammering a dead device: rounds slow down exponentially, failures are
+// counted, and recovery drains everything (including the quarantine).
+func TestBackgroundWriterBacksOffWhenDeviceDown(t *testing.T) {
+	p, dev, mem := flakyPool(8)
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+	dev.SetWriteFailRate(1)
+	w := p.StartBackgroundWriter(BackgroundWriterConfig{
+		Interval:    time.Millisecond,
+		MaxInterval: 250 * time.Millisecond,
+	})
+	time.Sleep(120 * time.Millisecond)
+	st := w.Stats()
+	if st.WriteFailures == 0 {
+		t.Fatal("no write failures counted while device down")
+	}
+	if st.BackoffRounds == 0 {
+		t.Fatal("writer never backed off while every write failed")
+	}
+	// With doubling from 1ms the writer reaches long sleeps within a few
+	// rounds; at full cadence 120ms would fit ~120 rounds.
+	if st.Rounds > 40 {
+		t.Fatalf("%d rounds in 120ms: backoff is not slowing the writer", st.Rounds)
+	}
+
+	dev.SetWriteFailRate(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for (p.DirtyCount() > 0 || p.QuarantineLen() > 0) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.Stop()
+	if d, q := p.DirtyCount(), p.QuarantineLen(); d != 0 || q != 0 {
+		t.Fatalf("dirty=%d quarantined=%d after recovery", d, q)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		var back page.Page
+		mem.ReadPage(pid(i), &back)
+		if !back.VerifyStamp(pid(i) + stampShift) {
+			t.Fatalf("page %d lost across the outage", i)
+		}
+	}
 }

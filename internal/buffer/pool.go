@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
@@ -40,6 +42,15 @@ type Config struct {
 
 	// Device is the backing store. Required.
 	Device storage.Device
+
+	// QuarantineCap bounds the dirty-quarantine list that parks pages
+	// whose eviction write-back failed (see reclaim). Zero means 64.
+	// When the quarantine is full, dirty evictions fail instead of
+	// parking more pages, so memory stays bounded and no data is lost
+	// either way. The bound is soft under concurrency: simultaneous
+	// evictions may briefly overshoot it by the number of in-flight
+	// write-backs.
+	QuarantineCap int
 }
 
 // Pool is the buffer-pool manager. All methods are safe for concurrent
@@ -54,6 +65,19 @@ type Pool struct {
 
 	freeMu   sync.Mutex
 	freeList []*Frame
+
+	// quarantine parks copies of dirty pages from the moment their frame
+	// leaves the page table until their write-back is confirmed durable.
+	// Entries linger when the write fails, so an acknowledged write is
+	// never dropped; loads adopt a quarantined copy instead of reading a
+	// stale version from the device (which also closes the window where a
+	// concurrent miss could re-read a page whose write-back is still in
+	// flight).
+	quarMu     sync.Mutex
+	quarantine map[page.PageID]*page.Page
+	quarCap    int
+
+	writeBackFailures atomic.Int64
 
 	counters metrics.AccessCounters
 }
@@ -95,11 +119,16 @@ func New(cfg Config) *Pool {
 	if nb > 1<<16 {
 		nb = 1 << 16
 	}
+	if cfg.QuarantineCap <= 0 {
+		cfg.QuarantineCap = 64
+	}
 	p := &Pool{
-		frames:  make([]Frame, cfg.Frames),
-		buckets: make([]bucket, nb),
-		mask:    uint64(nb - 1),
-		device:  cfg.Device,
+		frames:     make([]Frame, cfg.Frames),
+		buckets:    make([]bucket, nb),
+		mask:       uint64(nb - 1),
+		device:     cfg.Device,
+		quarantine: make(map[page.PageID]*page.Page),
+		quarCap:    cfg.QuarantineCap,
 	}
 	for i := range p.buckets {
 		p.buckets[i].frames = make(map[page.PageID]*Frame)
@@ -242,8 +271,16 @@ func (p *Pool) load(s *core.Session, id page.PageID, writable bool) (ref *PageRe
 		return nil, false, err
 	}
 	// The frame is exclusively ours (pinned once, not in any bucket), so
-	// the device read can fill it without the content lock.
-	if err := p.device.ReadPage(id, &f.data); err != nil {
+	// the device read can fill it without the content lock. A quarantined
+	// copy — a dirty page whose eviction write-back has not been confirmed
+	// durable — takes precedence over the device, which may hold a stale
+	// version; adopting it keeps the frame dirty so it is written back
+	// again later.
+	adopted := false
+	if q := p.quarantineTake(id); q != nil {
+		f.data = *q
+		adopted = true
+	} else if err := p.device.ReadPage(id, &f.data); err != nil {
 		p.abandonFrame(f)
 		finish(err)
 		return nil, false, err
@@ -252,7 +289,7 @@ func (p *Pool) load(s *core.Session, id page.PageID, writable bool) (ref *PageRe
 	f.mu.Lock()
 	f.tag.Page = id
 	f.tag.Gen++
-	f.dirty = false
+	f.dirty = adopted
 	tag = f.tag
 	f.mu.Unlock()
 
@@ -383,6 +420,16 @@ func (p *Pool) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
 // succeeds only if the frame is unpinned, writing back dirty contents and
 // removing the table entry. On success the frame is returned pinned once
 // with an invalid tag.
+//
+// Dirty victims are evicted losslessly: the page copy is parked in the
+// quarantine *before* the table entry disappears, then written back. While
+// the copy is quarantined a concurrent miss for the same page adopts it
+// (see load) instead of re-reading a possibly stale version from the
+// device. If the write-back fails the copy simply stays quarantined —
+// drained later by the background writer, FlushDirty, or Close — so an
+// acknowledged write is never dropped. When the quarantine is already at
+// capacity the eviction is refused up front and the caller churns to
+// another (ideally clean) victim.
 func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
 	b := p.bucketFor(victim)
 	b.mu.RLock()
@@ -398,31 +445,116 @@ func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
 		f.mu.Unlock()
 		return nil, false
 	}
-	f.pins = 1 // claim
 	needWriteback := f.dirty
-	var wb page.Page
+	if needWriteback && p.quarantineFull() {
+		// No room to guarantee durability for another dirty page; leave
+		// this frame untouched and let the caller try a different victim.
+		f.mu.Unlock()
+		return nil, false
+	}
+	f.pins = 1 // claim
+	var wb *page.Page
 	if needWriteback {
-		wb = f.data
+		c := f.data
+		wb = &c
 		f.dirty = false
 	}
 	f.tag.Page = page.InvalidPageID
 	f.mu.Unlock()
+
+	if needWriteback {
+		p.quarantinePut(victim, wb)
+	}
 
 	b.mu.Lock()
 	delete(b.frames, victim)
 	b.mu.Unlock()
 
 	if needWriteback {
-		if err := p.device.WritePage(&wb); err != nil {
-			// The page is already gone from the table; losing the write is
-			// the storage layer's error to surface. Record and continue —
-			// a production system would retry or crash; the simulator
-			// keeps the experiment alive and the error observable.
-			// (MemDevice and SimDisk only fail on invalid ids.)
-			_ = err
+		if err := p.device.WritePage(wb); err != nil {
+			// The copy stays quarantined; the page is safe and the failure
+			// observable via Stats. The frame itself is still reusable.
+			p.writeBackFailures.Add(1)
+		} else {
+			p.quarantineResolve(victim, wb)
 		}
 	}
 	return f, true
+}
+
+// quarantinePut parks a page copy under its id. At most one entry per page
+// can exist: a page is either pool-resident or quarantined, never both, and
+// only the (exclusive) evictor of a page inserts it.
+func (p *Pool) quarantinePut(id page.PageID, copy *page.Page) {
+	p.quarMu.Lock()
+	p.quarantine[id] = copy
+	p.quarMu.Unlock()
+}
+
+// quarantineTake removes and returns the quarantined copy of id, if any.
+// Used by the miss path to adopt the newest acknowledged version.
+func (p *Pool) quarantineTake(id page.PageID) *page.Page {
+	p.quarMu.Lock()
+	q := p.quarantine[id]
+	if q != nil {
+		delete(p.quarantine, id)
+	}
+	p.quarMu.Unlock()
+	return q
+}
+
+// quarantineResolve removes the entry for id if it is still the exact copy
+// the caller parked; a concurrent miss may already have adopted it (and
+// will write the same bytes back again later, which is merely redundant).
+func (p *Pool) quarantineResolve(id page.PageID, copy *page.Page) {
+	p.quarMu.Lock()
+	if p.quarantine[id] == copy {
+		delete(p.quarantine, id)
+	}
+	p.quarMu.Unlock()
+}
+
+func (p *Pool) quarantineFull() bool {
+	p.quarMu.Lock()
+	full := len(p.quarantine) >= p.quarCap
+	p.quarMu.Unlock()
+	return full
+}
+
+// QuarantineLen reports the number of pages currently parked in the
+// dirty quarantine.
+func (p *Pool) QuarantineLen() int {
+	p.quarMu.Lock()
+	n := len(p.quarantine)
+	p.quarMu.Unlock()
+	return n
+}
+
+// drainQuarantine retries the write-back of every quarantined page,
+// returning the number made durable, the number that failed again, and
+// the join of per-page failures. Entries stay mapped while their write is
+// in flight so a concurrent miss can still adopt them; adoption after a
+// successful (redundant) write is harmless because the adopted frame is
+// marked dirty.
+func (p *Pool) drainQuarantine() (written, failed int, err error) {
+	p.quarMu.Lock()
+	snap := make(map[page.PageID]*page.Page, len(p.quarantine))
+	for id, copy := range p.quarantine {
+		snap[id] = copy
+	}
+	p.quarMu.Unlock()
+	var errs []error
+	for id, copy := range snap {
+		if werr := p.device.WritePage(copy); werr != nil {
+			p.writeBackFailures.Add(1)
+			failed++
+			errs = append(errs, fmt.Errorf("quarantined page %v: %w", id, werr))
+			continue
+		}
+		p.quarantineResolve(id, copy)
+		written++
+	}
+	return written, failed, errors.Join(errs...)
 }
 
 // abandonFrame returns a claimed frame to the free list after a failed
@@ -479,9 +611,14 @@ func (p *Pool) Invalidate(id page.PageID) error {
 	return nil
 }
 
-// FlushDirty writes every dirty, unpinned page back to the device and
-// returns the number written. Pinned dirty pages are skipped.
+// FlushDirty writes every dirty, unpinned page back to the device — and
+// retries every quarantined page — returning the number made durable.
+// Pinned dirty pages are skipped. A write failure does not abort the
+// sweep: the page stays dirty (or quarantined), the remaining pages are
+// still flushed, and the failures are returned joined so the caller sees
+// every page that is not yet durable.
 func (p *Pool) FlushDirty() (int, error) {
+	var errs []error
 	n := 0
 	for i := range p.frames {
 		f := &p.frames[i]
@@ -494,11 +631,64 @@ func (p *Pool) FlushDirty() (int, error) {
 		f.dirty = false
 		f.mu.Unlock()
 		if err := p.device.WritePage(&wb); err != nil {
-			return n, err
+			p.writeBackFailures.Add(1)
+			errs = append(errs, fmt.Errorf("page %v: %w", wb.ID, err))
+			// Put the dirty flag back so the data is retried later. If the
+			// frame was recycled in the window where it looked clean, the
+			// copy is parked in the quarantine instead — it must not be
+			// dropped on the floor.
+			f.mu.Lock()
+			if f.tag.Page == wb.ID {
+				f.dirty = true
+				f.mu.Unlock()
+			} else {
+				f.mu.Unlock()
+				// Park only if no newer copy was quarantined meanwhile by a
+				// re-load/re-evict cycle of the same page.
+				p.quarMu.Lock()
+				if _, ok := p.quarantine[wb.ID]; !ok {
+					p.quarantine[wb.ID] = &wb
+				}
+				p.quarMu.Unlock()
+			}
+			continue
 		}
 		n++
 	}
-	return n, nil
+	qn, _, qerr := p.drainQuarantine()
+	n += qn
+	if qerr != nil {
+		errs = append(errs, qerr)
+	}
+	return n, errors.Join(errs...)
+}
+
+// Close flushes the pool for shutdown: dirty and quarantined pages are
+// written back with bounded retries and exponential backoff, so transient
+// device trouble at shutdown does not lose data. It returns an error if
+// pages remain non-durable (still failing, or pinned dirty) after the
+// retry budget. Close does not stop a BackgroundWriter — the caller owns
+// that — and the pool remains usable afterwards.
+func (p *Pool) Close() error {
+	const attempts = 8
+	backoff := time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		_, err := p.FlushDirty()
+		lastErr = err
+		if err == nil && p.QuarantineLen() == 0 {
+			if d := p.DirtyCount(); d > 0 {
+				lastErr = fmt.Errorf("buffer: %d dirty pages still pinned", d)
+			} else {
+				return nil
+			}
+		}
+		if i < attempts-1 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("buffer: close did not reach a clean state: %w", lastErr)
 }
 
 // Prewarm loads the given pages through a throwaway session so that a
@@ -533,8 +723,15 @@ type Stats struct {
 	Hits     int64   // buffer hits since the last reset
 	Misses   int64   // buffer misses since the last reset
 	HitRatio float64 // hits / (hits + misses)
-	Wrapper  core.Stats
-	Device   storage.DeviceStats
+
+	// Quarantined is the number of evicted dirty pages whose write-back
+	// is unconfirmed; WriteBackFailures counts failed write-back attempts
+	// (eviction, flush, and quarantine-drain retries).
+	Quarantined       int
+	WriteBackFailures int64
+
+	Wrapper core.Stats
+	Device  storage.DeviceStats
 }
 
 // Stats returns an operational snapshot. It takes the policy lock briefly
@@ -542,12 +739,14 @@ type Stats struct {
 // intended for monitoring, not hot paths.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Frames:  len(p.frames),
-		Dirty:   p.DirtyCount(),
-		Hits:    p.counters.Hits(),
-		Misses:  p.counters.Misses(),
-		Wrapper: p.wrapper.Stats(),
-		Device:  p.device.Stats(),
+		Frames:            len(p.frames),
+		Dirty:             p.DirtyCount(),
+		Hits:              p.counters.Hits(),
+		Misses:            p.counters.Misses(),
+		Quarantined:       p.QuarantineLen(),
+		WriteBackFailures: p.writeBackFailures.Load(),
+		Wrapper:           p.wrapper.Stats(),
+		Device:            p.device.Stats(),
 	}
 	s.HitRatio = p.counters.HitRatio()
 	p.freeMu.Lock()
