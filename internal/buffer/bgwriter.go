@@ -105,52 +105,30 @@ func (w *BackgroundWriter) run() {
 	}
 }
 
-// round writes back up to maxPages dirty, unpinned frames, then retries
-// the quarantine. It reports pages made durable and failed attempts.
+// round retries the quarantine, then writes back up to maxPages dirty,
+// unpinned frames through Pool.flushFrame (park in quarantine, clear the
+// dirty bit, write, resolve — so no frame ever looks clean while its
+// write-back is still in flight). Draining first frees quarantine
+// capacity for the frame sweep's transient parking. It reports pages made
+// durable and failed attempts.
 func (w *BackgroundWriter) round() (written, failed int64) {
 	p := w.pool
+	qn, qfailed, _ := p.drainQuarantine()
+	written += int64(qn)
+	failed += int64(qfailed)
 	for i := range p.frames {
 		if written+failed >= int64(w.maxPages) {
 			break
 		}
-		f := &p.frames[i]
-		f.mu.Lock()
-		if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
-			f.mu.Unlock()
-			continue
-		}
-		// Snapshot under the frame lock; writing a consistent image is
-		// enough (the page stays dirty-tracked if modified again later —
-		// we clear the flag first, so a concurrent writer re-dirties it).
-		wb := f.data
-		f.dirty = false
-		f.mu.Unlock()
-		if err := p.device.WritePage(&wb); err != nil {
-			p.writeBackFailures.Add(1)
+		wrote, err := p.flushFrame(&p.frames[i])
+		if err != nil {
 			failed++
-			// Restore the dirty flag so the data is not lost; the next
-			// round (or eviction) retries. If the frame was recycled while
-			// the write was in flight, park the copy in the quarantine
-			// instead.
-			f.mu.Lock()
-			if f.tag.Page == wb.ID {
-				f.dirty = true
-				f.mu.Unlock()
-			} else {
-				f.mu.Unlock()
-				p.quarMu.Lock()
-				if _, ok := p.quarantine[wb.ID]; !ok {
-					p.quarantine[wb.ID] = &wb
-				}
-				p.quarMu.Unlock()
-			}
 			continue
 		}
-		written++
+		if wrote {
+			written++
+		}
 	}
-	qn, qfailed, _ := p.drainQuarantine()
-	written += int64(qn)
-	failed += int64(qfailed)
 	w.mu.Lock()
 	w.stats.Rounds++
 	w.stats.Written += written

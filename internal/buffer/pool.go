@@ -44,8 +44,9 @@ type Config struct {
 	Device storage.Device
 
 	// QuarantineCap bounds the dirty-quarantine list that parks pages
-	// whose eviction write-back failed (see reclaim). Zero means 64.
-	// When the quarantine is full, dirty evictions fail instead of
+	// across their write-back window (eviction in reclaim, flushes in
+	// flushFrame). Zero means 64. When the quarantine is full, dirty
+	// evictions fail and flush rounds leave frames dirty instead of
 	// parking more pages, so memory stays bounded and no data is lost
 	// either way. The bound is soft under concurrency: simultaneous
 	// evictions may briefly overshoot it by the number of in-flight
@@ -66,21 +67,33 @@ type Pool struct {
 	freeMu   sync.Mutex
 	freeList []*Frame
 
-	// quarantine parks copies of dirty pages from the moment their frame
-	// leaves the page table until their write-back is confirmed durable.
-	// Entries linger when the write fails, so an acknowledged write is
-	// never dropped; loads adopt a quarantined copy instead of reading a
-	// stale version from the device (which also closes the window where a
+	// quarantine parks copies of dirty pages from the moment their dirty
+	// bit is cleared until their write-back is confirmed durable: eviction
+	// parks before the frame leaves the page table, and flush paths park
+	// before clearing the dirty bit of a still-resident frame. Entries
+	// linger when the write fails, so an acknowledged write is never
+	// dropped; loads adopt a quarantined copy instead of reading a stale
+	// version from the device (which also closes the window where a
 	// concurrent miss could re-read a page whose write-back is still in
 	// flight).
 	quarMu     sync.Mutex
 	quarantine map[page.PageID]*page.Page
 	quarCap    int
 
+	// wbLocks serializes device write-backs per page (striped by page id,
+	// held across the WritePage call in writeQuarantined). Without it, a
+	// slow in-flight write of an old copy could land *after* a newer copy
+	// of the same page was written and resolved, silently reverting the
+	// device.
+	wbLocks [wbStripes]sync.Mutex
+
 	writeBackFailures atomic.Int64
 
 	counters metrics.AccessCounters
 }
+
+// wbStripes is the number of per-page write-back serialization stripes.
+const wbStripes = 64
 
 // bucket is one hash-table partition: a small map guarded by its own
 // RWMutex, plus the in-flight load registry used to single-flight misses.
@@ -164,6 +177,15 @@ func (p *Pool) bucketFor(id page.PageID) *bucket {
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	return &p.buckets[h&p.mask]
+}
+
+// wbLock returns the write-back serialization stripe for a page id.
+func (p *Pool) wbLock(id page.PageID) *sync.Mutex {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &p.wbLocks[h%wbStripes]
 }
 
 // validTag is installed as the wrapper's commit-time validator: a queued
@@ -471,20 +493,47 @@ func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
 	b.mu.Unlock()
 
 	if needWriteback {
-		if err := p.device.WritePage(wb); err != nil {
+		if _, err := p.writeQuarantined(victim, wb); err != nil {
 			// The copy stays quarantined; the page is safe and the failure
 			// observable via Stats. The frame itself is still reusable.
 			p.writeBackFailures.Add(1)
-		} else {
-			p.quarantineResolve(victim, wb)
 		}
 	}
 	return f, true
 }
 
+// writeQuarantined makes the quarantined copy of id durable and resolves
+// its entry. All quarantine-backed writes go through here: the per-page
+// stripe lock is held across the device call so write-backs of the same
+// page are serialized — an old copy's slow write finishes before a newer
+// copy's write starts, and can therefore never land after (and silently
+// revert) it. Under the stripe lock the entry is re-validated first: a
+// copy that was adopted by a miss, superseded by a newer eviction, or
+// purged by Invalidate is skipped rather than written, returning
+// (false, nil). On write failure the entry stays quarantined.
+func (p *Pool) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, err error) {
+	l := p.wbLock(id)
+	l.Lock()
+	defer l.Unlock()
+	p.quarMu.Lock()
+	cur := p.quarantine[id]
+	p.quarMu.Unlock()
+	if cur != copy {
+		return false, nil
+	}
+	if err := p.device.WritePage(copy); err != nil {
+		return false, err
+	}
+	p.quarantineResolve(id, copy)
+	return true, nil
+}
+
 // quarantinePut parks a page copy under its id. At most one entry per page
-// can exist: a page is either pool-resident or quarantined, never both, and
-// only the (exclusive) evictor of a page inserts it.
+// can exist. In steady state a page is either pool-resident or
+// quarantined, never both; the one sanctioned overlap is a flush of a
+// still-resident frame (flushFrame), which parks the copy *before*
+// clearing the dirty bit — while that entry exists it is byte-identical
+// to the frame, so an eviction in the write window stays lossless.
 func (p *Pool) quarantinePut(id page.PageID, copy *page.Page) {
 	p.quarMu.Lock()
 	p.quarantine[id] = copy
@@ -533,9 +582,11 @@ func (p *Pool) QuarantineLen() int {
 // drainQuarantine retries the write-back of every quarantined page,
 // returning the number made durable, the number that failed again, and
 // the join of per-page failures. Entries stay mapped while their write is
-// in flight so a concurrent miss can still adopt them; adoption after a
-// successful (redundant) write is harmless because the adopted frame is
-// marked dirty.
+// in flight so a concurrent miss can still adopt them; a snapshot entry
+// that was adopted or superseded before its write starts is skipped by
+// writeQuarantined (counted neither written nor failed), and per-page
+// serialization there guarantees a stale snapshot write can never land
+// after a newer successful write of the same page.
 func (p *Pool) drainQuarantine() (written, failed int, err error) {
 	p.quarMu.Lock()
 	snap := make(map[page.PageID]*page.Page, len(p.quarantine))
@@ -545,14 +596,16 @@ func (p *Pool) drainQuarantine() (written, failed int, err error) {
 	p.quarMu.Unlock()
 	var errs []error
 	for id, copy := range snap {
-		if werr := p.device.WritePage(copy); werr != nil {
+		wrote, werr := p.writeQuarantined(id, copy)
+		if werr != nil {
 			p.writeBackFailures.Add(1)
 			failed++
 			errs = append(errs, fmt.Errorf("quarantined page %v: %w", id, werr))
 			continue
 		}
-		p.quarantineResolve(id, copy)
-		written++
+		if wrote {
+			written++
+		}
 	}
 	return written, failed, errors.Join(errs...)
 }
@@ -570,20 +623,36 @@ func (p *Pool) abandonFrame(f *Frame) {
 	p.freeMu.Unlock()
 }
 
+// purgeQuarantine discards any quarantined copy of id. Taking the
+// write-back stripe first waits out an in-flight write of the page and
+// makes later snapshot writes skip (their entry is gone), so discarded
+// bytes cannot be resurrected onto the device after the purge.
+func (p *Pool) purgeQuarantine(id page.PageID) {
+	l := p.wbLock(id)
+	l.Lock()
+	p.quarMu.Lock()
+	delete(p.quarantine, id)
+	p.quarMu.Unlock()
+	l.Unlock()
+}
+
 // Invalidate drops page id from the pool (e.g. its table was truncated),
-// discarding dirty contents. It fails with ErrNoUnpinnedBuffers if the page
-// is pinned.
+// discarding dirty contents — including any quarantined copy from an
+// earlier failed write-back, which must not be drained back to the device
+// later. It fails with ErrNoUnpinnedBuffers if the page is pinned.
 func (p *Pool) Invalidate(id page.PageID) error {
 	b := p.bucketFor(id)
 	b.mu.RLock()
 	f := b.frames[id]
 	b.mu.RUnlock()
 	if f == nil {
+		p.purgeQuarantine(id)
 		return nil
 	}
 	f.mu.Lock()
 	if f.tag.Page != id {
 		f.mu.Unlock()
+		p.purgeQuarantine(id)
 		return nil
 	}
 	if f.pins > 0 {
@@ -599,6 +668,8 @@ func (p *Pool) Invalidate(id page.PageID) error {
 	delete(b.frames, id)
 	b.mu.Unlock()
 
+	p.purgeQuarantine(id)
+
 	p.wrapper.Locked(func(pol replacer.Policy) {
 		pol.Remove(id)
 	})
@@ -611,54 +682,88 @@ func (p *Pool) Invalidate(id page.PageID) error {
 	return nil
 }
 
+// flushFrame writes one dirty, unpinned frame back to the device in the
+// same order reclaim uses: park a copy in the quarantine first, then clear
+// the dirty bit, then write, and resolve the entry only once the write is
+// durable. Parking before the bit clears closes the window where the
+// frame looks clean while its write is still in flight — an eviction in
+// that window would otherwise drop the page with no write-back and no
+// quarantine entry, and a subsequent miss would re-read a stale version
+// from the device. It returns (false, nil) when the frame needs no flush,
+// the quarantine is at capacity (the frame stays dirty for a later
+// round), or the parked copy was adopted/superseded before the write.
+func (p *Pool) flushFrame(f *Frame) (bool, error) {
+	f.mu.Lock()
+	if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
+		f.mu.Unlock()
+		return false, nil
+	}
+	id := f.tag.Page
+	wb := f.data
+	p.quarMu.Lock()
+	if len(p.quarantine) >= p.quarCap {
+		// No room to guarantee durability across the write window; keep
+		// the frame dirty and let a later round (with the quarantine
+		// drained) retry, so the cap bounds every insertion path.
+		p.quarMu.Unlock()
+		f.mu.Unlock()
+		return false, nil
+	}
+	p.quarantine[id] = &wb
+	p.quarMu.Unlock()
+	f.dirty = false
+	f.mu.Unlock()
+
+	wrote, err := p.writeQuarantined(id, &wb)
+	if err == nil {
+		return wrote, nil
+	}
+	p.writeBackFailures.Add(1)
+	f.mu.Lock()
+	if f.tag.Page == id {
+		// Frame still resident: retry from the frame. Withdraw our parked
+		// copy (unless superseded) to restore the resident-xor-quarantined
+		// steady state; holding f.mu here makes the withdrawal atomic with
+		// respect to eviction, which cannot proceed until we release it.
+		p.quarMu.Lock()
+		if p.quarantine[id] == &wb {
+			delete(p.quarantine, id)
+		}
+		p.quarMu.Unlock()
+		f.dirty = true
+		f.mu.Unlock()
+	} else {
+		// Frame recycled while the write was in flight: the copy either
+		// still sits in the quarantine (drained later) or was adopted by a
+		// re-load into a dirty frame. Either way the bytes are safe.
+		f.mu.Unlock()
+	}
+	return false, fmt.Errorf("page %v: %w", id, err)
+}
+
 // FlushDirty writes every dirty, unpinned page back to the device — and
 // retries every quarantined page — returning the number made durable.
 // Pinned dirty pages are skipped. A write failure does not abort the
 // sweep: the page stays dirty (or quarantined), the remaining pages are
 // still flushed, and the failures are returned joined so the caller sees
-// every page that is not yet durable.
+// every page that is not yet durable. The quarantine is drained first so
+// the frame sweep's transient parking has capacity to work with.
 func (p *Pool) FlushDirty() (int, error) {
 	var errs []error
-	n := 0
-	for i := range p.frames {
-		f := &p.frames[i]
-		f.mu.Lock()
-		if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
-			f.mu.Unlock()
-			continue
-		}
-		wb := f.data
-		f.dirty = false
-		f.mu.Unlock()
-		if err := p.device.WritePage(&wb); err != nil {
-			p.writeBackFailures.Add(1)
-			errs = append(errs, fmt.Errorf("page %v: %w", wb.ID, err))
-			// Put the dirty flag back so the data is retried later. If the
-			// frame was recycled in the window where it looked clean, the
-			// copy is parked in the quarantine instead — it must not be
-			// dropped on the floor.
-			f.mu.Lock()
-			if f.tag.Page == wb.ID {
-				f.dirty = true
-				f.mu.Unlock()
-			} else {
-				f.mu.Unlock()
-				// Park only if no newer copy was quarantined meanwhile by a
-				// re-load/re-evict cycle of the same page.
-				p.quarMu.Lock()
-				if _, ok := p.quarantine[wb.ID]; !ok {
-					p.quarantine[wb.ID] = &wb
-				}
-				p.quarMu.Unlock()
-			}
-			continue
-		}
-		n++
-	}
 	qn, _, qerr := p.drainQuarantine()
-	n += qn
+	n := qn
 	if qerr != nil {
 		errs = append(errs, qerr)
+	}
+	for i := range p.frames {
+		wrote, err := p.flushFrame(&p.frames[i])
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if wrote {
+			n++
+		}
 	}
 	return n, errors.Join(errs...)
 }
