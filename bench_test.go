@@ -421,3 +421,27 @@ func BenchmarkAblationAdaptiveThreshold(b *testing.B) {
 		b.ReportMetric(r.ContentionPerM, "contM_"+r.Config)
 	}
 }
+
+// BenchmarkCombine regenerates the E12 commit-path comparison envelope:
+// baseline vs batched vs flat-combined at 16 processors (the full
+// processor sweep and the committed baseline live in cmd/bpbench and
+// results/BENCH_combine.json).
+func BenchmarkCombine(b *testing.B) {
+	var last []bench.CombineRow
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CombineExperiment([]int{16}, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		b.ReportMetric(r.ThroughputTPS, "tps_"+r.System)
+	}
+	for _, r := range last {
+		if r.System == "pgBatFC" {
+			b.ReportMetric(float64(r.HandoffSaved), "handoffs")
+			b.ReportMetric(float64(r.CombinedBatches), "combined")
+		}
+	}
+}

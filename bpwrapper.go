@@ -25,6 +25,13 @@
 //     critical section will touch is read lock-free, so the processor cache
 //     is warm while the lock is held.
 //
+// Beyond the paper, WrapperConfig.FlatCombining replaces the
+// TryLock-or-block commit protocol with flat combining: at the batch
+// threshold a session publishes its batch in a per-session padded slot and
+// tries the lock once — the winner applies every session's published batch;
+// losers swap to a spare buffer and keep recording without ever blocking.
+// See examples/flatcombine and the bpbench combine experiment.
+//
 // # Quick start
 //
 //	policy, _ := bpwrapper.NewPolicy("2q", 1024)

@@ -13,8 +13,12 @@
 //	bpbench -exp fig8             # Figure 8: hit ratio & throughput vs buffer size
 //	bpbench -exp ablation-queue   # shared vs private FIFO queues
 //	bpbench -exp ablation-policy  # LIRS/MQ under the wrapper
+//	bpbench -exp combine          # baseline vs batched vs flat-combined commits
 //	bpbench -exp faults           # throughput under injected storage faults
 //	bpbench -exp all              # everything above, in order
+//
+// The combine experiment additionally accepts -format json, the shape
+// committed as results/BENCH_combine.json (see scripts/bench_combine.sh).
 //
 // The faults experiment (also reachable as -faults) measures batched vs
 // unbatched wrappers against a degraded device — injected transient
@@ -36,14 +40,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, faults, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, faults, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		wlNames  = flag.String("workloads", "tpcw,tpcc,tablescan", "comma-separated workloads")
 		procs    = flag.Int("procs", 16, "processor count for single-point experiments (fig2, tab2, tab3, ablations)")
-		format   = flag.String("format", "table", "output format: table (paper-shaped) or csv")
+		format   = flag.String("format", "table", "output format: table (paper-shaped), csv, or json (combine only)")
 	)
 	flag.Parse()
 	if *faults {
@@ -64,6 +68,7 @@ func main() {
 	}
 
 	csvOut := *format == "csv"
+	jsonOut := *format == "json"
 	run := func(name string) {
 		start := time.Now()
 		switch name {
@@ -163,6 +168,17 @@ func main() {
 				fmt.Println()
 				bench.PrintPartitionHitRatio(os.Stdout, hrRows)
 			}
+		case "combine":
+			rows, err := bench.CombineExperiment(nil, opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONCombine(os.Stdout, opts, rows))
+			case csvOut:
+				check(bench.CSVCombine(os.Stdout, rows))
+			default:
+				bench.PrintCombine(os.Stdout, rows)
+			}
 		case "faults":
 			rows, err := bench.FaultTolerance(*procs, opts)
 			check(err)
@@ -174,13 +190,13 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
-		if !csvOut {
+		if !csvOut && !jsonOut {
 			fmt.Printf("\n(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig2", "fig6", "fig7", "tab2", "tab3", "fig8", "ablation-queue", "ablation-policy", "distributed", "adaptive"} {
+		for _, name := range []string{"fig2", "fig6", "fig7", "tab2", "tab3", "fig8", "ablation-queue", "ablation-policy", "distributed", "adaptive", "combine"} {
 			run(name)
 		}
 		return

@@ -131,6 +131,7 @@ func runPointSim(sys System, wl workload.Workload, procs, queueSize, threshold, 
 		Policy:         sys.Policy,
 		Batching:       sys.Batching,
 		Prefetching:    sys.Prefetching,
+		FlatCombining:  sys.FlatCombining,
 		QueueSize:      queueSize,
 		BatchThreshold: threshold,
 		Workload:       wl,

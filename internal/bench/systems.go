@@ -29,6 +29,11 @@ type System struct {
 	// Batching and Prefetching select the BP-Wrapper techniques.
 	Batching    bool
 	Prefetching bool
+
+	// FlatCombining selects the flat-combining commit path, the
+	// beyond-the-paper extension measured by the combine experiment. Not
+	// part of Table I.
+	FlatCombining bool
 }
 
 // The five systems of Table I.
@@ -50,6 +55,11 @@ var (
 
 	// SystemBatPre enables both techniques: the full BP-Wrapper.
 	SystemBatPre = System{Name: "pgBatPre", Policy: "2q", Batching: true, Prefetching: true}
+
+	// SystemFC is pgBat with the flat-combining commit path — the
+	// beyond-the-paper configuration of the combine experiment. It is not
+	// in Systems(): Table I has exactly the paper's five rows.
+	SystemFC = System{Name: "pgBatFC", Policy: "2q", Batching: true, FlatCombining: true}
 )
 
 // Systems returns the five configurations in the paper's order.
@@ -82,6 +92,7 @@ func (s System) WrapperConfig(queueSize, batchThreshold int) core.Config {
 	return core.Config{
 		Batching:       s.Batching,
 		Prefetching:    s.Prefetching,
+		FlatCombining:  s.FlatCombining,
 		QueueSize:      queueSize,
 		BatchThreshold: batchThreshold,
 	}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+)
+
+// White-box tests for the adaptive-threshold state machine: exact step
+// sizes, the [QueueSize/8, 3·QueueSize/4] clamp band, the 8-run trial
+// counter behind adaptUp, and the paths that must NOT adapt (Flush).
+
+func adaptiveSession(queueSize, threshold int) *Session {
+	w := New(replacer.NewLRU(64), Config{
+		Batching: true, AdaptiveThreshold: true,
+		QueueSize: queueSize, BatchThreshold: threshold,
+	})
+	return w.NewSession()
+}
+
+func TestAdaptDownStepAndFloor(t *testing.T) {
+	s := adaptiveSession(32, 16)
+	// Each forced commit steps down by QueueSize/8 = 4.
+	for i, want := range []int{12, 8, 4, 4, 4} {
+		s.adaptDown()
+		if got := s.Threshold(); got != want {
+			t.Fatalf("after %d adaptDown calls: threshold=%d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestAdaptUpNeedsEightTrialRuns(t *testing.T) {
+	s := adaptiveSession(32, 8)
+	for i := 0; i < 7; i++ {
+		s.adaptUp()
+		if got := s.Threshold(); got != 8 {
+			t.Fatalf("threshold moved to %d after only %d trial runs", got, i+1)
+		}
+	}
+	s.adaptUp() // 8th consecutive first-attempt success
+	if got := s.Threshold(); got != 9 {
+		t.Fatalf("threshold=%d after 8 trial runs, want 9", got)
+	}
+	// The counter must reset: another single success is not enough.
+	s.adaptUp()
+	if got := s.Threshold(); got != 9 {
+		t.Fatalf("threshold=%d: trial counter did not reset after a bump", got)
+	}
+}
+
+func TestAdaptUpCeiling(t *testing.T) {
+	s := adaptiveSession(32, 8)
+	for i := 0; i < 8*40; i++ { // far more than needed to reach the ceiling
+		s.adaptUp()
+	}
+	if got, want := s.Threshold(), 3*32/4; got != want {
+		t.Fatalf("threshold=%d, want ceiling %d", got, want)
+	}
+}
+
+func TestAdaptDownResetsTrialRuns(t *testing.T) {
+	s := adaptiveSession(32, 16)
+	for i := 0; i < 7; i++ {
+		s.adaptUp()
+	}
+	s.adaptDown() // a forced commit interrupts the run
+	if got := s.Threshold(); got != 12 {
+		t.Fatalf("threshold=%d after adaptDown, want 12", got)
+	}
+	s.adaptUp() // would be the 8th without the reset
+	if got := s.Threshold(); got != 12 {
+		t.Fatalf("threshold=%d: trial run survived a forced commit", got)
+	}
+}
+
+func TestAdaptTinyQueueClampsToOne(t *testing.T) {
+	s := adaptiveSession(4, 2) // floor QueueSize/8 = 0 → clamps to 1
+	for i := 0; i < 10; i++ {
+		s.adaptDown()
+	}
+	if got := s.Threshold(); got != 1 {
+		t.Fatalf("threshold=%d on a tiny queue, want floor 1", got)
+	}
+}
+
+func TestAdaptNoopWhenDisabled(t *testing.T) {
+	w := New(replacer.NewLRU(64), Config{Batching: true, QueueSize: 32, BatchThreshold: 16})
+	s := w.NewSession()
+	s.adaptDown()
+	s.adaptUp()
+	if got := s.Threshold(); got != 16 {
+		t.Fatalf("threshold=%d moved with AdaptiveThreshold disabled", got)
+	}
+}
+
+// TestFlushDoesNotAdapt: Flush is a voluntary drain, not a contention
+// signal — it must neither lower the threshold nor count as (or disturb) a
+// first-attempt TryLock success run.
+func TestFlushDoesNotAdapt(t *testing.T) {
+	s := adaptiveSession(32, 16)
+	for i := 0; i < 7; i++ {
+		s.adaptUp() // mid-run: one success short of a bump
+	}
+	s.queue = append(s.queue, Entry{ID: pid(1)}) // something to flush
+	s.w.policy.Admit(pid(1))
+	s.Flush()
+	if got := s.Threshold(); got != 16 {
+		t.Fatalf("threshold=%d after Flush, want 16 (unchanged)", got)
+	}
+	if s.trialRuns != 7 {
+		t.Fatalf("trialRuns=%d after Flush, want 7 (undisturbed)", s.trialRuns)
+	}
+	s.adaptUp() // completing the run must still bump
+	if got := s.Threshold(); got != 17 {
+		t.Fatalf("threshold=%d, want 17", got)
+	}
+}
+
+// TestAdaptiveWithFlatCombining: the flat-combining commit path feeds the
+// same state machine — first-attempt publish+TryLock successes count as
+// trial runs, and the bounded-memory fall-back steps the threshold down.
+func TestAdaptiveWithFlatCombining(t *testing.T) {
+	w := New(replacer.NewLRU(64), Config{
+		Batching: true, FlatCombining: true, AdaptiveThreshold: true,
+		QueueSize: 32, BatchThreshold: 8,
+	})
+	s := w.NewSession()
+	s.Miss(pid(1), page.BufferTag{})
+
+	// Uncontended: every threshold crossing publishes and wins the lock on
+	// the first try; after 8 such commits the threshold moves up.
+	for round := 0; round < 8; round++ {
+		thr := s.Threshold() // snapshot: the 8th commit bumps it mid-round
+		for i := 0; i < thr; i++ {
+			s.Hit(pid(1), page.BufferTag{Page: pid(1)})
+		}
+	}
+	if got := s.Threshold(); got != 9 {
+		t.Fatalf("threshold=%d after 8 uncontended FC commits, want 9", got)
+	}
+
+	// Contended until both buffers fill: the forced fall-back must adapt
+	// down from wherever the threshold sits.
+	release := holdLock(w)
+	for i := 0; i < 9+32-1; i++ { // publish 9, then fill the 32-entry queue
+		s.Hit(pid(1), page.BufferTag{Page: pid(1)})
+	}
+	release()
+	s.Hit(pid(1), page.BufferTag{Page: pid(1)}) // queue full → forced commit
+	if got, want := s.Threshold(), 9-32/8; got != want {
+		t.Fatalf("threshold=%d after FC forced commit, want %d", got, want)
+	}
+	if st := w.Stats(); st.ForcedLocks != 1 {
+		t.Fatalf("forcedLocks=%d, want 1", st.ForcedLocks)
+	}
+}

@@ -1,0 +1,222 @@
+// Flat-combining commit path (Config.FlatCombining).
+//
+// The paper's batching protocol leaves a session at the batch threshold
+// with only two options when the lock is busy: keep accumulating (and
+// eventually block when the queue fills) or block now. Flat combining
+// (Hendler, Incze, Shavit & Tzafrir, SPAA 2010; see PAPERS.md) removes the
+// dilemma: every session owns a cache-line-padded *publication slot*; at
+// the threshold it publishes its batch in the slot and tries the lock
+// exactly once. The winner becomes the *combiner* — it applies its own
+// batch plus every other session's published batch before unlocking — and
+// the losers swap to a spare recording buffer and continue, never
+// blocking, because the current lock holder is already committed to
+// draining their slots. Misses and Flush, which must take the lock
+// anyway, combine published work too while they hold it.
+//
+// Per-session access ordering (the property Section III-A's private queues
+// exist to preserve) survives because a session has at most one batch in
+// flight: it publishes only into an empty slot, so batch N is always
+// applied — by whichever combiner swaps it out, under the lock — before
+// batch N+1 can be published, and a session's own miss/flush claims its
+// published batch and applies it ahead of its younger private queue.
+//
+// Memory stays bounded without blocking in the common case: a session
+// blocks only when its slot is still occupied AND its recording queue has
+// filled — i.e. after threshold+QueueSize unapplied accesses — which
+// requires the lock holder to be stuck for a whole queue's worth of this
+// session's accesses. That fall-back mirrors the paper's forced commit and
+// keeps the two-buffers-per-session bound.
+//
+// Buffer recycling: slot ownership transfers are atomic pointer swaps.
+// The combiner, after applying a batch, parks the emptied buffer in the
+// slot's done cell; the owner reclaims it for its next recording buffer,
+// so steady-state publishing allocates nothing.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bpwrapper/internal/page"
+)
+
+// pubSlot is one session's publication slot. The pub and done cells are
+// padded away from neighbouring slots (and from whatever the slice header
+// shares an allocation with) so a session's publish never contends with
+// another session's cache lines — the slot is the only cross-thread
+// contact point of the flat-combining fast path.
+type pubSlot struct {
+	_    cachePad
+	pub  atomic.Pointer[[]Entry] // published batch awaiting a combiner
+	done atomic.Pointer[[]Entry] // drained buffer returned for reuse
+	_    cachePad
+}
+
+// takeSpare returns a recording buffer and its box: the pair the last
+// combiner parked in done, or a fresh pair. Boxes (the *[]Entry cells the
+// atomic pointers traffic in) are recycled along with their buffers, so a
+// steady-state publish allocates nothing — not even the slice header the
+// naive &batch escape would heap-box on every cycle.
+func (sl *pubSlot) takeSpare(queueSize int) ([]Entry, *[]Entry) {
+	if bp := sl.done.Swap(nil); bp != nil {
+		return (*bp)[:0], bp
+	}
+	return make([]Entry, 0, queueSize), new([]Entry)
+}
+
+// recycle parks a drained batch box for the owning session to reclaim.
+// Writing *bp before the atomic Store is safe: the store publishes with
+// release semantics and the owner reads only after its acquire Swap.
+func (sl *pubSlot) recycle(bp *[]Entry) {
+	*bp = (*bp)[:0]
+	sl.done.Store(bp)
+}
+
+// combiner holds the wrapper's slot registry: copy-on-write so the
+// combining scan loads one pointer and never takes a lock.
+type combiner struct {
+	mu    sync.Mutex // serializes registration only
+	slots atomic.Pointer[[]*pubSlot]
+}
+
+// register adds a new session's slot to the registry.
+func (c *combiner) register() *pubSlot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sl := &pubSlot{}
+	var list []*pubSlot
+	if old := c.slots.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, sl)
+	c.slots.Store(&list)
+	return sl
+}
+
+// combineLocked drains every session's published batch and applies it to
+// the policy. Callers must hold the policy lock. own is the calling
+// session's slot: its batch (if published) is the caller's own work and is
+// excluded from the combined-work counters.
+func (w *Wrapper) combineLocked(own *pubSlot) {
+	slots := w.fc.slots.Load()
+	if slots == nil {
+		return
+	}
+	for _, sl := range *slots {
+		bp := sl.pub.Swap(nil)
+		if bp == nil {
+			continue
+		}
+		for _, e := range *bp {
+			w.applyHit(e)
+		}
+		if sl != own {
+			w.fcc.combinedBatches.Add(1)
+			w.fcc.combinedEntries.Add(int64(len(*bp)))
+		}
+		sl.recycle(bp)
+	}
+}
+
+// applyPublished claims the session's own published batch, if a combiner
+// has not reached it yet, and applies it. Callers must hold the policy
+// lock. It precedes applying the (younger) private queue, preserving the
+// session's access order.
+func (s *Session) applyPublished() {
+	if s.slot == nil {
+		return
+	}
+	bp := s.slot.pub.Swap(nil)
+	if bp == nil {
+		return
+	}
+	for _, e := range *bp {
+		s.w.applyHit(e)
+	}
+	s.slot.recycle(bp)
+}
+
+// fcCommit runs the flat-combining commit protocol at the batch
+// threshold. It blocks only in the bounded-memory fall-back: slot still
+// occupied and recording queue full.
+func (s *Session) fcCommit() {
+	w := s.w
+	defer s.fold()
+	if s.slot.pub.Load() == nil {
+		// Previous batch drained: publish this one. Only the owner stores
+		// into pub, so the emptiness check cannot race with another
+		// publisher; a combiner only ever transitions pub to nil.
+		if w.prefetcher != nil {
+			s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+		}
+		box := s.fcBox
+		*box = s.queue
+		first := len(s.queue) == s.Threshold()
+		s.queue, s.fcBox = s.slot.takeSpare(w.cfg.QueueSize)
+		s.slot.pub.Store(box)
+		if w.lock.TryLock() {
+			w.cc.tryCommits.Add(1)
+			if first {
+				s.adaptUp()
+			}
+			w.combineLocked(s.slot)
+			w.lock.Unlock()
+			w.cc.commits.Add(1)
+			return
+		}
+		// Lock busy: the batch is published and the current lock holder
+		// will drain it. Nothing to wait for — this is the handoff the
+		// TryLock-or-block protocol could not make.
+		w.fcc.handoffSaved.Add(1)
+		return
+	}
+	if len(s.queue) < w.cfg.QueueSize {
+		// The combiner has not reached the slot yet; keep recording.
+		return
+	}
+	// Both buffers full: the bounded-memory fall-back. Apply the published
+	// batch (older) before the queue, then combine everyone else.
+	if w.prefetcher != nil {
+		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+	}
+	w.lock.Lock()
+	w.cc.forcedLocks.Add(1)
+	s.applyPublished()
+	for _, e := range s.queue {
+		w.applyHit(e)
+	}
+	w.combineLocked(s.slot)
+	w.lock.Unlock()
+	w.cc.commits.Add(1)
+	s.queue = s.queue[:0]
+	s.adaptDown()
+}
+
+// fcFlush is Flush under flat combining: claim the published batch, apply
+// it and the queue under a blocking lock, and combine other sessions'
+// published work while holding it.
+func (s *Session) fcFlush() {
+	w := s.w
+	claimed := s.slot.pub.Swap(nil)
+	if claimed == nil && len(s.queue) == 0 {
+		return
+	}
+	if w.prefetcher != nil {
+		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+	}
+	w.lock.Lock()
+	w.cc.forcedLocks.Add(1)
+	if claimed != nil {
+		for _, e := range *claimed {
+			w.applyHit(e)
+		}
+		s.slot.recycle(claimed)
+	}
+	for _, e := range s.queue {
+		w.applyHit(e)
+	}
+	w.combineLocked(s.slot)
+	w.lock.Unlock()
+	w.cc.commits.Add(1)
+	s.queue = s.queue[:0]
+}

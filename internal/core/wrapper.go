@@ -19,6 +19,12 @@
 // Both techniques are independent of the wrapped algorithm, which is used
 // unmodified — the framework property the paper's title claims.
 //
+// Beyond the paper, the package implements a *flat-combining* commit path
+// (Config.FlatCombining, see combine.go): sessions publish their batches
+// in per-session slots and whichever session wins the lock applies
+// everyone's published work, so a session at the batch threshold never has
+// to choose between blocking and re-accumulating.
+//
 // A Wrapper is shared by all threads; each simulated backend owns a private
 // Session (the per-thread FIFO queue of the paper, Figure 3/4). Sessions
 // are not safe for concurrent use; the Wrapper is.
@@ -69,6 +75,18 @@ type Config struct {
 	// the ablation experiment that verifies that argument.
 	SharedQueue bool
 
+	// FlatCombining replaces the TryLock-or-keep-accumulating commit
+	// protocol with flat combining (see combine.go): at the batch
+	// threshold a session publishes its batch in a per-session,
+	// cache-line-padded slot and tries the lock once — on success it
+	// becomes the combiner and applies every session's published batch; on
+	// failure it swaps to a spare buffer and keeps recording, never
+	// blocking, because the current lock holder drains its slot. The
+	// blocking fall-back fires only when both the published batch and the
+	// recording queue are full. Ignored unless Batching is set;
+	// incompatible with SharedQueue (SharedQueue wins).
+	FlatCombining bool
+
 	// AdaptiveThreshold lets each session tune its own batch threshold at
 	// run time — an extension of the paper's Table III analysis, which
 	// shows the best threshold sits strictly between "tiny batches"
@@ -85,7 +103,9 @@ type Config struct {
 	// entry; entries for which it returns false are dropped. The buffer
 	// manager uses it to discard accesses whose frame was re-used for a
 	// different page since the access was queued (the BufferTag check of
-	// Section IV-B).
+	// Section IV-B). With FlatCombining enabled the callback may be
+	// invoked from any session's goroutine (the combiner applies other
+	// sessions' batches), so it must be safe for concurrent use.
 	Validate func(Entry) bool
 }
 
@@ -103,9 +123,13 @@ func (c Config) withDefaults() Config {
 	if c.BatchThreshold > c.QueueSize {
 		c.BatchThreshold = c.QueueSize
 	}
+	if !c.Batching {
+		c.FlatCombining = false
+	}
 	if c.SharedQueue {
-		// The shared queue has no per-session state to adapt.
+		// The shared queue has no per-session state to adapt or publish.
 		c.AdaptiveThreshold = false
+		c.FlatCombining = false
 	}
 	return c
 }
@@ -118,6 +142,13 @@ type Entry struct {
 }
 
 // Stats aggregates the Wrapper's activity counters.
+//
+// The per-access counters (Accesses, Hits, Misses) are staged in
+// session-private memory and folded into the shared aggregates at commit
+// boundaries (commit, miss, flush, and every foldInterval accesses on the
+// lock-free hit path), so a snapshot taken while sessions are mid-batch
+// may lag by at most one queue's worth per session. Call Session.Flush
+// for exact point-in-time numbers.
 type Stats struct {
 	Accesses    int64 // hits + misses recorded through the wrapper
 	Hits        int64
@@ -128,6 +159,49 @@ type Stats struct {
 	Lock        metrics.LockStats
 	ForcedLocks int64 // commits that needed a blocking Lock (queue full)
 	TryCommits  int64 // commits obtained via TryLock at the threshold
+
+	// Flat-combining activity (Config.FlatCombining only).
+	CombinedBatches int64 // other sessions' published batches applied by a combiner
+	CombinedEntries int64 // entries in those batches
+	HandoffSaved    int64 // publishes whose TryLock failed: batches handed to the combiner instead of blocking or re-accumulating
+}
+
+// cacheLineSize separates counter groups with different writer populations
+// so a store to one group does not invalidate another group's line (the
+// false-sharing fix: before, eight adjacent atomics were bumped on every
+// access from every thread).
+const cacheLineSize = 64
+
+// cachePad is inserted between independent writer groups in Wrapper.
+type cachePad [cacheLineSize]byte
+
+// aggCounters are the folded per-access aggregates. They are written only
+// when a session folds its private counts (at most once per batch), never
+// on the per-access fast path.
+type aggCounters struct {
+	accesses atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// commitCounters are written by whichever session is committing — at most
+// one batch-commit writer at a time (they are bumped while or immediately
+// after holding the policy lock), so they share a line group distinct from
+// the lock word and the fold aggregates.
+type commitCounters struct {
+	commits     atomic.Int64
+	committed   atomic.Int64
+	dropped     atomic.Int64
+	forcedLocks atomic.Int64
+	tryCommits  atomic.Int64
+}
+
+// combineCounters count flat-combining activity (written by combiners and
+// by publishing sessions).
+type combineCounters struct {
+	combinedBatches atomic.Int64
+	combinedEntries atomic.Int64
+	handoffSaved    atomic.Int64
 }
 
 // Wrapper couples a replacement policy with its global lock and the
@@ -139,18 +213,18 @@ type Wrapper struct {
 	lockFreeHit bool                // policy.Hit needs no lock (clock family)
 	cfg         Config
 
-	lock metrics.ContentionMutex
-
 	shared *sharedQueue // non-nil iff cfg.SharedQueue
+	fc     *combiner    // non-nil iff cfg.FlatCombining
 
-	accesses    atomic.Int64
-	hits        atomic.Int64
-	misses      atomic.Int64
-	commits     atomic.Int64
-	committed   atomic.Int64
-	dropped     atomic.Int64
-	forcedLocks atomic.Int64
-	tryCommits  atomic.Int64
+	_    cachePad
+	lock metrics.ContentionMutex
+	_    cachePad
+	agg  aggCounters
+	_    cachePad
+	cc   commitCounters
+	_    cachePad
+	fcc  combineCounters
+	_    cachePad
 }
 
 // New returns a Wrapper around policy configured by cfg.
@@ -169,7 +243,11 @@ func New(policy replacer.Policy, cfg Config) *Wrapper {
 	if cfg.SharedQueue && cfg.Batching {
 		w.shared = &sharedQueue{
 			entries: make([]Entry, 0, cfg.QueueSize),
+			spare:   make([]Entry, 0, cfg.QueueSize),
 		}
+	}
+	if cfg.FlatCombining {
+		w.fc = &combiner{}
 	}
 	return w
 }
@@ -182,32 +260,39 @@ func (w *Wrapper) Policy() replacer.Policy { return w.policy }
 // Config returns the resolved configuration.
 func (w *Wrapper) Config() Config { return w.cfg }
 
-// Stats returns a snapshot of the wrapper's counters.
+// Stats returns a snapshot of the wrapper's counters. See the Stats type
+// for the staleness bound on the per-access aggregates.
 func (w *Wrapper) Stats() Stats {
 	return Stats{
-		Accesses:    w.accesses.Load(),
-		Hits:        w.hits.Load(),
-		Misses:      w.misses.Load(),
-		Commits:     w.commits.Load(),
-		Committed:   w.committed.Load(),
-		Dropped:     w.dropped.Load(),
-		Lock:        w.lock.Stats(),
-		ForcedLocks: w.forcedLocks.Load(),
-		TryCommits:  w.tryCommits.Load(),
+		Accesses:        w.agg.accesses.Load(),
+		Hits:            w.agg.hits.Load(),
+		Misses:          w.agg.misses.Load(),
+		Commits:         w.cc.commits.Load(),
+		Committed:       w.cc.committed.Load(),
+		Dropped:         w.cc.dropped.Load(),
+		Lock:            w.lock.Stats(),
+		ForcedLocks:     w.cc.forcedLocks.Load(),
+		TryCommits:      w.cc.tryCommits.Load(),
+		CombinedBatches: w.fcc.combinedBatches.Load(),
+		CombinedEntries: w.fcc.combinedEntries.Load(),
+		HandoffSaved:    w.fcc.handoffSaved.Load(),
 	}
 }
 
 // ResetStats zeroes the wrapper's counters (including the lock's). It must
 // not be called while the lock is held.
 func (w *Wrapper) ResetStats() {
-	w.accesses.Store(0)
-	w.hits.Store(0)
-	w.misses.Store(0)
-	w.commits.Store(0)
-	w.committed.Store(0)
-	w.dropped.Store(0)
-	w.forcedLocks.Store(0)
-	w.tryCommits.Store(0)
+	w.agg.accesses.Store(0)
+	w.agg.hits.Store(0)
+	w.agg.misses.Store(0)
+	w.cc.commits.Store(0)
+	w.cc.committed.Store(0)
+	w.cc.dropped.Store(0)
+	w.cc.forcedLocks.Store(0)
+	w.cc.tryCommits.Store(0)
+	w.fcc.combinedBatches.Store(0)
+	w.fcc.combinedEntries.Store(0)
+	w.fcc.handoffSaved.Store(0)
 	w.lock.Reset()
 }
 
@@ -228,8 +313,17 @@ func (w *Wrapper) NewSession() *Session {
 	if w.cfg.Batching && !w.cfg.SharedQueue {
 		s.queue = make([]Entry, 0, w.cfg.QueueSize)
 	}
+	if w.fc != nil {
+		s.slot = w.fc.register()
+		s.fcBox = new([]Entry)
+	}
 	return s
 }
+
+// foldInterval bounds the staleness of the folded aggregates on the
+// lock-free hit path (clock family), which has no commit boundary to fold
+// at.
+const foldInterval = 1024
 
 // Session is the per-thread side of the framework: a private FIFO queue of
 // uncommitted hit records (Figure 3 of the paper). Not safe for concurrent
@@ -238,9 +332,48 @@ type Session struct {
 	w     *Wrapper
 	queue []Entry // nil when batching is off or the shared queue is in use
 
+	// Per-session access counters: plain ints bumped only by the owning
+	// goroutine on the per-access fast path and folded into the wrapper's
+	// shared aggregates at commit boundaries. This keeps the hot path free
+	// of shared-cache-line traffic (the false-sharing fix).
+	accesses  int64
+	hits      int64
+	misses    int64
+	sinceFold int
+
+	pf []page.PageID // prefetch id scratch, reused across commits
+
+	slot  *pubSlot // flat-combining publication slot (cfg.FlatCombining)
+	fcBox *[]Entry // box that will carry s.queue on its next publish
+
 	// Adaptive-threshold state (cfg.AdaptiveThreshold only).
 	threshold int // current per-session batch threshold
 	trialRuns int // consecutive first-attempt TryLock successes
+}
+
+// note stages one access in the session-private counters.
+func (s *Session) note(hit bool) {
+	s.accesses++
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.sinceFold++
+}
+
+// fold flushes the session-private counters into the wrapper's shared
+// aggregates. Called at commit boundaries, where the session is already
+// paying for shared-state traffic.
+func (s *Session) fold() {
+	if s.accesses == 0 {
+		return
+	}
+	w := s.w
+	w.agg.accesses.Add(s.accesses)
+	w.agg.hits.Add(s.hits)
+	w.agg.misses.Add(s.misses)
+	s.accesses, s.hits, s.misses, s.sinceFold = 0, 0, 0, 0
 }
 
 // Threshold reports the session's current batch threshold (the configured
@@ -257,14 +390,14 @@ func (s *Session) adaptDown() {
 	if !s.w.cfg.AdaptiveThreshold {
 		return
 	}
-	min := s.w.cfg.QueueSize / 8
-	if min < 1 {
-		min = 1
+	step := s.w.cfg.QueueSize / 8
+	if step < 1 {
+		step = 1 // tiny queues: QueueSize/8 rounds to 0, which would freeze adaptation
 	}
 	s.trialRuns = 0
-	s.threshold = s.Threshold() - s.w.cfg.QueueSize/8
-	if s.threshold < min {
-		s.threshold = min
+	s.threshold = s.Threshold() - step
+	if s.threshold < step {
+		s.threshold = step
 	}
 }
 
@@ -295,12 +428,14 @@ func (s *Session) adaptUp() {
 // lock is taken immediately.
 func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 	w := s.w
-	w.accesses.Add(1)
-	w.hits.Add(1)
+	s.note(true)
 	if w.lockFreeHit {
 		// Clock-family policy: the hit is an atomic reference-bit update
 		// and needs neither lock nor queue. This is the pgClock baseline.
 		w.policy.Hit(id)
+		if s.sinceFold >= foldInterval {
+			s.fold()
+		}
 		return
 	}
 	if !w.cfg.Batching {
@@ -312,19 +447,28 @@ func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 		w.lock.Lock()
 		w.applyHit(Entry{ID: id, Tag: tag})
 		w.lock.Unlock()
-		w.commits.Add(1)
+		w.cc.commits.Add(1)
+		s.fold()
 		return
 	}
 	if w.shared != nil {
-		w.shared.record(w, Entry{ID: id, Tag: tag})
+		w.shared.record(w, s, Entry{ID: id, Tag: tag})
+		// The shared queue is the rejected, always-contending design; its
+		// sessions have no private commit boundary, so fold every access.
+		s.fold()
 		return
 	}
 	s.queue = append(s.queue, Entry{ID: id, Tag: tag})
 	if len(s.queue) < s.Threshold() {
 		return
 	}
-	// Threshold reached: try to commit opportunistically; block only when
+	// Threshold reached: try to commit opportunistically. Flat combining
+	// publishes and never blocks; the paper's protocol blocks only when
 	// the queue is completely full.
+	if w.fc != nil {
+		s.fcCommit()
+		return
+	}
 	s.commit(false)
 }
 
@@ -335,8 +479,8 @@ func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 // This is replacement_for_page_miss in Figure 4.
 func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, evicted bool) {
 	w := s.w
-	w.accesses.Add(1)
-	w.misses.Add(1)
+	s.note(false)
+	s.fold()
 	var pending []Entry
 	switch {
 	case w.shared != nil:
@@ -345,16 +489,23 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 		pending = s.queue
 	}
 	if w.prefetcher != nil {
-		w.prefetchEntries(pending, id)
+		s.pf = w.prefetchInto(s.pf, pending, id)
 	}
 	w.lock.Lock()
+	s.applyPublished()
 	for _, e := range pending {
 		w.applyHit(e)
 	}
 	victim, evicted = w.policy.Admit(id)
+	if w.fc != nil {
+		w.combineLocked(s.slot)
+	}
 	w.lock.Unlock()
 	if len(pending) > 0 {
-		w.commits.Add(1)
+		w.cc.commits.Add(1)
+	}
+	if w.shared != nil {
+		w.shared.release(pending)
 	}
 	if s.queue != nil {
 		s.queue = s.queue[:0]
@@ -375,8 +526,8 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 // replay) use, where pages have no frames at all.
 func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.PageID, evicted bool) {
 	w := s.w
-	w.accesses.Add(1)
-	w.misses.Add(1)
+	s.note(false)
+	s.fold()
 	var pending []Entry
 	switch {
 	case w.shared != nil:
@@ -385,18 +536,25 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 		pending = s.queue
 	}
 	if w.prefetcher != nil {
-		w.prefetchEntries(pending, id)
+		s.pf = w.prefetchInto(s.pf, pending, id)
 	}
 	w.lock.Lock()
+	s.applyPublished()
 	for _, e := range pending {
 		w.applyHit(e)
 	}
 	if w.policy.Len() >= w.policy.Cap() {
 		victim, evicted = w.policy.Evict()
 	}
+	if w.fc != nil {
+		w.combineLocked(s.slot)
+	}
 	w.lock.Unlock()
 	if len(pending) > 0 {
-		w.commits.Add(1)
+		w.cc.commits.Add(1)
+	}
+	if w.shared != nil {
+		w.shared.release(pending)
 	}
 	if s.queue != nil {
 		s.queue = s.queue[:0]
@@ -417,23 +575,31 @@ func (s *Session) MissAdmit(id page.PageID) (victim page.PageID, evicted bool) {
 }
 
 // Flush commits any queued hit records with a blocking lock acquisition.
-// Backends call it when going idle so their history is not stranded.
+// Backends call it when going idle so their history is not stranded. It
+// also folds the session's staged access counters, making Wrapper.Stats
+// exact for this session.
 func (s *Session) Flush() {
 	w := s.w
+	s.fold()
 	if w.shared != nil {
 		pending := w.shared.steal()
 		if len(pending) == 0 {
 			return
 		}
 		if w.prefetcher != nil {
-			w.prefetchEntries(pending, page.InvalidPageID)
+			s.pf = w.prefetchInto(s.pf, pending, page.InvalidPageID)
 		}
 		w.lock.Lock()
 		for _, e := range pending {
 			w.applyHit(e)
 		}
 		w.lock.Unlock()
-		w.commits.Add(1)
+		w.cc.commits.Add(1)
+		w.shared.release(pending)
+		return
+	}
+	if w.fc != nil {
+		s.fcFlush()
 		return
 	}
 	if len(s.queue) == 0 {
@@ -443,12 +609,19 @@ func (s *Session) Flush() {
 }
 
 // Pending returns the number of uncommitted accesses in this session's
-// queue; used by tests and diagnostics.
+// queue (including, under flat combining, a published batch not yet
+// drained by a combiner); used by tests and diagnostics.
 func (s *Session) Pending() int {
 	if s.w.shared != nil {
 		return s.w.shared.pending()
 	}
-	return len(s.queue)
+	n := len(s.queue)
+	if s.slot != nil {
+		if b := s.slot.pub.Load(); b != nil {
+			n += len(*b)
+		}
+	}
+	return n
 }
 
 // commit applies the session's queued entries under the lock. When force
@@ -456,16 +629,17 @@ func (s *Session) Pending() int {
 // falling back to a blocking Lock only if the queue is full.
 func (s *Session) commit(force bool) {
 	w := s.w
+	defer s.fold()
 	if w.prefetcher != nil {
 		// Prefetch: warm the cache with the metadata the critical section
 		// will touch, immediately before requesting the lock.
-		w.prefetchEntries(s.queue, page.InvalidPageID)
+		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
 	}
 	if force {
 		w.lock.Lock()
-		w.forcedLocks.Add(1)
+		w.cc.forcedLocks.Add(1)
 	} else if w.lock.TryLock() {
-		w.tryCommits.Add(1)
+		w.cc.tryCommits.Add(1)
 		if len(s.queue) == s.Threshold() {
 			// First-attempt success: the lock has headroom.
 			s.adaptUp()
@@ -476,7 +650,7 @@ func (s *Session) commit(force bool) {
 			return
 		}
 		w.lock.Lock()
-		w.forcedLocks.Add(1)
+		w.cc.forcedLocks.Add(1)
 		// The queue filled before any TryLock succeeded: start trying
 		// earlier next time.
 		s.adaptDown()
@@ -485,7 +659,7 @@ func (s *Session) commit(force bool) {
 		w.applyHit(e)
 	}
 	w.lock.Unlock()
-	w.commits.Add(1)
+	w.cc.commits.Add(1)
 	s.queue = s.queue[:0]
 }
 
@@ -493,17 +667,19 @@ func (s *Session) commit(force bool) {
 // Callers must hold the lock.
 func (w *Wrapper) applyHit(e Entry) {
 	if w.cfg.Validate != nil && !w.cfg.Validate(e) {
-		w.dropped.Add(1)
+		w.cc.dropped.Add(1)
 		return
 	}
 	w.policy.Hit(e.ID)
-	w.committed.Add(1)
+	w.cc.committed.Add(1)
 }
 
-// prefetchEntries warms the cache for the queued ids plus the (optional)
-// missing page.
-func (w *Wrapper) prefetchEntries(entries []Entry, extra page.PageID) {
-	ids := make([]page.PageID, 0, len(entries)+1)
+// prefetchInto warms the cache for the queued ids plus the (optional)
+// missing page, reusing buf as the id scratch space. It returns the
+// (possibly grown) scratch for the caller to retain — after the first few
+// commits the id walk is allocation-free.
+func (w *Wrapper) prefetchInto(buf []page.PageID, entries []Entry, extra page.PageID) []page.PageID {
+	ids := buf[:0]
 	for _, e := range entries {
 		ids = append(ids, e.ID)
 	}
@@ -511,19 +687,22 @@ func (w *Wrapper) prefetchEntries(entries []Entry, extra page.PageID) {
 		ids = append(ids, extra)
 	}
 	w.prefetcher.Prefetch(ids)
+	return ids
 }
 
 // sharedQueue is the rejected alternative design of Section III-A: one
 // FIFO queue shared by all sessions, with its own mutex. Implemented only
-// for the ablation experiment.
+// for the ablation experiment. Batches are recycled through the spare
+// buffer so steady-state commits do not allocate.
 type sharedQueue struct {
 	mu      sync.Mutex
 	entries []Entry
+	spare   []Entry // recycled batch buffer (nil while a batch is in flight)
 }
 
 // record appends an entry; when the wrapper's threshold is reached the
 // caller attempts a commit following the same TryLock protocol.
-func (q *sharedQueue) record(w *Wrapper, e Entry) {
+func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	q.mu.Lock()
 	q.entries = append(q.entries, e)
 	n := len(q.entries)
@@ -533,45 +712,84 @@ func (q *sharedQueue) record(w *Wrapper, e Entry) {
 	}
 	full := n >= w.cfg.QueueSize
 	// Take the batch out while still holding the queue mutex so no other
-	// session commits the same entries.
-	batch := make([]Entry, n)
-	copy(batch, q.entries)
-	q.entries = q.entries[:0]
+	// session commits the same entries; recording continues in the spare
+	// buffer.
+	batch := q.takeLocked()
 	q.mu.Unlock()
 
 	if w.prefetcher != nil {
-		w.prefetchEntries(batch, page.InvalidPageID)
+		s.pf = w.prefetchInto(s.pf, batch, page.InvalidPageID)
 	}
 	if full {
 		w.lock.Lock()
-		w.forcedLocks.Add(1)
+		w.cc.forcedLocks.Add(1)
 	} else if w.lock.TryLock() {
-		w.tryCommits.Add(1)
+		w.cc.tryCommits.Add(1)
 	} else {
-		// Lock busy: put the batch back and keep accumulating.
-		q.mu.Lock()
-		q.entries = append(batch, q.entries...)
-		q.mu.Unlock()
+		// Lock busy: put the batch back (in front — it is older than
+		// anything recorded meanwhile) and keep accumulating.
+		q.requeue(batch)
 		return
 	}
 	for _, e := range batch {
 		w.applyHit(e)
 	}
 	w.lock.Unlock()
-	w.commits.Add(1)
+	w.cc.commits.Add(1)
+	q.release(batch)
 }
 
-// steal removes and returns all queued entries.
+// takeLocked removes and returns the queued entries, leaving the spare
+// buffer recording. Callers must hold q.mu and must hand the returned
+// batch to release or requeue when done.
+func (q *sharedQueue) takeLocked() []Entry {
+	batch := q.entries
+	if q.spare != nil {
+		q.entries = q.spare[:0]
+		q.spare = nil
+	} else {
+		// The other buffer is in flight with another session; a fresh one
+		// enters the rotation.
+		q.entries = make([]Entry, 0, cap(batch))
+	}
+	return batch
+}
+
+// steal removes and returns all queued entries; the caller must pass the
+// batch to release after applying it.
 func (q *sharedQueue) steal() []Entry {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.entries) == 0 {
 		return nil
 	}
-	batch := make([]Entry, len(q.entries))
-	copy(batch, q.entries)
-	q.entries = q.entries[:0]
-	return batch
+	return q.takeLocked()
+}
+
+// release returns a drained batch buffer to the rotation.
+func (q *sharedQueue) release(batch []Entry) {
+	if batch == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.spare == nil {
+		q.spare = batch[:0]
+	}
+	q.mu.Unlock()
+}
+
+// requeue puts an uncommitted batch back at the front of the queue without
+// permanently growing the rotation: the rebuilt queue lives in the batch's
+// buffer and the previous recording buffer becomes the spare.
+func (q *sharedQueue) requeue(batch []Entry) {
+	q.mu.Lock()
+	recorded := q.entries
+	batch = append(batch, recorded...)
+	q.entries = batch
+	if q.spare == nil {
+		q.spare = recorded[:0]
+	}
+	q.mu.Unlock()
 }
 
 // pending returns the current queue length.

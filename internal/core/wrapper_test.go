@@ -256,6 +256,7 @@ func TestLockFreeHitBypassesLock(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		s.Hit(pid(1), page.BufferTag{Page: pid(1)})
 	}
+	s.Flush() // fold the staged per-session counters; must not take the lock
 	st := w.Stats()
 	if st.Lock.Acquisitions != before {
 		t.Fatalf("clock hits acquired the lock %d times", st.Lock.Acquisitions-before)

@@ -179,6 +179,13 @@ type Config struct {
 	// the ablation experiment.
 	SharedQueue bool
 
+	// FlatCombining models the flat-combining commit path (see
+	// core/combine.go): at the batch threshold a worker publishes its batch
+	// in a per-worker slot and tries the lock once — the winner applies
+	// every published batch; losers swap to a spare buffer and continue
+	// without blocking. Requires Batching; ignored with SharedQueue.
+	FlatCombining bool
+
 	// AdaptiveThreshold enables the per-worker self-tuning batch threshold
 	// (see core.Config.AdaptiveThreshold): down on forced commits, up
 	// after sustained first-attempt TryLock successes, bounded to
@@ -240,6 +247,11 @@ type Result struct {
 
 	Committed int64 // batched hit records applied
 	Dropped   int64 // stale records dropped at commit
+
+	// Flat-combining activity (Config.FlatCombining only).
+	CombinedBatches int64 // other workers' published batches applied by a combiner
+	CombinedEntries int64 // entries in those batches
+	HandoffSaved    int64 // publishes whose TryLock failed: handed off instead of blocking
 }
 
 // Run executes one simulation and returns its measurements. It is
@@ -278,6 +290,11 @@ func runInternal(cfg Config) (Result, *machine, error) {
 	}
 	if cfg.BatchThreshold > cfg.QueueSize {
 		cfg.BatchThreshold = cfg.QueueSize
+	}
+	if !cfg.Batching || cfg.SharedQueue {
+		// Same normalization as core.Config: flat combining is a batching
+		// commit protocol and the shared queue has no per-worker slots.
+		cfg.FlatCombining = false
 	}
 	if cfg.Frames <= 0 {
 		cfg.Frames = cfg.Workload.DataPages()
@@ -386,6 +403,9 @@ func runInternal(cfg Config) (Result, *machine, error) {
 	}
 	res.Committed = m.committed
 	res.Dropped = m.dropped
+	res.CombinedBatches = m.combinedBatches
+	res.CombinedEntries = m.combinedEntries
+	res.HandoffSaved = m.handoffSaved
 	if res.Accesses > 0 {
 		res.HitRatio = float64(m.hits) / float64(res.Accesses)
 		res.ContentionPerM = float64(res.Lock.Contentions) * 1e6 / float64(res.Accesses)
@@ -424,6 +444,10 @@ type machine struct {
 	committed  int64
 	dropped    int64
 	latencySum Time
+
+	combinedBatches int64 // flat combining: foreign batches applied by combiners
+	combinedEntries int64
+	handoffSaved    int64
 }
 
 // lockFor returns the lock protecting the partition that owns id.
@@ -442,6 +466,9 @@ func (m *machine) resetStats() {
 	m.committed = 0
 	m.dropped = 0
 	m.latencySum = 0
+	m.combinedBatches = 0
+	m.combinedEntries = 0
+	m.handoffSaved = 0
 	for _, l := range m.locks {
 		l.stats = LockStats{}
 	}
@@ -457,6 +484,14 @@ type simWorker struct {
 	stream workload.Stream
 	queue  []page.PageID // private batching queue
 	buf    []workload.Access
+
+	// Flat-combining state (cfg.FlatCombining only): the published batch
+	// (nil when the slot is empty) and the spare buffer of the
+	// double-buffer rotation. The discrete-event kernel is single-threaded,
+	// so plain fields model what the real implementation does with padded
+	// atomic slots.
+	pub   []page.PageID
+	spare []page.PageID
 
 	cpuHeld bool
 	slice   Time   // CPU time used in the current quantum
@@ -708,6 +743,10 @@ func (w *simWorker) hit(p *Process, id page.PageID) {
 	if len(w.queue) < w.curThreshold() {
 		return
 	}
+	if m.cfg.FlatCombining {
+		w.fcCommit(p)
+		return
+	}
 	w.commit(p, len(w.queue) >= m.cfg.QueueSize)
 }
 
@@ -742,6 +781,112 @@ func (w *simWorker) commit(p *Process, force bool) {
 	w.csApplyHits(p, pr.LockGrab+warm, w.queue)
 	l.Release(p)
 	w.queue = w.queue[:0]
+}
+
+// fcCommit runs the flat-combining protocol at the batch threshold: with
+// an empty slot, publish and try the lock once — win and become the
+// combiner, or hand the batch off and keep recording in the spare buffer.
+// With the slot still occupied, block only when the queue has also filled
+// (the bounded-memory fall-back).
+func (w *simWorker) fcCommit(p *Process) {
+	m := w.m
+	pr := m.params
+	l := m.locks[0]
+	if w.pub == nil {
+		if m.cfg.Prefetching {
+			w.useCPU(p, pr.PrefetchWork)
+		}
+		ver := l.Version()
+		first := len(w.queue) == w.curThreshold()
+		// Publish: one release store into the slot, then swap to the spare
+		// buffer (the double-buffer rotation).
+		w.pub = w.queue
+		if w.spare != nil {
+			w.queue = w.spare[:0]
+			w.spare = nil
+		} else {
+			w.queue = make([]page.PageID, 0, m.cfg.QueueSize)
+		}
+		w.useCPU(p, pr.RefBit+pr.TryLock)
+		if !l.TryAcquire(p) {
+			// The current lock holder will drain the slot; nothing to wait
+			// for. This is the handoff the TryLock-or-block protocol lacks.
+			m.handoffSaved++
+			return
+		}
+		if first {
+			w.adaptUp()
+		}
+		warm := pr.LockWarmup
+		if m.cfg.Prefetching && l.Version() == ver+1 {
+			warm = 0
+		}
+		w.combine(p, pr.LockGrab+warm)
+		l.Release(p)
+		return
+	}
+	if len(w.queue) < m.cfg.QueueSize {
+		return // slot occupied, queue not full: keep recording
+	}
+	// Both buffers full: blocking forced commit, published (older) batch
+	// first.
+	if m.cfg.Prefetching {
+		w.useCPU(p, pr.PrefetchWork)
+	}
+	w.acquireLock(p, l)
+	w.adaptDown()
+	entry := pr.LockGrab + pr.LockWarmup
+	if w.pub != nil {
+		w.csApplyHits(p, entry, w.pub)
+		entry = 0
+		w.spare = w.pub[:0]
+		w.pub = nil
+	}
+	w.csApplyHits(p, entry, w.queue)
+	w.combineOthers(p, 0)
+	l.Release(p)
+	w.queue = w.queue[:0]
+}
+
+// combine is the combiner's critical section: apply the worker's own
+// published batch, then every other worker's. entry is the one-time
+// lock-grab + warm-up cost, charged with the first applied batch.
+func (w *simWorker) combine(p *Process, entry Time) {
+	if w.pub != nil {
+		w.csApplyHits(p, entry, w.pub)
+		entry = 0
+		w.spare = w.pub[:0]
+		w.pub = nil
+	}
+	entry = w.combineOthers(p, entry)
+	w.useCPUHeld(p, entry) // slot already drained by someone: still pay the grab
+}
+
+// combineOthers scans every other worker's publication slot (one probe
+// each) and applies any published batch, returning the drained buffer to
+// its owner's spare. It returns the unconsumed entry cost (zero once a
+// batch has been applied). Callers must hold the policy lock.
+func (w *simWorker) combineOthers(p *Process, entry Time) Time {
+	m := w.m
+	for _, other := range m.workers {
+		if other == w {
+			continue
+		}
+		// Probing an empty slot is a read of a line that last changed when
+		// this combiner (or a predecessor) drained it — overwhelmingly a
+		// cache hit, so only claiming a published batch is charged.
+		if other.pub == nil {
+			continue
+		}
+		w.useCPUHeld(p, m.params.RefBit) // claim: one atomic swap
+		m.combinedBatches++
+		m.combinedEntries += int64(len(other.pub))
+		w.csApplyHits(p, entry, other.pub)
+		entry = 0
+		other.spare = other.pub[:0]
+		other.pub = nil
+	}
+	return entry
 }
 
 // commitShared is commit for the shared-queue ablation.
@@ -812,6 +957,13 @@ func (w *simWorker) miss(p *Process, id page.PageID) {
 		l.Release(p)
 		return
 	}
+	if m.cfg.FlatCombining && w.pub != nil {
+		// The session's published (older) batch is applied before its
+		// private queue, preserving per-worker access order.
+		w.csApplyHits(p, 0, w.pub)
+		w.spare = w.pub[:0]
+		w.pub = nil
+	}
 	cs := pr.LockGrab + pr.LockWarmup + pr.MissWork + pr.PolicyOp
 	pending := w.queue
 	if m.cfg.SharedQueue {
@@ -838,6 +990,10 @@ func (w *simWorker) miss(p *Process, id page.PageID) {
 	}
 	m.policy.Admit(id)
 	w.useCPUHeld(p, cs)
+	if m.cfg.FlatCombining {
+		// The lock is held anyway: drain the other workers' slots.
+		w.combineOthers(p, 0)
+	}
 	l.Release(p)
 
 	// The disk read happens outside the lock (as in PostgreSQL, where the
@@ -851,7 +1007,39 @@ func (w *simWorker) miss(p *Process, id page.PageID) {
 
 // flush commits any leftover queued accesses at the end of the run.
 func (w *simWorker) flush(p *Process) {
+	if w.m.cfg.FlatCombining {
+		w.fcFlush(p)
+		return
+	}
 	if len(w.queue) > 0 {
 		w.commit(p, true)
 	}
+}
+
+// fcFlush drains the worker's published batch and private queue (in that
+// order) under a blocking lock, combining other workers' published work
+// while holding it.
+func (w *simWorker) fcFlush(p *Process) {
+	m := w.m
+	pr := m.params
+	if w.pub == nil && len(w.queue) == 0 {
+		return
+	}
+	l := m.locks[0]
+	w.acquireLock(p, l)
+	entry := pr.LockGrab + pr.LockWarmup
+	if w.pub != nil {
+		w.csApplyHits(p, entry, w.pub)
+		entry = 0
+		w.spare = w.pub[:0]
+		w.pub = nil
+	}
+	if len(w.queue) > 0 {
+		w.csApplyHits(p, entry, w.queue)
+		entry = 0
+		w.queue = w.queue[:0]
+	}
+	entry = w.combineOthers(p, entry)
+	w.useCPUHeld(p, entry)
+	l.Release(p)
 }

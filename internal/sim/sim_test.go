@@ -620,3 +620,67 @@ func TestLockReleaseUnheldPanics(t *testing.T) {
 	}()
 	l.Release(nil)
 }
+
+// --- flat combining ---------------------------------------------------------
+
+func TestSimFlatCombining(t *testing.T) {
+	// Small queue/threshold: commits every 4 accesses keep the lock busy
+	// enough for the commit protocol to matter. With the paper's default
+	// 64/32 both protocols sit at the contention-free ceiling and the
+	// comparison is a wash.
+	run := func(fc bool) Result {
+		return simRun(t, Config{
+			Procs: 16, Policy: "2q", Batching: true, FlatCombining: fc,
+			QueueSize: 8, BatchThreshold: 4,
+			Workload: smallWorkload(), Prewarm: true,
+			Duration: Time(30 * time.Millisecond), Seed: 1,
+		})
+	}
+	bat := run(false)
+	fc := run(true)
+
+	// The protocol must actually run: batches handed off on busy locks and
+	// drained by combiners.
+	if fc.HandoffSaved == 0 {
+		t.Error("no handoffs: flat combining never hit a busy lock at 16 procs")
+	}
+	if fc.CombinedBatches == 0 || fc.CombinedEntries == 0 {
+		t.Errorf("no combined work (batches=%d entries=%d)", fc.CombinedBatches, fc.CombinedEntries)
+	}
+	// The acceptance shape: flat combining at least matches plain batching.
+	if fc.ThroughputTPS < bat.ThroughputTPS {
+		t.Errorf("flat combining %.0f tps below batched %.0f", fc.ThroughputTPS, bat.ThroughputTPS)
+	}
+	// Handed-off batches replace blocking waits, so contention per access
+	// must not rise.
+	if fc.ContentionPerM > bat.ContentionPerM*1.1 {
+		t.Errorf("flat-combining contention %.1f/M above batched %.1f/M", fc.ContentionPerM, bat.ContentionPerM)
+	}
+	if bat.CombinedBatches != 0 || bat.HandoffSaved != 0 {
+		t.Errorf("combining counters leaked into the batched run: %+v", bat)
+	}
+}
+
+func TestSimFlatCombiningDeterministic(t *testing.T) {
+	cfg := Config{
+		Procs: 8, Policy: "2q", Batching: true, FlatCombining: true,
+		Workload: smallWorkload(), Prewarm: true,
+		Duration: Time(20 * time.Millisecond), Seed: 7,
+	}
+	if a, b := simRun(t, cfg), simRun(t, cfg); a != b {
+		t.Fatalf("flat-combining simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimFlatCombiningNormalization(t *testing.T) {
+	// FlatCombining without Batching (or with SharedQueue) must behave as
+	// if the flag were off, mirroring core.Config.withDefaults.
+	res := simRun(t, Config{
+		Procs: 4, Policy: "2q", FlatCombining: true,
+		Workload: smallWorkload(), Prewarm: true,
+		Duration: Time(10 * time.Millisecond), Seed: 1,
+	})
+	if res.CombinedBatches != 0 || res.HandoffSaved != 0 {
+		t.Fatalf("flat combining ran without batching: %+v", res)
+	}
+}
