@@ -18,6 +18,7 @@ import (
 	"bpwrapper/internal/metrics"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/sched"
 	"bpwrapper/internal/storage"
 )
 
@@ -315,6 +316,7 @@ func (p *Pool) load(s *core.Session, id page.PageID, writable bool) (ref *PageRe
 	tag = f.tag
 	f.mu.Unlock()
 
+	sched.Yield(sched.BufLoadInstall)
 	b.mu.Lock()
 	b.frames[id] = f
 	b.mu.Unlock()
@@ -484,6 +486,7 @@ func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
 	f.tag.Page = page.InvalidPageID
 	f.mu.Unlock()
 
+	sched.Yield(sched.BufReclaimClaim)
 	if needWriteback {
 		p.quarantinePut(victim, wb)
 	}
@@ -493,6 +496,7 @@ func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
 	b.mu.Unlock()
 
 	if needWriteback {
+		sched.Yield(sched.BufQuarantinePark)
 		if _, err := p.writeQuarantined(victim, wb); err != nil {
 			// The copy stays quarantined; the page is safe and the failure
 			// observable via Stats. The frame itself is still reusable.
@@ -714,6 +718,7 @@ func (p *Pool) flushFrame(f *Frame) (bool, error) {
 	f.dirty = false
 	f.mu.Unlock()
 
+	sched.Yield(sched.BufFlushClear)
 	wrote, err := p.writeQuarantined(id, &wb)
 	if err == nil {
 		return wrote, nil
@@ -859,4 +864,130 @@ func (p *Pool) Stats() Stats {
 	p.freeMu.Unlock()
 	p.wrapper.Locked(func(pol replacer.Policy) { s.Resident = pol.Len() })
 	return s
+}
+
+// PinnedFrames reports the number of frames currently holding at least one
+// pin; used by tests and diagnostics (at a true quiescent point — no
+// outstanding PageRefs, no in-flight operations — it must be zero).
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for i := range p.frames {
+		f := &p.frames[i]
+		f.mu.Lock()
+		if f.pins > 0 {
+			n++
+		}
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// CheckInvariants verifies the pool's structural invariants: pin-count
+// sanity, frame/hash-table consistency, free-list integrity, the
+// resident-xor-quarantined steady state, and policy/table agreement. It is
+// O(frames + buckets) and takes each lock briefly.
+//
+// The contract is quiescence: callers must ensure no pool operations are in
+// flight (the torture harness calls it after workers join and again after
+// Close). Called concurrently it cannot corrupt anything, but it may report
+// perfectly legal in-flight transitions — a claimed frame between table
+// removal and the free list, a flush window's sanctioned resident+
+// quarantined overlap — as violations.
+func (p *Pool) CheckInvariants() error {
+	// Snapshot the table: page → frame, taking each bucket lock once.
+	mapped := make(map[page.PageID]*Frame, len(p.frames))
+	for i := range p.buckets {
+		b := &p.buckets[i]
+		b.mu.RLock()
+		for id, f := range b.frames {
+			mapped[id] = f
+		}
+		nLoads := len(b.loads)
+		b.mu.RUnlock()
+		if nLoads != 0 {
+			return fmt.Errorf("buffer: %d loads in flight during invariant check (caller not quiescent)", nLoads)
+		}
+	}
+	byFrame := make(map[*Frame]page.PageID, len(mapped))
+	for id, f := range mapped {
+		if prev, dup := byFrame[f]; dup {
+			return fmt.Errorf("buffer: frame mapped twice, as %v and %v", prev, id)
+		}
+		byFrame[f] = id
+		f.mu.Lock()
+		tag, pins := f.tag, f.pins
+		f.mu.Unlock()
+		if tag.Page != id {
+			return fmt.Errorf("buffer: table entry %v points at frame caching %v", id, tag.Page)
+		}
+		if pins < 0 {
+			return fmt.Errorf("buffer: page %v: negative pin count %d", id, pins)
+		}
+	}
+	// Free-list integrity: unpinned, untagged, unmapped, no duplicates.
+	p.freeMu.Lock()
+	free := append([]*Frame(nil), p.freeList...)
+	p.freeMu.Unlock()
+	onFree := make(map[*Frame]bool, len(free))
+	for _, f := range free {
+		if onFree[f] {
+			return errors.New("buffer: frame on free list twice")
+		}
+		onFree[f] = true
+		if id, ok := byFrame[f]; ok {
+			return fmt.Errorf("buffer: frame on free list while mapped as %v", id)
+		}
+		f.mu.Lock()
+		tag, pins := f.tag, f.pins
+		f.mu.Unlock()
+		if tag.Page.Valid() {
+			return fmt.Errorf("buffer: free frame still tagged %v", tag.Page)
+		}
+		if pins != 0 {
+			return fmt.Errorf("buffer: free frame has %d pins", pins)
+		}
+	}
+	// Every frame is accounted for exactly once: mapped or free.
+	if len(mapped)+len(free) != len(p.frames) {
+		return fmt.Errorf("buffer: %d mapped + %d free != %d frames (frame leaked or in flight)",
+			len(mapped), len(free), len(p.frames))
+	}
+	// Quarantine: disjoint from the resident set at quiescence (the one
+	// sanctioned overlap is a flush's in-flight write window), and within
+	// its soft capacity bound.
+	p.quarMu.Lock()
+	quar := make([]page.PageID, 0, len(p.quarantine))
+	for id := range p.quarantine {
+		quar = append(quar, id)
+	}
+	p.quarMu.Unlock()
+	for _, id := range quar {
+		if _, resident := mapped[id]; resident {
+			return fmt.Errorf("buffer: page %v both resident and quarantined at quiescence", id)
+		}
+	}
+	if len(quar) > p.quarCap+len(p.frames) {
+		return fmt.Errorf("buffer: quarantine %d far beyond cap %d", len(quar), p.quarCap)
+	}
+	// Policy agreement: every policy-resident page must have a table entry
+	// (a frameless resident would be unevictable and unservable). The
+	// reverse — a table entry the policy no longer tracks — is legal residue
+	// of eviction churn against pinned frames and is not flagged.
+	var perr error
+	p.wrapper.Locked(func(pol replacer.Policy) {
+		n := pol.Len()
+		inTable := 0
+		for id := range mapped {
+			if pol.Contains(id) {
+				inTable++
+			}
+		}
+		if n != inTable {
+			perr = fmt.Errorf("buffer: policy tracks %d residents but only %d have table entries", n, inTable)
+		}
+	})
+	if perr != nil {
+		return perr
+	}
+	return p.wrapper.CheckInvariants()
 }

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"bpwrapper/internal/page"
+	"bpwrapper/internal/sched"
 )
 
 // pubSlot is one session's publication slot. The pub and done cells are
@@ -107,6 +108,7 @@ func (w *Wrapper) combineLocked(own *pubSlot) {
 		if bp == nil {
 			continue
 		}
+		sched.Yield(sched.CoreFCCombine)
 		for _, e := range *bp {
 			w.applyHit(e)
 		}
@@ -152,8 +154,10 @@ func (s *Session) fcCommit() {
 		box := s.fcBox
 		*box = s.queue
 		first := len(s.queue) == s.Threshold()
+		s.pubLen = len(s.queue)
 		s.queue, s.fcBox = s.slot.takeSpare(w.cfg.QueueSize)
 		s.slot.pub.Store(box)
+		sched.Yield(sched.CoreFCPublish)
 		if w.lock.TryLock() {
 			w.cc.tryCommits.Add(1)
 			if first {

@@ -31,12 +31,14 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"bpwrapper/internal/metrics"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/sched"
 )
 
 // Default queue tuning from the paper's evaluation (Section IV-C): "we set
@@ -305,6 +307,23 @@ func (w *Wrapper) Locked(fn func(replacer.Policy)) {
 	fn(w.policy)
 }
 
+// CheckInvariants verifies the wrapper's cheap structural invariants under
+// the policy lock: the policy's resident count within [0, Cap], and — when
+// the policy implements replacer.Checker — the policy's own internal
+// consistency (deep O(n) checks only in builds with the torture tag). It is
+// safe to call concurrently with sessions; the stats identities (accesses =
+// hits + misses, committed + dropped = hits) hold only at quiescence and
+// are checked by the torture harness instead.
+func (w *Wrapper) CheckInvariants() error {
+	w.lock.Lock()
+	defer w.lock.Unlock()
+	n, c := w.policy.Len(), w.policy.Cap()
+	if n < 0 || n > c {
+		return fmt.Errorf("core: policy %s: Len %d outside [0, Cap %d]", w.policy.Name(), n, c)
+	}
+	return replacer.Check(w.policy)
+}
+
 // NewSession returns the per-thread handle through which one backend
 // records its page accesses. Sessions must not be shared between
 // goroutines.
@@ -343,8 +362,9 @@ type Session struct {
 
 	pf []page.PageID // prefetch id scratch, reused across commits
 
-	slot  *pubSlot // flat-combining publication slot (cfg.FlatCombining)
-	fcBox *[]Entry // box that will carry s.queue on its next publish
+	slot   *pubSlot // flat-combining publication slot (cfg.FlatCombining)
+	fcBox  *[]Entry // box that will carry s.queue on its next publish
+	pubLen int      // length of the batch last published in slot (owner-only)
 
 	// Adaptive-threshold state (cfg.AdaptiveThreshold only).
 	threshold int // current per-session batch threshold
@@ -491,6 +511,7 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 	if w.prefetcher != nil {
 		s.pf = w.prefetchInto(s.pf, pending, id)
 	}
+	sched.Yield(sched.CoreMissLock)
 	w.lock.Lock()
 	s.applyPublished()
 	for _, e := range pending {
@@ -538,6 +559,7 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 	if w.prefetcher != nil {
 		s.pf = w.prefetchInto(s.pf, pending, id)
 	}
+	sched.Yield(sched.CoreMissLock)
 	w.lock.Lock()
 	s.applyPublished()
 	for _, e := range pending {
@@ -616,10 +638,12 @@ func (s *Session) Pending() int {
 		return s.w.shared.pending()
 	}
 	n := len(s.queue)
-	if s.slot != nil {
-		if b := s.slot.pub.Load(); b != nil {
-			n += len(*b)
-		}
+	if s.slot != nil && s.slot.pub.Load() != nil {
+		// The batch still sitting in the slot is the one this session last
+		// published: count its remembered length rather than dereferencing
+		// the box, which a combiner may be draining (and recycling — a
+		// write to the slice header) concurrently.
+		n += s.pubLen
 	}
 	return n
 }
@@ -635,6 +659,7 @@ func (s *Session) commit(force bool) {
 		// will touch, immediately before requesting the lock.
 		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
 	}
+	sched.Yield(sched.CoreCommitTry)
 	if force {
 		w.lock.Lock()
 		w.cc.forcedLocks.Add(1)
@@ -655,6 +680,7 @@ func (s *Session) commit(force bool) {
 		// earlier next time.
 		s.adaptDown()
 	}
+	sched.Yield(sched.CoreCommitApply)
 	for _, e := range s.queue {
 		w.applyHit(e)
 	}

@@ -85,14 +85,22 @@ func (p *CAR) Admit(id PageID) (victim PageID, evicted bool) {
 	if p.Len() == p.capacity {
 		victim = p.replace()
 		evicted = true
-		if !present {
-			if p.t1.len()+p.b1.len() >= p.capacity && p.b1.len() > 0 {
-				old := p.b1.popBack()
-				delete(p.table, old.id)
-			} else if p.t1.len()+p.t2.len()+p.b1.len()+p.b2.len() >= 2*p.capacity && p.b2.len() > 0 {
-				old := p.b2.popBack()
-				delete(p.table, old.id)
-			}
+	}
+	if !present {
+		// Trim the ghost directory on every fresh miss, not only when the
+		// cache is full: external Evict/Remove (the pool's pinned-frame
+		// retry path) can leave the cache below capacity with ghosts still
+		// accumulating, so a trim gated on fullness lets the directory grow
+		// past the paper's |T1|+|B1| <= c and total <= 2c bounds. Loops
+		// rather than single discards so the bounds are restored even after
+		// such churn.
+		for p.t1.len()+p.b1.len() >= p.capacity && p.b1.len() > 0 {
+			old := p.b1.popBack()
+			delete(p.table, old.id)
+		}
+		for p.t1.len()+p.t2.len()+p.b1.len()+p.b2.len() >= 2*p.capacity && p.b2.len() > 0 {
+			old := p.b2.popBack()
+			delete(p.table, old.id)
 		}
 	}
 	switch {

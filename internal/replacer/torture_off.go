@@ -1,0 +1,7 @@
+//go:build !torture
+
+package replacer
+
+// deepInvariants is off outside torture builds: CheckInvariants runs only
+// the O(1) count identities. Build with -tags torture for the O(n) walks.
+const deepInvariants = false

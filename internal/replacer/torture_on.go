@@ -1,0 +1,9 @@
+//go:build torture
+
+package replacer
+
+// deepInvariants enables the O(n) structural walks in CheckInvariants.
+// Production builds keep the checks O(1); torture-tagged builds (nightly
+// CI, local debugging) pay for full link/flag/table verification on every
+// check. Mirrors the raceEnabled build-tag-const pattern.
+const deepInvariants = true

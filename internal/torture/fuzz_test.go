@@ -1,0 +1,32 @@
+package torture
+
+import "testing"
+
+// FuzzCommitPathOrder fuzzes the batched and flat-combining commit paths
+// with arbitrary (seed, shape) traces, asserting the order-preservation
+// oracle on the applied log. Deterministic mode keeps each input cheap and
+// any counterexample exactly replayable from the corpus entry.
+func FuzzCommitPathOrder(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(50), uint8(30), uint8(0), uint8(4))
+	f.Add(int64(42), uint8(6), uint16(200), uint8(10), uint8(1), uint8(8))
+	f.Add(int64(-7), uint8(1), uint16(1), uint8(0), uint8(2), uint8(1))
+	f.Add(int64(1<<40), uint8(8), uint16(300), uint8(90), uint8(3), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, sessions uint8, length uint16, missPct, pathSel, queueSize uint8) {
+		ns := 1 + int(sessions)%8
+		nl := int(length) % 512
+		qs := 1 + int(queueSize)%64
+		paths := Paths()
+		p := paths[int(pathSel)%len(paths)]
+		tr := NewTrace(seed, ns, nl, float64(missPct%101)/100)
+		res, err := RunDeterministic(tr, p, qs)
+		if err != nil {
+			t.Fatalf("%v (%s)", err, ReportSeed(seed))
+		}
+		if err := CheckOracle(tr, res.Log); err != nil {
+			t.Fatalf("%v (%s)", err, ReportSeed(seed))
+		}
+		if got, want := len(res.Log), tr.Total(); got != want {
+			t.Fatalf("seed %d: path %s applied %d of %d accesses", seed, p, got, want)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+)
+
+// failSeed fails the test with the error and the replay hint, persisting
+// the seed for CI artifact upload when TORTURE_SEED_FILE is set.
+func failSeed(t *testing.T, seed int64, err error) {
+	t.Helper()
+	t.Fatalf("%v (%s)", err, ReportSeed(seed))
+}
+
+// TestDeterministicOracleAllPaths replays one seeded trace through every
+// commit path on a single goroutine and checks the full oracle: order
+// preservation, exactly-once application, hit/miss flavour, lag bound,
+// and tag integrity.
+func TestDeterministicOracleAllPaths(t *testing.T) {
+	seed := SeedFromEnv(42)
+	tr := NewTrace(seed, 6, 500, 0.15)
+	for _, p := range Paths() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res, err := RunDeterministic(tr, p, 8)
+			if err != nil {
+				failSeed(t, seed, err)
+			}
+			if err := CheckOracle(tr, res.Log); err != nil {
+				failSeed(t, seed, err)
+			}
+			if got, want := len(res.Log), tr.Total(); got != want {
+				t.Fatalf("seed %d: path %s applied %d of %d accesses (%s)", seed, p, got, want, ReportSeed(seed))
+			}
+		})
+	}
+}
+
+// TestDeterministicReplayIsExact runs the same (seed, path) twice and
+// demands byte-identical applied logs — the property that makes a
+// reported seed an exact replay in deterministic mode.
+func TestDeterministicReplayIsExact(t *testing.T) {
+	seed := SeedFromEnv(7)
+	tr := NewTrace(seed, 4, 300, 0.2)
+	for _, p := range Paths() {
+		a, err := RunDeterministic(tr, p, 8)
+		if err != nil {
+			failSeed(t, seed, err)
+		}
+		b, err := RunDeterministic(tr, p, 8)
+		if err != nil {
+			failSeed(t, seed, err)
+		}
+		if len(a.Log) != len(b.Log) {
+			t.Fatalf("path %s: replay lengths differ: %d vs %d", p, len(a.Log), len(b.Log))
+		}
+		for i := range a.Log {
+			if a.Log[i] != b.Log[i] {
+				t.Fatalf("path %s: replay diverges at log[%d]: %+v vs %+v", p, i, a.Log[i], b.Log[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialAcrossPaths checks the differential claim: whatever the
+// commit path, the per-session applied sequences are identical (the oracle
+// pins each to the trace projection, so checking the oracle on every path
+// for the same trace IS the differential comparison; on top, the stats
+// must agree on totals).
+func TestDifferentialAcrossPaths(t *testing.T) {
+	seed := SeedFromEnv(1234)
+	tr := NewTrace(seed, 5, 400, 0.1)
+	var results []*Result
+	for _, p := range Paths() {
+		res, err := RunDeterministic(tr, p, 8)
+		if err != nil {
+			failSeed(t, seed, err)
+		}
+		if err := CheckOracle(tr, res.Log); err != nil {
+			failSeed(t, seed, err)
+		}
+		results = append(results, res)
+	}
+	base := results[0]
+	for _, res := range results[1:] {
+		if res.Stats.Accesses != base.Stats.Accesses ||
+			res.Stats.Hits != base.Stats.Hits ||
+			res.Stats.Misses != base.Stats.Misses {
+			t.Fatalf("seed %d: path %s counted %d/%d/%d accesses/hits/misses, path %s counted %d/%d/%d",
+				seed, res.Path, res.Stats.Accesses, res.Stats.Hits, res.Stats.Misses,
+				base.Path, base.Stats.Accesses, base.Stats.Hits, base.Stats.Misses)
+		}
+	}
+}
+
+// TestConcurrentOracleAllPaths runs goroutine-per-session with seeded
+// yield injection; the oracle must hold under every interleaving. Long
+// mode (TORTURE_LONG=1) multiplies seeds and trace length for nightly CI.
+func TestConcurrentOracleAllPaths(t *testing.T) {
+	seeds := []int64{SeedFromEnv(3), 11, 29}
+	length := 800
+	if LongMode() {
+		for s := int64(100); s < 130; s++ {
+			seeds = append(seeds, s)
+		}
+		length = 5000
+	}
+	if testing.Short() {
+		seeds = seeds[:1]
+		length = 200
+	}
+	for _, p := range Paths() {
+		for _, qs := range []int{4, 16} {
+			for _, seed := range seeds {
+				tr := NewTrace(seed, 8, length, 0.12)
+				res, err := RunConcurrent(tr, p, qs, 0.2)
+				if err != nil {
+					failSeed(t, seed, err)
+				}
+				if err := CheckOracle(tr, res.Log); err != nil {
+					failSeed(t, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// mutate returns a copy of log with fn applied — the injected-bug
+// generator for the oracle sensitivity checks.
+func mutate(log []Record, fn func([]Record) []Record) []Record {
+	cp := append([]Record(nil), log...)
+	return fn(cp)
+}
+
+// TestOracleCatchesInjectedBugs proves the oracle is sensitive to each
+// failure class it claims to detect, by injecting the bug into a known-
+// good log: an order inversion, a lost access, a duplicated access, and a
+// miss applied as a hit. Every report must carry the seed.
+func TestOracleCatchesInjectedBugs(t *testing.T) {
+	seed := SeedFromEnv(99)
+	tr := NewTrace(seed, 3, 200, 0.2)
+	res, err := RunDeterministic(tr, PathBatch, 8)
+	if err != nil {
+		failSeed(t, seed, err)
+	}
+	good := res.Log
+	if err := CheckOracle(tr, good); err != nil {
+		failSeed(t, seed, err)
+	}
+
+	// Indices of session 0's first two applications, and its last one:
+	// dropping a MIDDLE access surfaces as an inversion at the successor,
+	// so the lost-access probe removes the final application, which only
+	// the end-of-log completeness sweep can notice.
+	var i0, i1, last = -1, -1, -1
+	for i, rec := range good {
+		if rec.Session == 0 {
+			if i0 < 0 {
+				i0 = i
+			} else if i1 < 0 {
+				i1 = i
+			}
+			last = i
+		}
+	}
+	if i1 < 0 || last <= i1 {
+		t.Fatal("trace too small for mutation test")
+	}
+
+	cases := []struct {
+		name string
+		log  []Record
+		want string
+	}{
+		{"order-inversion", mutate(good, func(l []Record) []Record {
+			l[i0], l[i1] = l[i1], l[i0]
+			return l
+		}), "order inversion"},
+		{"lost-access", mutate(good, func(l []Record) []Record {
+			return append(l[:last], l[last+1:]...)
+		}), "lost"},
+		{"duplicated-access", mutate(good, func(l []Record) []Record {
+			return append(l[:i1], append([]Record{l[i0]}, l[i1:]...)...)
+		}), "applied twice"},
+		{"wrong-flavour", mutate(good, func(l []Record) []Record {
+			l[i0].Miss = !l[i0].Miss
+			return l
+		}), "miss="},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := CheckOracle(tr, c.log)
+			if err == nil {
+				t.Fatalf("oracle accepted a log with an injected %s bug", c.name)
+			}
+			if !strings.Contains(err.Error(), "seed") {
+				t.Fatalf("failure report omits the replay seed: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("failure report %q does not describe the injected bug (%q)", err, c.want)
+			}
+		})
+	}
+}
+
+// TestPoolTorture drives the full wrapper × pool × faulty-device stack.
+// The tier-1 matrix is small; long mode expands policies, paths, and op
+// counts for nightly CI.
+func TestPoolTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-layer torture run skipped in -short")
+	}
+	seed := SeedFromEnv(17)
+	type cse struct {
+		name string
+		cfg  PoolRunConfig
+	}
+	cases := []cse{
+		{"lru-batch-faults", PoolRunConfig{Seed: seed, Path: PathBatch, Policy: "lru", Faults: true}},
+		{"clockpro-fc-faults-bg", PoolRunConfig{Seed: seed + 1, Path: PathFC, Policy: "clockpro", Faults: true, BGWriter: true}},
+		{"gclock-direct", PoolRunConfig{Seed: seed + 2, Path: PathDirect, Policy: "gclock"}},
+	}
+	if LongMode() {
+		for i, pol := range []string{"lru", "2q", "lirs", "mq", "arc", "car", "clockpro", "seq"} {
+			for j, path := range Paths() {
+				cases = append(cases, cse{
+					"long-" + pol + "-" + string(path),
+					PoolRunConfig{
+						Seed: seed + int64(100+i*10+j), Path: path, Policy: pol,
+						Faults: true, BGWriter: j%2 == 0,
+						Ops: 2000, Phases: 5, Workers: 8,
+					},
+				})
+			}
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunPool(c.cfg)
+			if err != nil {
+				failSeed(t, c.cfg.Seed, err)
+			}
+			if rep.Writes == 0 || rep.Reads == 0 {
+				t.Fatalf("seed %d: degenerate run: %+v", c.cfg.Seed, rep)
+			}
+		})
+	}
+}
