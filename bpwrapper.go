@@ -54,6 +54,7 @@ package bpwrapper
 import (
 	"bpwrapper/internal/buffer"
 	"bpwrapper/internal/core"
+	"bpwrapper/internal/metrics"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
 	"bpwrapper/internal/storage"
@@ -134,7 +135,9 @@ type Wrapper = core.Wrapper
 // WrapperConfig selects batching/prefetching and tunes the FIFO queue.
 type WrapperConfig = core.Config
 
-// Session is one backend's private FIFO queue of deferred hit records.
+// Session is one backend's private FIFO queue of deferred hit records,
+// bound to a single Wrapper. Pool backends use PoolSession, which carries
+// one of these per shard.
 type Session = core.Session
 
 // Entry is one queued access record.
@@ -157,18 +160,49 @@ const (
 // ---------------------------------------------------------------------------
 // Buffer pool
 
-// Pool is the buffer-pool manager: fixed frames, a sharded page table, and
-// a replacement policy reached through the BP-Wrapper core.
+// Pool is the buffer-pool manager: fixed frames, a bucketed page table, and
+// a replacement policy reached through the BP-Wrapper core. With
+// PoolConfig.Shards > 1 the pool is hash-partitioned into shards, each with
+// its own frames, page table, quarantine, and BP-Wrapper + policy instance
+// (per-shard policy lock and batching queues); Shards: 1 — the default —
+// is the paper's single-policy configuration. Sharding trades the
+// replacement algorithm's unified access history (the paper's Section V-A
+// objection to distributed locks) for contention relief; the bpbench
+// "shard" experiment (E14) measures both sides.
 type Pool = buffer.Pool
 
-// PoolConfig assembles a Pool.
+// PoolConfig assembles a Pool. Set Shards and PolicyFactory together to
+// build a hash-partitioned pool; single-shard pools may pass a Policy
+// instance directly.
 type PoolConfig = buffer.Config
+
+// PoolSession is a per-backend handle for Pool.Get/GetWrite, carrying one
+// batching Session per shard; obtain one per worker goroutine with
+// Pool.NewSession and do not share it between goroutines.
+type PoolSession = buffer.Session
+
+// PolicyFactory constructs a replacement-policy instance of a given
+// capacity; sharded pools call it once per shard. PolicyFactories returns
+// the named constructors.
+type PolicyFactory = replacer.Factory
+
+// PolicyFactories returns the named policy constructors ("lru", "2q",
+// "lirs", ...), each usable as a PoolConfig.PolicyFactory.
+func PolicyFactories() map[string]PolicyFactory { return replacer.Factories() }
 
 // PageRef is a pinned reference to a buffered page.
 type PageRef = buffer.PageRef
 
-// PoolStats is an operational snapshot of a Pool (see Pool.Stats).
+// PoolStats is an operational snapshot of a Pool (see Pool.Stats). With a
+// sharded pool the top-level counters are consistent aggregates over
+// PerShard.
 type PoolStats = buffer.Stats
+
+// PoolShardStats is the per-shard slice of a PoolStats snapshot.
+type PoolShardStats = buffer.ShardStats
+
+// AccessSnapshot is a consistent hits/misses pair (see Pool.AccessStats).
+type AccessSnapshot = metrics.AccessSnapshot
 
 // BackgroundWriter periodically writes dirty pages back to the device and
 // drains the pool's dirty quarantine, backing off when the device is down;

@@ -24,6 +24,13 @@
 // unbatched wrappers against a degraded device — injected transient
 // errors, latency spikes, and corruption, healed by the retry/checksum
 // stack — and always runs on real goroutines.
+//
+// The shard experiment (E14) sweeps the hash-partitioned pool: a
+// deterministic hit-ratio sweep (the history-fragmentation cost, committed
+// as results/BENCH_shard.json via scripts/bench_shard.sh) always runs,
+// and with -mode real a throughput sweep of shards × {pg2Q, pgBat,
+// pgBatFC} measures whether batching still pays as sharding divides the
+// policy lock.
 package main
 
 import (
@@ -40,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, faults, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, faults, shard, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
@@ -186,6 +193,17 @@ func main() {
 				check(bench.CSVFaults(os.Stdout, rows))
 			} else {
 				bench.PrintFaults(os.Stdout, rows)
+			}
+		case "shard":
+			rep, err := bench.ShardExperiment(nil, *procs, opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONShard(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVShard(os.Stdout, rep))
+			default:
+				bench.PrintShard(os.Stdout, rep)
 			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))

@@ -3,8 +3,6 @@ package buffer
 import (
 	"sync"
 	"time"
-
-	"bpwrapper/internal/page"
 )
 
 // BackgroundWriter periodically writes dirty, unpinned pages back to the
@@ -105,28 +103,37 @@ func (w *BackgroundWriter) run() {
 	}
 }
 
-// round retries the quarantine, then writes back up to maxPages dirty,
-// unpinned frames through Pool.flushFrame (park in quarantine, clear the
-// dirty bit, write, resolve — so no frame ever looks clean while its
-// write-back is still in flight). Draining first frees quarantine
-// capacity for the frame sweep's transient parking. It reports pages made
-// durable and failed attempts.
+// round walks the shards: for each shard it retries the quarantine, then
+// writes back dirty, unpinned frames through shard.flushFrame (park in
+// quarantine, clear the dirty bit, write, resolve — so no frame ever looks
+// clean while its write-back is still in flight). Draining first frees
+// quarantine capacity for the frame sweep's transient parking. The
+// maxPages budget is global across shards, so the per-round device burst
+// stays bounded regardless of shard count (for a single shard this is the
+// old monolithic round verbatim). It reports pages made durable and
+// failed attempts.
 func (w *BackgroundWriter) round() (written, failed int64) {
 	p := w.pool
-	qn, qfailed, _ := p.drainQuarantine()
-	written += int64(qn)
-	failed += int64(qfailed)
-	for i := range p.frames {
+	for si := range p.shards {
+		sh := &p.shards[si]
+		qn, qfailed, _ := sh.drainQuarantine()
+		written += int64(qn)
+		failed += int64(qfailed)
+		for i := range sh.frames {
+			if written+failed >= int64(w.maxPages) {
+				break
+			}
+			wrote, err := sh.flushFrame(&sh.frames[i])
+			if err != nil {
+				failed++
+				continue
+			}
+			if wrote {
+				written++
+			}
+		}
 		if written+failed >= int64(w.maxPages) {
 			break
-		}
-		wrote, err := p.flushFrame(&p.frames[i])
-		if err != nil {
-			failed++
-			continue
-		}
-		if wrote {
-			written++
 		}
 	}
 	w.mu.Lock()
@@ -148,19 +155,4 @@ func (w *BackgroundWriter) Stats() BackgroundWriterStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.stats
-}
-
-// DirtyCount reports the number of dirty frames right now; used by tests
-// and monitoring.
-func (p *Pool) DirtyCount() int {
-	n := 0
-	for i := range p.frames {
-		f := &p.frames[i]
-		f.mu.Lock()
-		if f.dirty && f.tag.Page != page.InvalidPageID {
-			n++
-		}
-		f.mu.Unlock()
-	}
-	return n
 }

@@ -128,7 +128,7 @@ func TestIntermittentFailuresUnderLoad(t *testing.T) {
 // device would synthesize for an unwritten page.
 const stampShift = 1 << 20
 
-func dirtyPage(t *testing.T, p *Pool, s *core.Session, id page.PageID) {
+func dirtyPage(t *testing.T, p *Pool, s *Session, id page.PageID) {
 	t.Helper()
 	ref, err := p.GetWrite(s, id)
 	if err != nil {

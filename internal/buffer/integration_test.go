@@ -58,7 +58,7 @@ func TestPoolWithEveryPolicy(t *testing.T) {
 			if failed.Load() {
 				return
 			}
-			if got := p.Counters().Accesses(); got != 8000 {
+			if got := p.AccessStats().Accesses(); got != 8000 {
 				t.Fatalf("accesses=%d", got)
 			}
 			// Policy residency must agree with the pool's frame count:

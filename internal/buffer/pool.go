@@ -4,21 +4,27 @@
 // the paper argues), and a replacement policy reached through the
 // BP-Wrapper core so that the policy's single global lock — the system's
 // one true hot spot — can be relieved by batching and prefetching.
+//
+// The pool can additionally be hash-partitioned into shards (Config.Shards),
+// each shard a self-contained pool slice with its own frames, page table,
+// free list, dirty quarantine, and BP-Wrapper + policy instance. The paper
+// rejects distributing the *replacement algorithm* because it fragments the
+// algorithm's access history (Section V-A); sharding here does exactly
+// that, deliberately, so experiment E14 can measure the trade: per-shard
+// policy locks dissolve contention, per-shard ghost history costs hit
+// ratio. Shards: 1 (the default) is the paper's configuration and is
+// byte-for-byte the old monolithic pool.
 package buffer
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
-	"bpwrapper/internal/sched"
 	"bpwrapper/internal/storage"
 )
 
@@ -28,87 +34,78 @@ var ErrNoUnpinnedBuffers = errors.New("buffer: no unpinned buffers available")
 
 // Config assembles a Pool.
 type Config struct {
-	// Frames is the number of page slots in the pool. Required.
+	// Frames is the number of page slots in the pool, summed across all
+	// shards. Required.
 	Frames int
 
-	// Policy is the replacement algorithm instance, sized to Frames.
-	// Required; the pool takes ownership (all access goes through the
-	// wrapper lock).
+	// Shards is the number of hash partitions the pool is split into. Each
+	// shard owns its own frames, page table, free list, quarantine, and —
+	// critically — its own BP-Wrapper + policy instance, so the policy
+	// lock and batching queues are per shard. Zero or one means the
+	// classic single-shard pool. Must not exceed Frames.
+	Shards int
+
+	// Policy is the replacement algorithm instance, sized to Frames. Only
+	// valid for single-shard pools (the history of one policy instance
+	// cannot be split); the pool takes ownership. Exactly one of Policy
+	// and PolicyFactory must be set when Shards <= 1; PolicyFactory is
+	// required when Shards > 1.
 	Policy replacer.Policy
 
+	// PolicyFactory constructs one policy instance per shard, each sized
+	// to that shard's frame count. Required for Shards > 1.
+	PolicyFactory replacer.Factory
+
 	// Wrapper selects the BP-Wrapper techniques (batching, prefetching,
-	// queue tuning). The Validate field is overwritten by the pool with its
-	// BufferTag check.
+	// queue tuning), applied to every shard's wrapper. The Validate field
+	// is overwritten by the pool with its BufferTag check.
 	Wrapper core.Config
 
-	// Device is the backing store. Required.
+	// Device is the backing store, shared by all shards (pages are
+	// partitioned by id, so shards never write the same page). Required.
 	Device storage.Device
 
 	// QuarantineCap bounds the dirty-quarantine list that parks pages
 	// across their write-back window (eviction in reclaim, flushes in
-	// flushFrame). Zero means 64. When the quarantine is full, dirty
-	// evictions fail and flush rounds leave frames dirty instead of
-	// parking more pages, so memory stays bounded and no data is lost
-	// either way. The bound is soft under concurrency: simultaneous
-	// evictions may briefly overshoot it by the number of in-flight
-	// write-backs.
+	// flushFrame). Zero means 64. The cap is divided across shards
+	// (rounded up, minimum one per shard). When a shard's quarantine is
+	// full, dirty evictions fail and flush rounds leave frames dirty
+	// instead of parking more pages, so memory stays bounded and no data
+	// is lost either way. The bound is soft under concurrency:
+	// simultaneous evictions may briefly overshoot it by the number of
+	// in-flight write-backs.
 	QuarantineCap int
 }
 
-// Pool is the buffer-pool manager. All methods are safe for concurrent
-// use; per-backend access records flow through core.Sessions obtained from
-// NewSession.
+// Pool is the buffer-pool manager: a router over one or more shards, keyed
+// by a PageID hash. All methods are safe for concurrent use; per-backend
+// access records flow through Sessions obtained from NewSession.
 type Pool struct {
-	frames  []Frame
-	buckets []bucket
-	mask    uint64
-	wrapper *core.Wrapper
-	device  storage.Device
-
-	freeMu   sync.Mutex
-	freeList []*Frame
-
-	// quarantine parks copies of dirty pages from the moment their dirty
-	// bit is cleared until their write-back is confirmed durable: eviction
-	// parks before the frame leaves the page table, and flush paths park
-	// before clearing the dirty bit of a still-resident frame. Entries
-	// linger when the write fails, so an acknowledged write is never
-	// dropped; loads adopt a quarantined copy instead of reading a stale
-	// version from the device (which also closes the window where a
-	// concurrent miss could re-read a page whose write-back is still in
-	// flight).
-	quarMu     sync.Mutex
-	quarantine map[page.PageID]*page.Page
-	quarCap    int
-
-	// wbLocks serializes device write-backs per page (striped by page id,
-	// held across the WritePage call in writeQuarantined). Without it, a
-	// slow in-flight write of an old copy could land *after* a newer copy
-	// of the same page was written and resolved, silently reverting the
-	// device.
-	wbLocks [wbStripes]sync.Mutex
-
-	writeBackFailures atomic.Int64
-
-	counters metrics.AccessCounters
+	shards []shard
+	device storage.Device
 }
 
-// wbStripes is the number of per-page write-back serialization stripes.
-const wbStripes = 64
-
-// bucket is one hash-table partition: a small map guarded by its own
-// RWMutex, plus the in-flight load registry used to single-flight misses.
-type bucket struct {
-	mu     sync.RWMutex
-	frames map[page.PageID]*Frame
-	loads  map[page.PageID]*loadOp
+// Session is a per-backend handle carrying one core.Session per shard
+// (each shard has its own wrapper, and a batching queue belongs to exactly
+// one wrapper). Sessions must not be shared between goroutines.
+type Session struct {
+	subs []*core.Session
 }
 
-// loadOp coordinates concurrent requests for a page that is being read
-// from the device: followers wait on done and then retry their lookup.
-type loadOp struct {
-	done chan struct{}
-	err  error
+// Flush commits every shard queue's batched accesses to its policy.
+func (s *Session) Flush() {
+	for _, sub := range s.subs {
+		sub.Flush()
+	}
+}
+
+// Pending reports the number of accesses batched across all shard queues.
+func (s *Session) Pending() int {
+	n := 0
+	for _, sub := range s.subs {
+		n += sub.Pending()
+	}
+	return n
 }
 
 // New constructs a Pool from cfg. It panics on structural misconfiguration
@@ -117,527 +114,147 @@ func New(cfg Config) *Pool {
 	if cfg.Frames <= 0 {
 		panic("buffer: Frames must be positive")
 	}
-	if cfg.Policy == nil {
-		panic("buffer: Policy is required")
-	}
-	if cfg.Policy.Cap() < cfg.Frames {
-		panic(fmt.Sprintf("buffer: policy capacity %d below frame count %d", cfg.Policy.Cap(), cfg.Frames))
-	}
 	if cfg.Device == nil {
 		panic("buffer: Device is required")
 	}
-	nb := 1
-	for nb < 4*cfg.Frames {
-		nb <<= 1
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 1
 	}
-	if nb > 1<<16 {
-		nb = 1 << 16
+	if nshards > cfg.Frames {
+		panic(fmt.Sprintf("buffer: Shards %d exceeds Frames %d", nshards, cfg.Frames))
+	}
+	if nshards > 1 && cfg.PolicyFactory == nil {
+		// One policy instance cannot serve several shards: its access
+		// history (ghost lists, recency stacks) is a single structure and
+		// the whole point of sharding is one instance — one lock — per
+		// shard. The caller must say how to build per-shard instances.
+		panic("buffer: Shards > 1 requires PolicyFactory (a single Policy instance cannot be split)")
+	}
+	if cfg.Policy == nil && cfg.PolicyFactory == nil {
+		panic("buffer: Policy or PolicyFactory is required")
 	}
 	if cfg.QuarantineCap <= 0 {
 		cfg.QuarantineCap = 64
 	}
+	// Split the quarantine budget across shards, rounding up so every
+	// shard can park at least one page (a zero-cap shard could never evict
+	// a dirty page).
+	shardQuar := (cfg.QuarantineCap + nshards - 1) / nshards
+	if shardQuar < 1 {
+		shardQuar = 1
+	}
+
 	p := &Pool{
-		frames:     make([]Frame, cfg.Frames),
-		buckets:    make([]bucket, nb),
-		mask:       uint64(nb - 1),
-		device:     cfg.Device,
-		quarantine: make(map[page.PageID]*page.Page),
-		quarCap:    cfg.QuarantineCap,
+		shards: make([]shard, nshards),
+		device: cfg.Device,
 	}
-	for i := range p.buckets {
-		p.buckets[i].frames = make(map[page.PageID]*Frame)
-		p.buckets[i].loads = make(map[page.PageID]*loadOp)
+	// Distribute frames like replacer.Partitioned splits capacity: the
+	// first (Frames % Shards) shards get one extra frame.
+	base := cfg.Frames / nshards
+	extra := cfg.Frames % nshards
+	for i := range p.shards {
+		n := base
+		if i < extra {
+			n++
+		}
+		var pol replacer.Policy
+		if cfg.PolicyFactory != nil {
+			pol = cfg.PolicyFactory(n)
+		} else {
+			pol = cfg.Policy
+		}
+		p.shards[i].init(n, pol, cfg.Wrapper, cfg.Device, shardQuar)
 	}
-	p.freeList = make([]*Frame, cfg.Frames)
-	for i := range p.frames {
-		p.freeList[i] = &p.frames[i]
-	}
-	wcfg := cfg.Wrapper
-	wcfg.Validate = p.validTag
-	p.wrapper = core.New(cfg.Policy, wcfg)
 	return p
 }
 
-// NewSession returns a per-backend access session. Sessions must not be
-// shared between goroutines.
-func (p *Pool) NewSession() *core.Session { return p.wrapper.NewSession() }
+// shardFor routes a page id to its owning shard. The shard index comes
+// from the HIGH bits of the mixed hash while bucket selection inside the
+// shard uses the low bits, so the two partitionings stay independent (with
+// correlated bits, a shard's buckets would collapse to 1/nshards
+// utilization). Single-shard pools skip the hash entirely.
+func (p *Pool) shardFor(id page.PageID) *shard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	h := mix64(uint64(id))
+	return &p.shards[(h>>32)%uint64(len(p.shards))]
+}
 
-// Wrapper exposes the BP-Wrapper core for statistics collection.
-func (p *Pool) Wrapper() *core.Wrapper { return p.wrapper }
+// shardIndexFor is shardFor returning the index; used by invariant checks.
+func (p *Pool) shardIndexFor(id page.PageID) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	return int((mix64(uint64(id)) >> 32) % uint64(len(p.shards)))
+}
 
-// Counters exposes the pool's hit/miss counters.
-func (p *Pool) Counters() *metrics.AccessCounters { return &p.counters }
+// NewSession returns a per-backend access session spanning all shards.
+// Sessions must not be shared between goroutines.
+func (p *Pool) NewSession() *Session {
+	s := &Session{subs: make([]*core.Session, len(p.shards))}
+	for i := range p.shards {
+		s.subs[i] = p.shards[i].wrapper.NewSession()
+	}
+	return s
+}
+
+// Shards reports the number of hash partitions in the pool.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Wrapper exposes the BP-Wrapper core of shard 0. It is a diagnostic
+// accessor for single-shard pools (where shard 0 IS the pool); with
+// Shards > 1 use WrapperStats for aggregated figures.
+func (p *Pool) Wrapper() *core.Wrapper { return p.shards[0].wrapper }
+
+// WrapperStats returns the BP-Wrapper statistics summed over every
+// shard's wrapper. Each shard snapshot is internally consistent
+// (hits+misses never exceed accesses — see core.Wrapper.Stats), and
+// sums of consistent snapshots preserve that bound.
+func (p *Pool) WrapperStats() core.Stats {
+	var ws core.Stats
+	for i := range p.shards {
+		ws = ws.Plus(p.shards[i].wrapper.Stats())
+	}
+	return ws
+}
+
+// AccessStats returns the pool's hit/miss counters summed over all shards
+// as one consistent snapshot: within each shard hits are read before
+// misses (matching the increment order hit-then-miss is impossible — a
+// counted access increments exactly one of them), so the derived ratio
+// never observes a torn pair.
+func (p *Pool) AccessStats() metrics.AccessSnapshot {
+	var a metrics.AccessSnapshot
+	for i := range p.shards {
+		a = a.Plus(p.shards[i].counters.Snapshot())
+	}
+	return a
+}
 
 // Device returns the backing device.
 func (p *Pool) Device() storage.Device { return p.device }
 
-// bucketFor hashes a page id to its table partition.
-func (p *Pool) bucketFor(id page.PageID) *bucket {
-	h := uint64(id)
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return &p.buckets[h&p.mask]
-}
-
-// wbLock returns the write-back serialization stripe for a page id.
-func (p *Pool) wbLock(id page.PageID) *sync.Mutex {
-	h := uint64(id)
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return &p.wbLocks[h%wbStripes]
-}
-
-// validTag is installed as the wrapper's commit-time validator: a queued
-// access is applied to the policy only if the page is still cached by the
-// same frame generation it was recorded against (Section IV-B).
-func (p *Pool) validTag(e core.Entry) bool {
-	b := p.bucketFor(e.ID)
-	b.mu.RLock()
-	f, ok := b.frames[e.ID]
-	b.mu.RUnlock()
-	if !ok {
-		return false
-	}
-	return f.Tag().Matches(e.Tag)
-}
-
 // Get pins page id for reading, loading it from the device on a miss. The
-// access is recorded through the session per the BP-Wrapper protocol.
-func (p *Pool) Get(s *core.Session, id page.PageID) (*PageRef, error) {
-	return p.get(s, id, false)
+// access is recorded through the session per the BP-Wrapper protocol,
+// against the wrapper of the shard that owns the page.
+func (p *Pool) Get(s *Session, id page.PageID) (*PageRef, error) {
+	if !id.Valid() {
+		return nil, storage.ErrInvalidPage
+	}
+	idx := p.shardIndexFor(id)
+	return p.shards[idx].get(s.subs[idx], id, false)
 }
 
 // GetWrite pins page id for writing: the returned reference holds the
 // content lock exclusively and permits MarkDirty.
-func (p *Pool) GetWrite(s *core.Session, id page.PageID) (*PageRef, error) {
-	return p.get(s, id, true)
-}
-
-func (p *Pool) get(s *core.Session, id page.PageID, writable bool) (*PageRef, error) {
+func (p *Pool) GetWrite(s *Session, id page.PageID) (*PageRef, error) {
 	if !id.Valid() {
 		return nil, storage.ErrInvalidPage
 	}
-	for {
-		b := p.bucketFor(id)
-		b.mu.RLock()
-		f := b.frames[id]
-		b.mu.RUnlock()
-		if f != nil {
-			tag, ok := f.tryPin(id)
-			if !ok {
-				// Frame recycled between lookup and pin; retry.
-				continue
-			}
-			p.counters.Hit()
-			s.Hit(id, tag)
-			return p.ref(f, id, tag, writable), nil
-		}
-		ref, retry, err := p.load(s, id, writable)
-		if err != nil {
-			return nil, err
-		}
-		if !retry {
-			return ref, nil
-		}
-	}
-}
-
-// ref completes a pinned reference by taking the content lock.
-func (p *Pool) ref(f *Frame, id page.PageID, tag page.BufferTag, writable bool) *PageRef {
-	if writable {
-		f.contentMu.Lock()
-	} else {
-		f.contentMu.RLock()
-	}
-	return &PageRef{frame: f, id: id, tag: tag, writable: writable}
-}
-
-// load handles a miss: it single-flights concurrent requests for the same
-// page, obtains a frame (free or evicted), reads the page, and installs the
-// frame in the table. retry is true when the caller lost the race and
-// should restart its lookup.
-func (p *Pool) load(s *core.Session, id page.PageID, writable bool) (ref *PageRef, retry bool, err error) {
-	b := p.bucketFor(id)
-	b.mu.Lock()
-	if _, ok := b.frames[id]; ok {
-		// Installed while we were acquiring the lock.
-		b.mu.Unlock()
-		return nil, true, nil
-	}
-	if op, ok := b.loads[id]; ok {
-		// Another backend is loading this page: wait and retry.
-		b.mu.Unlock()
-		<-op.done
-		if op.err != nil {
-			return nil, false, op.err
-		}
-		return nil, true, nil
-	}
-	op := &loadOp{done: make(chan struct{})}
-	b.loads[id] = op
-	b.mu.Unlock()
-
-	finish := func(e error) {
-		op.err = e
-		b.mu.Lock()
-		delete(b.loads, id)
-		b.mu.Unlock()
-		close(op.done)
-	}
-
-	p.counters.Miss()
-	f, err := p.acquireFrame(s, id)
-	if err != nil {
-		finish(err)
-		return nil, false, err
-	}
-	// The frame is exclusively ours (pinned once, not in any bucket), so
-	// the device read can fill it without the content lock. A quarantined
-	// copy — a dirty page whose eviction write-back has not been confirmed
-	// durable — takes precedence over the device, which may hold a stale
-	// version; adopting it keeps the frame dirty so it is written back
-	// again later.
-	adopted := false
-	if q := p.quarantineTake(id); q != nil {
-		f.data = *q
-		adopted = true
-	} else if err := p.device.ReadPage(id, &f.data); err != nil {
-		p.abandonFrame(f)
-		finish(err)
-		return nil, false, err
-	}
-	var tag page.BufferTag
-	f.mu.Lock()
-	f.tag.Page = id
-	f.tag.Gen++
-	f.dirty = adopted
-	tag = f.tag
-	f.mu.Unlock()
-
-	sched.Yield(sched.BufLoadInstall)
-	b.mu.Lock()
-	b.frames[id] = f
-	b.mu.Unlock()
-
-	// Second phase of the miss protocol: the page has a frame and a table
-	// entry, so it may now become policy-resident. If a concurrent miss
-	// consumed the slot MissBegin freed, Admit evicts again and the spare
-	// victim's frame is recycled onto the free list.
-	if victim, evicted := s.MissAdmit(id); evicted {
-		p.recycle(victim)
-	}
-	finish(nil)
-	return p.ref(f, id, tag, writable), false, nil
-}
-
-// recycle reclaims a surplus victim's frame onto the free list, churning
-// through further candidates if the first is pinned.
-func (p *Pool) recycle(victim page.PageID) {
-	for attempt := 0; attempt <= 2*len(p.frames); attempt++ {
-		if victim.Valid() {
-			if f, ok := p.reclaim(victim); ok {
-				f.mu.Lock()
-				f.pins = 0
-				f.mu.Unlock()
-				p.freeMu.Lock()
-				p.freeList = append(p.freeList, f)
-				p.freeMu.Unlock()
-				return
-			}
-		}
-		runtime.Gosched()
-		v, ok := p.nextVictim(victim, page.InvalidPageID)
-		if !ok {
-			return // nothing evictable; the pool is simply over-admitted by pins
-		}
-		victim = v
-	}
-}
-
-// acquireFrame produces an empty, once-pinned frame for page id: from the
-// free list during warm-up, otherwise by evicting the policy's victim. The
-// access is recorded as a miss through the session (taking the policy lock
-// and committing any batched hits, per Figure 4 of the paper); the page
-// itself is admitted later by MissAdmit, once loaded.
-func (p *Pool) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
-	victim, evicted := s.MissBegin(id, page.BufferTag{})
-	if !evicted {
-		p.freeMu.Lock()
-		n := len(p.freeList)
-		if n == 0 {
-			p.freeMu.Unlock()
-			// The policy admitted without eviction but no free frame
-			// exists — possible only after Remove/invalidate churn; fall
-			// back to evicting explicitly.
-			return p.reclaimLoop(id, page.InvalidPageID)
-		}
-		f := p.freeList[n-1]
-		p.freeList = p.freeList[:n-1]
-		p.freeMu.Unlock()
-		f.mu.Lock()
-		f.pins = 1
-		f.mu.Unlock()
-		return f, nil
-	}
-	return p.reclaimLoop(id, victim)
-}
-
-// reclaimLoop turns an eviction victim into a reusable frame, retrying
-// through the policy when the victim is pinned or mid-load. Bounded by
-// twice the pool size, after which every buffer is presumed pinned.
-func (p *Pool) reclaimLoop(id, victim page.PageID) (*Frame, error) {
-	for attempt := 0; attempt <= 2*len(p.frames); attempt++ {
-		if victim.Valid() {
-			if f, ok := p.reclaim(victim); ok {
-				return f, nil
-			}
-		}
-		// Victim unusable (pinned, mid-load, or none yet): let the pinning
-		// goroutines run — short pins are released in microseconds, but a
-		// tight retry loop can exhaust its attempts before the scheduler
-		// ever lets an unpin happen — then exchange the victim for a
-		// different candidate under the policy lock.
-		runtime.Gosched()
-		v, ok := p.nextVictim(victim, id)
-		if !ok {
-			return nil, ErrNoUnpinnedBuffers
-		}
-		victim = v
-	}
-	return nil, ErrNoUnpinnedBuffers
-}
-
-// nextVictim re-admits a wrongly evicted page prev (its frame turned out to
-// be pinned) and returns the replacement victim the policy chose instead;
-// with an invalid prev it simply asks the policy to evict one more page.
-// protect is the page currently being loaded: if the exchange throws it
-// out, it is immediately re-admitted so its residency survives (Admit never
-// returns the page it admits, so this terminates).
-func (p *Pool) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
-	var victim page.PageID
-	var evicted bool
-	p.wrapper.Locked(func(pol replacer.Policy) {
-		if prev.Valid() && !pol.Contains(prev) {
-			victim, evicted = pol.Admit(prev)
-			if !evicted {
-				// The policy had spare capacity (two-phase misses leave a
-				// slot open while a page is in flight), so the
-				// re-admission displaced nothing; take a fresh victim
-				// explicitly.
-				victim, evicted = pol.Evict()
-			}
-		} else {
-			// prev was re-admitted by a concurrent loader (or there is no
-			// prev): take a fresh victim without admitting anything.
-			victim, evicted = pol.Evict()
-		}
-		if evicted && protect.Valid() && victim == protect {
-			victim, evicted = pol.Admit(protect)
-		}
-	})
-	return victim, evicted
-}
-
-// reclaim tries to take exclusive ownership of the victim's frame: it
-// succeeds only if the frame is unpinned, writing back dirty contents and
-// removing the table entry. On success the frame is returned pinned once
-// with an invalid tag.
-//
-// Dirty victims are evicted losslessly: the page copy is parked in the
-// quarantine *before* the table entry disappears, then written back. While
-// the copy is quarantined a concurrent miss for the same page adopts it
-// (see load) instead of re-reading a possibly stale version from the
-// device. If the write-back fails the copy simply stays quarantined —
-// drained later by the background writer, FlushDirty, or Close — so an
-// acknowledged write is never dropped. When the quarantine is already at
-// capacity the eviction is refused up front and the caller churns to
-// another (ideally clean) victim.
-func (p *Pool) reclaim(victim page.PageID) (*Frame, bool) {
-	b := p.bucketFor(victim)
-	b.mu.RLock()
-	f := b.frames[victim]
-	b.mu.RUnlock()
-	if f == nil {
-		// Policy said resident but the table has no entry: the page is
-		// mid-load by another backend (its frame is pinned anyway).
-		return nil, false
-	}
-	f.mu.Lock()
-	if f.tag.Page != victim || f.pins > 0 {
-		f.mu.Unlock()
-		return nil, false
-	}
-	needWriteback := f.dirty
-	if needWriteback && p.quarantineFull() {
-		// No room to guarantee durability for another dirty page; leave
-		// this frame untouched and let the caller try a different victim.
-		f.mu.Unlock()
-		return nil, false
-	}
-	f.pins = 1 // claim
-	var wb *page.Page
-	if needWriteback {
-		c := f.data
-		wb = &c
-		f.dirty = false
-	}
-	f.tag.Page = page.InvalidPageID
-	f.mu.Unlock()
-
-	sched.Yield(sched.BufReclaimClaim)
-	if needWriteback {
-		p.quarantinePut(victim, wb)
-	}
-
-	b.mu.Lock()
-	delete(b.frames, victim)
-	b.mu.Unlock()
-
-	if needWriteback {
-		sched.Yield(sched.BufQuarantinePark)
-		if _, err := p.writeQuarantined(victim, wb); err != nil {
-			// The copy stays quarantined; the page is safe and the failure
-			// observable via Stats. The frame itself is still reusable.
-			p.writeBackFailures.Add(1)
-		}
-	}
-	return f, true
-}
-
-// writeQuarantined makes the quarantined copy of id durable and resolves
-// its entry. All quarantine-backed writes go through here: the per-page
-// stripe lock is held across the device call so write-backs of the same
-// page are serialized — an old copy's slow write finishes before a newer
-// copy's write starts, and can therefore never land after (and silently
-// revert) it. Under the stripe lock the entry is re-validated first: a
-// copy that was adopted by a miss, superseded by a newer eviction, or
-// purged by Invalidate is skipped rather than written, returning
-// (false, nil). On write failure the entry stays quarantined.
-func (p *Pool) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, err error) {
-	l := p.wbLock(id)
-	l.Lock()
-	defer l.Unlock()
-	p.quarMu.Lock()
-	cur := p.quarantine[id]
-	p.quarMu.Unlock()
-	if cur != copy {
-		return false, nil
-	}
-	if err := p.device.WritePage(copy); err != nil {
-		return false, err
-	}
-	p.quarantineResolve(id, copy)
-	return true, nil
-}
-
-// quarantinePut parks a page copy under its id. At most one entry per page
-// can exist. In steady state a page is either pool-resident or
-// quarantined, never both; the one sanctioned overlap is a flush of a
-// still-resident frame (flushFrame), which parks the copy *before*
-// clearing the dirty bit — while that entry exists it is byte-identical
-// to the frame, so an eviction in the write window stays lossless.
-func (p *Pool) quarantinePut(id page.PageID, copy *page.Page) {
-	p.quarMu.Lock()
-	p.quarantine[id] = copy
-	p.quarMu.Unlock()
-}
-
-// quarantineTake removes and returns the quarantined copy of id, if any.
-// Used by the miss path to adopt the newest acknowledged version.
-func (p *Pool) quarantineTake(id page.PageID) *page.Page {
-	p.quarMu.Lock()
-	q := p.quarantine[id]
-	if q != nil {
-		delete(p.quarantine, id)
-	}
-	p.quarMu.Unlock()
-	return q
-}
-
-// quarantineResolve removes the entry for id if it is still the exact copy
-// the caller parked; a concurrent miss may already have adopted it (and
-// will write the same bytes back again later, which is merely redundant).
-func (p *Pool) quarantineResolve(id page.PageID, copy *page.Page) {
-	p.quarMu.Lock()
-	if p.quarantine[id] == copy {
-		delete(p.quarantine, id)
-	}
-	p.quarMu.Unlock()
-}
-
-func (p *Pool) quarantineFull() bool {
-	p.quarMu.Lock()
-	full := len(p.quarantine) >= p.quarCap
-	p.quarMu.Unlock()
-	return full
-}
-
-// QuarantineLen reports the number of pages currently parked in the
-// dirty quarantine.
-func (p *Pool) QuarantineLen() int {
-	p.quarMu.Lock()
-	n := len(p.quarantine)
-	p.quarMu.Unlock()
-	return n
-}
-
-// drainQuarantine retries the write-back of every quarantined page,
-// returning the number made durable, the number that failed again, and
-// the join of per-page failures. Entries stay mapped while their write is
-// in flight so a concurrent miss can still adopt them; a snapshot entry
-// that was adopted or superseded before its write starts is skipped by
-// writeQuarantined (counted neither written nor failed), and per-page
-// serialization there guarantees a stale snapshot write can never land
-// after a newer successful write of the same page.
-func (p *Pool) drainQuarantine() (written, failed int, err error) {
-	p.quarMu.Lock()
-	snap := make(map[page.PageID]*page.Page, len(p.quarantine))
-	for id, copy := range p.quarantine {
-		snap[id] = copy
-	}
-	p.quarMu.Unlock()
-	var errs []error
-	for id, copy := range snap {
-		wrote, werr := p.writeQuarantined(id, copy)
-		if werr != nil {
-			p.writeBackFailures.Add(1)
-			failed++
-			errs = append(errs, fmt.Errorf("quarantined page %v: %w", id, werr))
-			continue
-		}
-		if wrote {
-			written++
-		}
-	}
-	return written, failed, errors.Join(errs...)
-}
-
-// abandonFrame returns a claimed frame to the free list after a failed
-// load. The page was never admitted to the policy (two-phase protocol), so
-// no policy rollback is needed.
-func (p *Pool) abandonFrame(f *Frame) {
-	f.mu.Lock()
-	f.pins = 0
-	f.tag = page.BufferTag{}
-	f.mu.Unlock()
-	p.freeMu.Lock()
-	p.freeList = append(p.freeList, f)
-	p.freeMu.Unlock()
-}
-
-// purgeQuarantine discards any quarantined copy of id. Taking the
-// write-back stripe first waits out an in-flight write of the page and
-// makes later snapshot writes skip (their entry is gone), so discarded
-// bytes cannot be resurrected onto the device after the purge.
-func (p *Pool) purgeQuarantine(id page.PageID) {
-	l := p.wbLock(id)
-	l.Lock()
-	p.quarMu.Lock()
-	delete(p.quarantine, id)
-	p.quarMu.Unlock()
-	l.Unlock()
+	idx := p.shardIndexFor(id)
+	return p.shards[idx].get(s.subs[idx], id, true)
 }
 
 // Invalidate drops page id from the pool (e.g. its table was truncated),
@@ -645,140 +262,71 @@ func (p *Pool) purgeQuarantine(id page.PageID) {
 // earlier failed write-back, which must not be drained back to the device
 // later. It fails with ErrNoUnpinnedBuffers if the page is pinned.
 func (p *Pool) Invalidate(id page.PageID) error {
-	b := p.bucketFor(id)
-	b.mu.RLock()
-	f := b.frames[id]
-	b.mu.RUnlock()
-	if f == nil {
-		p.purgeQuarantine(id)
-		return nil
-	}
-	f.mu.Lock()
-	if f.tag.Page != id {
-		f.mu.Unlock()
-		p.purgeQuarantine(id)
-		return nil
-	}
-	if f.pins > 0 {
-		f.mu.Unlock()
-		return ErrNoUnpinnedBuffers
-	}
-	f.pins = 1
-	f.tag.Page = page.InvalidPageID
-	f.dirty = false
-	f.mu.Unlock()
-
-	b.mu.Lock()
-	delete(b.frames, id)
-	b.mu.Unlock()
-
-	p.purgeQuarantine(id)
-
-	p.wrapper.Locked(func(pol replacer.Policy) {
-		pol.Remove(id)
-	})
-	f.mu.Lock()
-	f.pins = 0
-	f.mu.Unlock()
-	p.freeMu.Lock()
-	p.freeList = append(p.freeList, f)
-	p.freeMu.Unlock()
-	return nil
+	return p.shardFor(id).invalidate(id)
 }
 
-// flushFrame writes one dirty, unpinned frame back to the device in the
-// same order reclaim uses: park a copy in the quarantine first, then clear
-// the dirty bit, then write, and resolve the entry only once the write is
-// durable. Parking before the bit clears closes the window where the
-// frame looks clean while its write is still in flight — an eviction in
-// that window would otherwise drop the page with no write-back and no
-// quarantine entry, and a subsequent miss would re-read a stale version
-// from the device. It returns (false, nil) when the frame needs no flush,
-// the quarantine is at capacity (the frame stays dirty for a later
-// round), or the parked copy was adopted/superseded before the write.
-func (p *Pool) flushFrame(f *Frame) (bool, error) {
-	f.mu.Lock()
-	if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
-		f.mu.Unlock()
-		return false, nil
+// QuarantineLen reports the number of pages currently parked in the dirty
+// quarantines of all shards.
+func (p *Pool) QuarantineLen() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].quarantineLen()
 	}
-	id := f.tag.Page
-	wb := f.data
-	p.quarMu.Lock()
-	if len(p.quarantine) >= p.quarCap {
-		// No room to guarantee durability across the write window; keep
-		// the frame dirty and let a later round (with the quarantine
-		// drained) retry, so the cap bounds every insertion path.
-		p.quarMu.Unlock()
-		f.mu.Unlock()
-		return false, nil
-	}
-	p.quarantine[id] = &wb
-	p.quarMu.Unlock()
-	f.dirty = false
-	f.mu.Unlock()
+	return n
+}
 
-	sched.Yield(sched.BufFlushClear)
-	wrote, err := p.writeQuarantined(id, &wb)
-	if err == nil {
-		return wrote, nil
+// DirtyCount reports the number of dirty resident pages across all shards
+// right now; the figure is advisory under concurrency.
+func (p *Pool) DirtyCount() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].dirtyCount()
 	}
-	p.writeBackFailures.Add(1)
-	f.mu.Lock()
-	if f.tag.Page == id {
-		// Frame still resident: retry from the frame. Withdraw our parked
-		// copy (unless superseded) to restore the resident-xor-quarantined
-		// steady state; holding f.mu here makes the withdrawal atomic with
-		// respect to eviction, which cannot proceed until we release it.
-		p.quarMu.Lock()
-		if p.quarantine[id] == &wb {
-			delete(p.quarantine, id)
+	return n
+}
+
+// drainQuarantine retries the write-back of every quarantined page across
+// all shards; see shard.drainQuarantine for the per-shard semantics.
+func (p *Pool) drainQuarantine() (written, failed int, err error) {
+	var errs []error
+	for i := range p.shards {
+		w, f, e := p.shards[i].drainQuarantine()
+		written += w
+		failed += f
+		if e != nil {
+			errs = append(errs, e)
 		}
-		p.quarMu.Unlock()
-		f.dirty = true
-		f.mu.Unlock()
-	} else {
-		// Frame recycled while the write was in flight: the copy either
-		// still sits in the quarantine (drained later) or was adopted by a
-		// re-load into a dirty frame. Either way the bytes are safe.
-		f.mu.Unlock()
 	}
-	return false, fmt.Errorf("page %v: %w", id, err)
+	return written, failed, errors.Join(errs...)
 }
 
 // FlushDirty writes every dirty, unpinned page back to the device — and
 // retries every quarantined page — returning the number made durable.
 // Pinned dirty pages are skipped. A write failure does not abort the
-// sweep: the page stays dirty (or quarantined), the remaining pages are
-// still flushed, and the failures are returned joined so the caller sees
-// every page that is not yet durable. The quarantine is drained first so
-// the frame sweep's transient parking has capacity to work with.
+// sweep: the page stays dirty (or quarantined), the remaining pages and
+// shards are still flushed, and the failures are returned joined so the
+// caller sees every page that is not yet durable. Each shard drains its
+// quarantine before its frame sweep so the sweep's transient parking has
+// capacity to work with.
 func (p *Pool) FlushDirty() (int, error) {
+	n := 0
 	var errs []error
-	qn, _, qerr := p.drainQuarantine()
-	n := qn
-	if qerr != nil {
-		errs = append(errs, qerr)
-	}
-	for i := range p.frames {
-		wrote, err := p.flushFrame(&p.frames[i])
+	for i := range p.shards {
+		sn, err := p.shards[i].flushDirty()
+		n += sn
 		if err != nil {
 			errs = append(errs, err)
-			continue
-		}
-		if wrote {
-			n++
 		}
 	}
 	return n, errors.Join(errs...)
 }
 
-// Close flushes the pool for shutdown: dirty and quarantined pages are
-// written back with bounded retries and exponential backoff, so transient
-// device trouble at shutdown does not lose data. It returns an error if
-// pages remain non-durable (still failing, or pinned dirty) after the
-// retry budget. Close does not stop a BackgroundWriter — the caller owns
-// that — and the pool remains usable afterwards.
+// Close flushes the pool for shutdown: dirty and quarantined pages of
+// every shard are written back with bounded retries and exponential
+// backoff, so transient device trouble at shutdown does not lose data. It
+// returns an error if pages remain non-durable (still failing, or pinned
+// dirty) after the retry budget. Close does not stop a BackgroundWriter —
+// the caller owns that — and the pool remains usable afterwards.
 func (p *Pool) Close() error {
 	const attempts = 8
 	backoff := time.Millisecond
@@ -817,22 +365,45 @@ func (p *Pool) Prewarm(ids []page.PageID) error {
 	return nil
 }
 
-// ResetStats zeroes the pool's access counters and the wrapper's lock and
+// ResetStats zeroes every shard's access counters and wrapper lock and
 // batching statistics; used between warm-up and measurement phases.
 func (p *Pool) ResetStats() {
-	p.counters.Reset()
-	p.wrapper.ResetStats()
+	for i := range p.shards {
+		p.shards[i].counters.Reset()
+		p.shards[i].wrapper.ResetStats()
+	}
+}
+
+// ShardStats is the per-shard slice of a Stats snapshot.
+type ShardStats struct {
+	Frames            int   // page slots owned by this shard
+	Free              int   // slots on the shard's free list
+	Dirty             int   // dirty resident pages
+	Resident          int   // pages tracked by the shard's policy
+	Quarantined       int   // quarantined pages awaiting write-back
+	Hits              int64 // buffer hits since the last reset
+	Misses            int64 // buffer misses since the last reset
+	WriteBackFailures int64 // failed write-back attempts
 }
 
 // Stats is a point-in-time operational snapshot of the pool.
+//
+// Snapshot semantics are relaxed: each counter group is read atomically
+// and consistently (per shard, hits before misses, so hits+misses never
+// exceed the accesses they imply), but distinct groups — access counters,
+// dirty counts, wrapper stats, device stats — are collected one after
+// another while workers may still be running, so cross-group comparisons
+// (e.g. Misses vs Device.Reads) can be off by in-flight operations.
+// Collect at quiescence for exact figures.
 type Stats struct {
-	Frames   int     // total page slots
-	Free     int     // slots on the free list
+	Frames   int     // total page slots, summed over shards
+	Shards   int     // number of hash partitions
+	Free     int     // slots on the free lists
 	Dirty    int     // dirty resident pages
-	Resident int     // pages tracked by the replacement policy
+	Resident int     // pages tracked by the replacement policies
 	Hits     int64   // buffer hits since the last reset
 	Misses   int64   // buffer misses since the last reset
-	HitRatio float64 // hits / (hits + misses)
+	HitRatio float64 // hits / (hits + misses), from one consistent snapshot
 
 	// Quarantined is the number of evicted dirty pages whose write-back
 	// is unconfirmed; WriteBackFailures counts failed write-back attempts
@@ -840,29 +411,56 @@ type Stats struct {
 	Quarantined       int
 	WriteBackFailures int64
 
-	Wrapper core.Stats
-	Device  storage.DeviceStats
+	// Wrapper is the BP-Wrapper statistics summed over all shards;
+	// PerShard carries the per-shard breakdown of the pool-level figures.
+	Wrapper  core.Stats
+	PerShard []ShardStats
+	Device   storage.DeviceStats
 }
 
-// Stats returns an operational snapshot. It takes the policy lock briefly
-// (for the resident count) and each frame's mutex (for the dirty count);
-// intended for monitoring, not hot paths.
+// Stats returns an operational snapshot. It takes each shard's policy lock
+// briefly (for the resident count) and each frame's mutex (for the dirty
+// count); intended for monitoring, not hot paths. All pool-level counters
+// are folded from the per-shard snapshots by one aggregation pass, so the
+// totals and PerShard always agree and HitRatio derives from the same
+// hits/misses pair the snapshot reports.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Frames:            len(p.frames),
-		Dirty:             p.DirtyCount(),
-		Hits:              p.counters.Hits(),
-		Misses:            p.counters.Misses(),
-		Quarantined:       p.QuarantineLen(),
-		WriteBackFailures: p.writeBackFailures.Load(),
-		Wrapper:           p.wrapper.Stats(),
-		Device:            p.device.Stats(),
+		Frames:   0,
+		Shards:   len(p.shards),
+		PerShard: make([]ShardStats, len(p.shards)),
+		Device:   p.device.Stats(),
 	}
-	s.HitRatio = p.counters.HitRatio()
-	p.freeMu.Lock()
-	s.Free = len(p.freeList)
-	p.freeMu.Unlock()
-	p.wrapper.Locked(func(pol replacer.Policy) { s.Resident = pol.Len() })
+	var acc metrics.AccessSnapshot
+	for i := range p.shards {
+		sh := &p.shards[i]
+		a := sh.counters.Snapshot()
+		ss := ShardStats{
+			Frames:            len(sh.frames),
+			Dirty:             sh.dirtyCount(),
+			Quarantined:       sh.quarantineLen(),
+			Hits:              a.Hits,
+			Misses:            a.Misses,
+			WriteBackFailures: sh.writeBackFailures.Load(),
+		}
+		sh.freeMu.Lock()
+		ss.Free = len(sh.freeList)
+		sh.freeMu.Unlock()
+		sh.wrapper.Locked(func(pol replacer.Policy) { ss.Resident = pol.Len() })
+
+		s.PerShard[i] = ss
+		s.Frames += ss.Frames
+		s.Free += ss.Free
+		s.Dirty += ss.Dirty
+		s.Resident += ss.Resident
+		s.Quarantined += ss.Quarantined
+		s.WriteBackFailures += ss.WriteBackFailures
+		acc = acc.Plus(a)
+		s.Wrapper = s.Wrapper.Plus(sh.wrapper.Stats())
+	}
+	s.Hits = acc.Hits
+	s.Misses = acc.Misses
+	s.HitRatio = acc.HitRatio()
 	return s
 }
 
@@ -871,21 +469,18 @@ func (p *Pool) Stats() Stats {
 // outstanding PageRefs, no in-flight operations — it must be zero).
 func (p *Pool) PinnedFrames() int {
 	n := 0
-	for i := range p.frames {
-		f := &p.frames[i]
-		f.mu.Lock()
-		if f.pins > 0 {
-			n++
-		}
-		f.mu.Unlock()
+	for i := range p.shards {
+		n += p.shards[i].pinnedFrames()
 	}
 	return n
 }
 
-// CheckInvariants verifies the pool's structural invariants: pin-count
-// sanity, frame/hash-table consistency, free-list integrity, the
-// resident-xor-quarantined steady state, and policy/table agreement. It is
-// O(frames + buckets) and takes each lock briefly.
+// CheckInvariants verifies the pool's structural invariants shard by
+// shard: pin-count sanity, frame/hash-table consistency, free-list
+// integrity, the resident-xor-quarantined steady state, policy/table
+// agreement, and — across shards — that every resident or quarantined
+// page lives in the shard its hash routes to. It is O(frames + buckets)
+// and takes each lock briefly.
 //
 // The contract is quiescence: callers must ensure no pool operations are in
 // flight (the torture harness calls it after workers join and again after
@@ -894,100 +489,12 @@ func (p *Pool) PinnedFrames() int {
 // removal and the free list, a flush window's sanctioned resident+
 // quarantined overlap — as violations.
 func (p *Pool) CheckInvariants() error {
-	// Snapshot the table: page → frame, taking each bucket lock once.
-	mapped := make(map[page.PageID]*Frame, len(p.frames))
-	for i := range p.buckets {
-		b := &p.buckets[i]
-		b.mu.RLock()
-		for id, f := range b.frames {
-			mapped[id] = f
-		}
-		nLoads := len(b.loads)
-		b.mu.RUnlock()
-		if nLoads != 0 {
-			return fmt.Errorf("buffer: %d loads in flight during invariant check (caller not quiescent)", nLoads)
+	for i := range p.shards {
+		i := i
+		owns := func(id page.PageID) bool { return p.shardIndexFor(id) == i }
+		if err := p.shards[i].checkInvariants(owns); err != nil {
+			return fmt.Errorf("shard %d/%d: %w", i, len(p.shards), err)
 		}
 	}
-	byFrame := make(map[*Frame]page.PageID, len(mapped))
-	for id, f := range mapped {
-		if prev, dup := byFrame[f]; dup {
-			return fmt.Errorf("buffer: frame mapped twice, as %v and %v", prev, id)
-		}
-		byFrame[f] = id
-		f.mu.Lock()
-		tag, pins := f.tag, f.pins
-		f.mu.Unlock()
-		if tag.Page != id {
-			return fmt.Errorf("buffer: table entry %v points at frame caching %v", id, tag.Page)
-		}
-		if pins < 0 {
-			return fmt.Errorf("buffer: page %v: negative pin count %d", id, pins)
-		}
-	}
-	// Free-list integrity: unpinned, untagged, unmapped, no duplicates.
-	p.freeMu.Lock()
-	free := append([]*Frame(nil), p.freeList...)
-	p.freeMu.Unlock()
-	onFree := make(map[*Frame]bool, len(free))
-	for _, f := range free {
-		if onFree[f] {
-			return errors.New("buffer: frame on free list twice")
-		}
-		onFree[f] = true
-		if id, ok := byFrame[f]; ok {
-			return fmt.Errorf("buffer: frame on free list while mapped as %v", id)
-		}
-		f.mu.Lock()
-		tag, pins := f.tag, f.pins
-		f.mu.Unlock()
-		if tag.Page.Valid() {
-			return fmt.Errorf("buffer: free frame still tagged %v", tag.Page)
-		}
-		if pins != 0 {
-			return fmt.Errorf("buffer: free frame has %d pins", pins)
-		}
-	}
-	// Every frame is accounted for exactly once: mapped or free.
-	if len(mapped)+len(free) != len(p.frames) {
-		return fmt.Errorf("buffer: %d mapped + %d free != %d frames (frame leaked or in flight)",
-			len(mapped), len(free), len(p.frames))
-	}
-	// Quarantine: disjoint from the resident set at quiescence (the one
-	// sanctioned overlap is a flush's in-flight write window), and within
-	// its soft capacity bound.
-	p.quarMu.Lock()
-	quar := make([]page.PageID, 0, len(p.quarantine))
-	for id := range p.quarantine {
-		quar = append(quar, id)
-	}
-	p.quarMu.Unlock()
-	for _, id := range quar {
-		if _, resident := mapped[id]; resident {
-			return fmt.Errorf("buffer: page %v both resident and quarantined at quiescence", id)
-		}
-	}
-	if len(quar) > p.quarCap+len(p.frames) {
-		return fmt.Errorf("buffer: quarantine %d far beyond cap %d", len(quar), p.quarCap)
-	}
-	// Policy agreement: every policy-resident page must have a table entry
-	// (a frameless resident would be unevictable and unservable). The
-	// reverse — a table entry the policy no longer tracks — is legal residue
-	// of eviction churn against pinned frames and is not flagged.
-	var perr error
-	p.wrapper.Locked(func(pol replacer.Policy) {
-		n := pol.Len()
-		inTable := 0
-		for id := range mapped {
-			if pol.Contains(id) {
-				inTable++
-			}
-		}
-		if n != inTable {
-			perr = fmt.Errorf("buffer: policy tracks %d residents but only %d have table entries", n, inTable)
-		}
-	})
-	if perr != nil {
-		return perr
-	}
-	return p.wrapper.CheckInvariants()
+	return nil
 }

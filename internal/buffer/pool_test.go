@@ -44,7 +44,7 @@ func TestGetLoadsAndHits(t *testing.T) {
 	}
 	ref.Release()
 
-	if h, m := p.Counters().Hits(), p.Counters().Misses(); h != 1 || m != 1 {
+	if h, m := p.AccessStats().Hits, p.AccessStats().Misses; h != 1 || m != 1 {
 		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
 	}
 }
@@ -248,10 +248,10 @@ func TestPrewarmEliminatesMisses(t *testing.T) {
 		}
 	}
 	s.Flush()
-	if m := p.Counters().Misses(); m != 0 {
+	if m := p.AccessStats().Misses; m != 0 {
 		t.Fatalf("%d misses after prewarm", m)
 	}
-	if hr := p.Counters().HitRatio(); hr != 1 {
+	if hr := p.AccessStats().HitRatio(); hr != 1 {
 		t.Fatalf("hit ratio %v", hr)
 	}
 }
@@ -341,8 +341,8 @@ func TestConcurrentChurnIntegrity(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if p.Counters().Accesses() != workers*3000 {
-		t.Fatalf("accesses=%d", p.Counters().Accesses())
+	if p.AccessStats().Accesses() != workers*3000 {
+		t.Fatalf("accesses=%d", p.AccessStats().Accesses())
 	}
 }
 

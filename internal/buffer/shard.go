@@ -1,0 +1,838 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/sched"
+	"bpwrapper/internal/storage"
+)
+
+// shard is one hash partition of the pool: a self-contained buffer manager
+// owning its slice of the frames, its own page table, free list, dirty
+// quarantine, write-back stripes, and — crucially — its own core.Wrapper
+// around its own replacement-policy instance. The policy lock, batching
+// queues, and flat-combining slots are therefore per shard: sharding the
+// pool multiplies the paper's single hot spot into Shards independent ones,
+// at the cost of splitting the replacement algorithm's access history
+// (Section V-A), which the E14 experiment quantifies.
+//
+// A shard never sees a page another shard owns: Pool routes every PageID to
+// exactly one shard, so all the single-pool invariants from PR 1 (lossless
+// dirty eviction, per-page write-back ordering, quarantine capping) hold
+// per shard unchanged. With Shards: 1 the single shard IS the old
+// monolithic pool, bit for bit.
+type shard struct {
+	frames  []Frame
+	buckets []bucket
+	mask    uint64
+	wrapper *core.Wrapper
+	device  storage.Device
+
+	freeMu   sync.Mutex
+	freeList []*Frame
+
+	// quarantine parks copies of dirty pages from the moment their dirty
+	// bit is cleared until their write-back is confirmed durable: eviction
+	// parks before the frame leaves the page table, and flush paths park
+	// before clearing the dirty bit of a still-resident frame. Entries
+	// linger when the write fails, so an acknowledged write is never
+	// dropped; loads adopt a quarantined copy instead of reading a stale
+	// version from the device (which also closes the window where a
+	// concurrent miss could re-read a page whose write-back is still in
+	// flight).
+	quarMu     sync.Mutex
+	quarantine map[page.PageID]*page.Page
+	quarCap    int
+
+	// wbLocks serializes device write-backs per page (striped by page id,
+	// held across the WritePage call in writeQuarantined). Without it, a
+	// slow in-flight write of an old copy could land *after* a newer copy
+	// of the same page was written and resolved, silently reverting the
+	// device.
+	wbLocks [wbStripes]sync.Mutex
+
+	writeBackFailures atomic.Int64
+
+	counters metrics.AccessCounters
+}
+
+// wbStripes is the number of per-page write-back serialization stripes.
+const wbStripes = 64
+
+// bucket is one hash-table partition: a small map guarded by its own
+// RWMutex, plus the in-flight load registry used to single-flight misses.
+type bucket struct {
+	mu     sync.RWMutex
+	frames map[page.PageID]*Frame
+	loads  map[page.PageID]*loadOp
+}
+
+// loadOp coordinates concurrent requests for a page that is being read
+// from the device: followers wait on done and then retry their lookup.
+type loadOp struct {
+	done chan struct{}
+	err  error
+}
+
+// init sizes and wires one shard for frames page slots.
+func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device storage.Device, quarCap int) {
+	if pol.Cap() < frames {
+		panic(fmt.Sprintf("buffer: policy capacity %d below shard frame count %d", pol.Cap(), frames))
+	}
+	nb := 1
+	for nb < 4*frames {
+		nb <<= 1
+	}
+	if nb > 1<<16 {
+		nb = 1 << 16
+	}
+	sh.frames = make([]Frame, frames)
+	sh.buckets = make([]bucket, nb)
+	sh.mask = uint64(nb - 1)
+	sh.device = device
+	sh.quarantine = make(map[page.PageID]*page.Page)
+	sh.quarCap = quarCap
+	for i := range sh.buckets {
+		sh.buckets[i].frames = make(map[page.PageID]*Frame)
+		sh.buckets[i].loads = make(map[page.PageID]*loadOp)
+	}
+	sh.freeList = make([]*Frame, frames)
+	for i := range sh.frames {
+		sh.freeList[i] = &sh.frames[i]
+	}
+	wcfg.Validate = sh.validTag
+	sh.wrapper = core.New(pol, wcfg)
+}
+
+// bucketFor hashes a page id to its table partition within the shard.
+func (sh *shard) bucketFor(id page.PageID) *bucket {
+	return &sh.buckets[mix64(uint64(id))&sh.mask]
+}
+
+// wbLock returns the write-back serialization stripe for a page id.
+func (sh *shard) wbLock(id page.PageID) *sync.Mutex {
+	return &sh.wbLocks[mix64(uint64(id))%wbStripes]
+}
+
+// validTag is installed as the shard wrapper's commit-time validator: a
+// queued access is applied to the policy only if the page is still cached
+// by the same frame generation it was recorded against (Section IV-B).
+func (sh *shard) validTag(e core.Entry) bool {
+	b := sh.bucketFor(e.ID)
+	b.mu.RLock()
+	f, ok := b.frames[e.ID]
+	b.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return f.Tag().Matches(e.Tag)
+}
+
+func (sh *shard) get(s *core.Session, id page.PageID, writable bool) (*PageRef, error) {
+	for {
+		b := sh.bucketFor(id)
+		b.mu.RLock()
+		f := b.frames[id]
+		b.mu.RUnlock()
+		if f != nil {
+			tag, ok := f.tryPin(id)
+			if !ok {
+				// Frame recycled between lookup and pin; retry.
+				continue
+			}
+			sh.counters.Hit()
+			s.Hit(id, tag)
+			return sh.ref(f, id, tag, writable), nil
+		}
+		ref, retry, err := sh.load(s, id, writable)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return ref, nil
+		}
+	}
+}
+
+// ref completes a pinned reference by taking the content lock.
+func (sh *shard) ref(f *Frame, id page.PageID, tag page.BufferTag, writable bool) *PageRef {
+	if writable {
+		f.contentMu.Lock()
+	} else {
+		f.contentMu.RLock()
+	}
+	return &PageRef{frame: f, id: id, tag: tag, writable: writable}
+}
+
+// load handles a miss: it single-flights concurrent requests for the same
+// page, obtains a frame (free or evicted), reads the page, and installs the
+// frame in the table. retry is true when the caller lost the race and
+// should restart its lookup.
+func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *PageRef, retry bool, err error) {
+	b := sh.bucketFor(id)
+	b.mu.Lock()
+	if _, ok := b.frames[id]; ok {
+		// Installed while we were acquiring the lock.
+		b.mu.Unlock()
+		return nil, true, nil
+	}
+	if op, ok := b.loads[id]; ok {
+		// Another backend is loading this page: wait and retry.
+		b.mu.Unlock()
+		<-op.done
+		if op.err != nil {
+			return nil, false, op.err
+		}
+		return nil, true, nil
+	}
+	op := &loadOp{done: make(chan struct{})}
+	b.loads[id] = op
+	b.mu.Unlock()
+
+	finish := func(e error) {
+		op.err = e
+		b.mu.Lock()
+		delete(b.loads, id)
+		b.mu.Unlock()
+		close(op.done)
+	}
+
+	sh.counters.Miss()
+	f, err := sh.acquireFrame(s, id)
+	if err != nil {
+		finish(err)
+		return nil, false, err
+	}
+	// The frame is exclusively ours (pinned once, not in any bucket), so
+	// the device read can fill it without the content lock. A quarantined
+	// copy — a dirty page whose eviction write-back has not been confirmed
+	// durable — takes precedence over the device, which may hold a stale
+	// version; adopting it keeps the frame dirty so it is written back
+	// again later.
+	adopted := false
+	if q := sh.quarantineTake(id); q != nil {
+		f.data = *q
+		adopted = true
+	} else if err := sh.device.ReadPage(id, &f.data); err != nil {
+		sh.abandonFrame(f)
+		finish(err)
+		return nil, false, err
+	}
+	var tag page.BufferTag
+	f.mu.Lock()
+	f.tag.Page = id
+	f.tag.Gen++
+	f.dirty = adopted
+	tag = f.tag
+	f.mu.Unlock()
+
+	sched.Yield(sched.BufLoadInstall)
+	b.mu.Lock()
+	b.frames[id] = f
+	b.mu.Unlock()
+
+	// Second phase of the miss protocol: the page has a frame and a table
+	// entry, so it may now become policy-resident. If a concurrent miss
+	// consumed the slot MissBegin freed, Admit evicts again and the spare
+	// victim's frame is recycled onto the free list.
+	if victim, evicted := s.MissAdmit(id); evicted {
+		sh.recycle(victim)
+	}
+	finish(nil)
+	return sh.ref(f, id, tag, writable), false, nil
+}
+
+// recycle reclaims a surplus victim's frame onto the free list, churning
+// through further candidates if the first is pinned.
+func (sh *shard) recycle(victim page.PageID) {
+	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
+		if victim.Valid() {
+			if f, ok := sh.reclaim(victim); ok {
+				f.mu.Lock()
+				f.pins = 0
+				f.mu.Unlock()
+				sh.freeMu.Lock()
+				sh.freeList = append(sh.freeList, f)
+				sh.freeMu.Unlock()
+				return
+			}
+		}
+		runtime.Gosched()
+		v, ok := sh.nextVictim(victim, page.InvalidPageID)
+		if !ok {
+			return // nothing evictable; the shard is simply over-admitted by pins
+		}
+		victim = v
+	}
+}
+
+// acquireFrame produces an empty, once-pinned frame for page id: from the
+// free list during warm-up, otherwise by evicting the policy's victim. The
+// access is recorded as a miss through the session (taking the policy lock
+// and committing any batched hits, per Figure 4 of the paper); the page
+// itself is admitted later by MissAdmit, once loaded.
+func (sh *shard) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
+	victim, evicted := s.MissBegin(id, page.BufferTag{})
+	if !evicted {
+		sh.freeMu.Lock()
+		n := len(sh.freeList)
+		if n == 0 {
+			sh.freeMu.Unlock()
+			// The policy admitted without eviction but no free frame
+			// exists — possible only after Remove/invalidate churn; fall
+			// back to evicting explicitly.
+			return sh.reclaimLoop(id, page.InvalidPageID)
+		}
+		f := sh.freeList[n-1]
+		sh.freeList = sh.freeList[:n-1]
+		sh.freeMu.Unlock()
+		f.mu.Lock()
+		f.pins = 1
+		f.mu.Unlock()
+		return f, nil
+	}
+	return sh.reclaimLoop(id, victim)
+}
+
+// reclaimLoop turns an eviction victim into a reusable frame, retrying
+// through the policy when the victim is pinned or mid-load. Bounded by
+// twice the shard size, after which every buffer is presumed pinned.
+func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
+	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
+		if victim.Valid() {
+			if f, ok := sh.reclaim(victim); ok {
+				return f, nil
+			}
+		}
+		// Victim unusable (pinned, mid-load, or none yet): let the pinning
+		// goroutines run — short pins are released in microseconds, but a
+		// tight retry loop can exhaust its attempts before the scheduler
+		// ever lets an unpin happen — then exchange the victim for a
+		// different candidate under the policy lock.
+		runtime.Gosched()
+		v, ok := sh.nextVictim(victim, id)
+		if !ok {
+			return nil, ErrNoUnpinnedBuffers
+		}
+		victim = v
+	}
+	return nil, ErrNoUnpinnedBuffers
+}
+
+// nextVictim re-admits a wrongly evicted page prev (its frame turned out to
+// be pinned) and returns the replacement victim the policy chose instead;
+// with an invalid prev it simply asks the policy to evict one more page.
+// protect is the page currently being loaded: if the exchange throws it
+// out, it is immediately re-admitted so its residency survives (Admit never
+// returns the page it admits, so this terminates).
+func (sh *shard) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
+	var victim page.PageID
+	var evicted bool
+	sh.wrapper.Locked(func(pol replacer.Policy) {
+		if prev.Valid() && !pol.Contains(prev) {
+			victim, evicted = pol.Admit(prev)
+			if !evicted {
+				// The policy had spare capacity (two-phase misses leave a
+				// slot open while a page is in flight), so the
+				// re-admission displaced nothing; take a fresh victim
+				// explicitly.
+				victim, evicted = pol.Evict()
+			}
+		} else {
+			// prev was re-admitted by a concurrent loader (or there is no
+			// prev): take a fresh victim without admitting anything.
+			victim, evicted = pol.Evict()
+		}
+		if evicted && protect.Valid() && victim == protect {
+			victim, evicted = pol.Admit(protect)
+		}
+	})
+	return victim, evicted
+}
+
+// reclaim tries to take exclusive ownership of the victim's frame: it
+// succeeds only if the frame is unpinned, writing back dirty contents and
+// removing the table entry. On success the frame is returned pinned once
+// with an invalid tag.
+//
+// Dirty victims are evicted losslessly: the page copy is parked in the
+// quarantine *before* the table entry disappears, then written back. While
+// the copy is quarantined a concurrent miss for the same page adopts it
+// (see load) instead of re-reading a possibly stale version from the
+// device. If the write-back fails the copy simply stays quarantined —
+// drained later by the background writer, FlushDirty, or Close — so an
+// acknowledged write is never dropped. When the quarantine is already at
+// capacity the eviction is refused up front and the caller churns to
+// another (ideally clean) victim.
+func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
+	b := sh.bucketFor(victim)
+	b.mu.RLock()
+	f := b.frames[victim]
+	b.mu.RUnlock()
+	if f == nil {
+		// Policy said resident but the table has no entry: the page is
+		// mid-load by another backend (its frame is pinned anyway).
+		return nil, false
+	}
+	f.mu.Lock()
+	if f.tag.Page != victim || f.pins > 0 {
+		f.mu.Unlock()
+		return nil, false
+	}
+	needWriteback := f.dirty
+	if needWriteback && sh.quarantineFull() {
+		// No room to guarantee durability for another dirty page; leave
+		// this frame untouched and let the caller try a different victim.
+		f.mu.Unlock()
+		return nil, false
+	}
+	f.pins = 1 // claim
+	var wb *page.Page
+	if needWriteback {
+		c := f.data
+		wb = &c
+		f.dirty = false
+	}
+	f.tag.Page = page.InvalidPageID
+	f.mu.Unlock()
+
+	sched.Yield(sched.BufReclaimClaim)
+	if needWriteback {
+		sh.quarantinePut(victim, wb)
+	}
+
+	b.mu.Lock()
+	delete(b.frames, victim)
+	b.mu.Unlock()
+
+	if needWriteback {
+		sched.Yield(sched.BufQuarantinePark)
+		if _, err := sh.writeQuarantined(victim, wb); err != nil {
+			// The copy stays quarantined; the page is safe and the failure
+			// observable via Stats. The frame itself is still reusable.
+			sh.writeBackFailures.Add(1)
+		}
+	}
+	return f, true
+}
+
+// writeQuarantined makes the quarantined copy of id durable and resolves
+// its entry. All quarantine-backed writes go through here: the per-page
+// stripe lock is held across the device call so write-backs of the same
+// page are serialized — an old copy's slow write finishes before a newer
+// copy's write starts, and can therefore never land after (and silently
+// revert) it. Under the stripe lock the entry is re-validated first: a
+// copy that was adopted by a miss, superseded by a newer eviction, or
+// purged by Invalidate is skipped rather than written, returning
+// (false, nil). On write failure the entry stays quarantined.
+func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, err error) {
+	l := sh.wbLock(id)
+	l.Lock()
+	defer l.Unlock()
+	sh.quarMu.Lock()
+	cur := sh.quarantine[id]
+	sh.quarMu.Unlock()
+	if cur != copy {
+		return false, nil
+	}
+	if err := sh.device.WritePage(copy); err != nil {
+		return false, err
+	}
+	sh.quarantineResolve(id, copy)
+	return true, nil
+}
+
+// quarantinePut parks a page copy under its id. At most one entry per page
+// can exist. In steady state a page is either shard-resident or
+// quarantined, never both; the one sanctioned overlap is a flush of a
+// still-resident frame (flushFrame), which parks the copy *before*
+// clearing the dirty bit — while that entry exists it is byte-identical
+// to the frame, so an eviction in the write window stays lossless.
+func (sh *shard) quarantinePut(id page.PageID, copy *page.Page) {
+	sh.quarMu.Lock()
+	sh.quarantine[id] = copy
+	sh.quarMu.Unlock()
+}
+
+// quarantineTake removes and returns the quarantined copy of id, if any.
+// Used by the miss path to adopt the newest acknowledged version.
+func (sh *shard) quarantineTake(id page.PageID) *page.Page {
+	sh.quarMu.Lock()
+	q := sh.quarantine[id]
+	if q != nil {
+		delete(sh.quarantine, id)
+	}
+	sh.quarMu.Unlock()
+	return q
+}
+
+// quarantineResolve removes the entry for id if it is still the exact copy
+// the caller parked; a concurrent miss may already have adopted it (and
+// will write the same bytes back again later, which is merely redundant).
+func (sh *shard) quarantineResolve(id page.PageID, copy *page.Page) {
+	sh.quarMu.Lock()
+	if sh.quarantine[id] == copy {
+		delete(sh.quarantine, id)
+	}
+	sh.quarMu.Unlock()
+}
+
+func (sh *shard) quarantineFull() bool {
+	sh.quarMu.Lock()
+	full := len(sh.quarantine) >= sh.quarCap
+	sh.quarMu.Unlock()
+	return full
+}
+
+// quarantineLen reports the number of pages currently parked in this
+// shard's dirty quarantine.
+func (sh *shard) quarantineLen() int {
+	sh.quarMu.Lock()
+	n := len(sh.quarantine)
+	sh.quarMu.Unlock()
+	return n
+}
+
+// drainQuarantine retries the write-back of every quarantined page,
+// returning the number made durable, the number that failed again, and
+// the join of per-page failures. Entries stay mapped while their write is
+// in flight so a concurrent miss can still adopt them; a snapshot entry
+// that was adopted or superseded before its write starts is skipped by
+// writeQuarantined (counted neither written nor failed), and per-page
+// serialization there guarantees a stale snapshot write can never land
+// after a newer successful write of the same page.
+func (sh *shard) drainQuarantine() (written, failed int, err error) {
+	sh.quarMu.Lock()
+	snap := make(map[page.PageID]*page.Page, len(sh.quarantine))
+	for id, copy := range sh.quarantine {
+		snap[id] = copy
+	}
+	sh.quarMu.Unlock()
+	var errs []error
+	for id, copy := range snap {
+		wrote, werr := sh.writeQuarantined(id, copy)
+		if werr != nil {
+			sh.writeBackFailures.Add(1)
+			failed++
+			errs = append(errs, fmt.Errorf("quarantined page %v: %w", id, werr))
+			continue
+		}
+		if wrote {
+			written++
+		}
+	}
+	return written, failed, errors.Join(errs...)
+}
+
+// abandonFrame returns a claimed frame to the free list after a failed
+// load. The page was never admitted to the policy (two-phase protocol), so
+// no policy rollback is needed.
+func (sh *shard) abandonFrame(f *Frame) {
+	f.mu.Lock()
+	f.pins = 0
+	f.tag = page.BufferTag{}
+	f.mu.Unlock()
+	sh.freeMu.Lock()
+	sh.freeList = append(sh.freeList, f)
+	sh.freeMu.Unlock()
+}
+
+// purgeQuarantine discards any quarantined copy of id. Taking the
+// write-back stripe first waits out an in-flight write of the page and
+// makes later snapshot writes skip (their entry is gone), so discarded
+// bytes cannot be resurrected onto the device after the purge.
+func (sh *shard) purgeQuarantine(id page.PageID) {
+	l := sh.wbLock(id)
+	l.Lock()
+	sh.quarMu.Lock()
+	delete(sh.quarantine, id)
+	sh.quarMu.Unlock()
+	l.Unlock()
+}
+
+// invalidate drops page id from the shard (e.g. its table was truncated),
+// discarding dirty contents — including any quarantined copy from an
+// earlier failed write-back, which must not be drained back to the device
+// later. It fails with ErrNoUnpinnedBuffers if the page is pinned.
+func (sh *shard) invalidate(id page.PageID) error {
+	b := sh.bucketFor(id)
+	b.mu.RLock()
+	f := b.frames[id]
+	b.mu.RUnlock()
+	if f == nil {
+		sh.purgeQuarantine(id)
+		return nil
+	}
+	f.mu.Lock()
+	if f.tag.Page != id {
+		f.mu.Unlock()
+		sh.purgeQuarantine(id)
+		return nil
+	}
+	if f.pins > 0 {
+		f.mu.Unlock()
+		return ErrNoUnpinnedBuffers
+	}
+	f.pins = 1
+	f.tag.Page = page.InvalidPageID
+	f.dirty = false
+	f.mu.Unlock()
+
+	b.mu.Lock()
+	delete(b.frames, id)
+	b.mu.Unlock()
+
+	sh.purgeQuarantine(id)
+
+	sh.wrapper.Locked(func(pol replacer.Policy) {
+		pol.Remove(id)
+	})
+	f.mu.Lock()
+	f.pins = 0
+	f.mu.Unlock()
+	sh.freeMu.Lock()
+	sh.freeList = append(sh.freeList, f)
+	sh.freeMu.Unlock()
+	return nil
+}
+
+// flushFrame writes one dirty, unpinned frame back to the device in the
+// same order reclaim uses: park a copy in the quarantine first, then clear
+// the dirty bit, then write, and resolve the entry only once the write is
+// durable. Parking before the bit clears closes the window where the
+// frame looks clean while its write is still in flight — an eviction in
+// that window would otherwise drop the page with no write-back and no
+// quarantine entry, and a subsequent miss would re-read a stale version
+// from the device. It returns (false, nil) when the frame needs no flush,
+// the quarantine is at capacity (the frame stays dirty for a later
+// round), or the parked copy was adopted/superseded before the write.
+func (sh *shard) flushFrame(f *Frame) (bool, error) {
+	f.mu.Lock()
+	if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
+		f.mu.Unlock()
+		return false, nil
+	}
+	id := f.tag.Page
+	wb := f.data
+	sh.quarMu.Lock()
+	if len(sh.quarantine) >= sh.quarCap {
+		// No room to guarantee durability across the write window; keep
+		// the frame dirty and let a later round (with the quarantine
+		// drained) retry, so the cap bounds every insertion path.
+		sh.quarMu.Unlock()
+		f.mu.Unlock()
+		return false, nil
+	}
+	sh.quarantine[id] = &wb
+	sh.quarMu.Unlock()
+	f.dirty = false
+	f.mu.Unlock()
+
+	sched.Yield(sched.BufFlushClear)
+	wrote, err := sh.writeQuarantined(id, &wb)
+	if err == nil {
+		return wrote, nil
+	}
+	sh.writeBackFailures.Add(1)
+	f.mu.Lock()
+	if f.tag.Page == id {
+		// Frame still resident: retry from the frame. Withdraw our parked
+		// copy (unless superseded) to restore the resident-xor-quarantined
+		// steady state; holding f.mu here makes the withdrawal atomic with
+		// respect to eviction, which cannot proceed until we release it.
+		sh.quarMu.Lock()
+		if sh.quarantine[id] == &wb {
+			delete(sh.quarantine, id)
+		}
+		sh.quarMu.Unlock()
+		f.dirty = true
+		f.mu.Unlock()
+	} else {
+		// Frame recycled while the write was in flight: the copy either
+		// still sits in the quarantine (drained later) or was adopted by a
+		// re-load into a dirty frame. Either way the bytes are safe.
+		f.mu.Unlock()
+	}
+	return false, fmt.Errorf("page %v: %w", id, err)
+}
+
+// flushDirty writes every dirty, unpinned page of this shard back to the
+// device — and retries every quarantined page — returning the number made
+// durable. The quarantine is drained first so the frame sweep's transient
+// parking has capacity to work with.
+func (sh *shard) flushDirty() (int, error) {
+	var errs []error
+	qn, _, qerr := sh.drainQuarantine()
+	n := qn
+	if qerr != nil {
+		errs = append(errs, qerr)
+	}
+	for i := range sh.frames {
+		wrote, err := sh.flushFrame(&sh.frames[i])
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if wrote {
+			n++
+		}
+	}
+	return n, errors.Join(errs...)
+}
+
+// dirtyCount reports the number of dirty frames in the shard right now.
+func (sh *shard) dirtyCount() int {
+	n := 0
+	for i := range sh.frames {
+		f := &sh.frames[i]
+		f.mu.Lock()
+		if f.dirty && f.tag.Page != page.InvalidPageID {
+			n++
+		}
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// pinnedFrames reports the number of frames currently holding at least one
+// pin.
+func (sh *shard) pinnedFrames() int {
+	n := 0
+	for i := range sh.frames {
+		f := &sh.frames[i]
+		f.mu.Lock()
+		if f.pins > 0 {
+			n++
+		}
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// checkInvariants verifies the shard's structural invariants (see
+// Pool.CheckInvariants for the contract). owns reports whether a page id
+// routes to this shard; a mapped or quarantined page owned by a different
+// shard is a routing bug, not eviction residue.
+func (sh *shard) checkInvariants(owns func(page.PageID) bool) error {
+	// Snapshot the table: page → frame, taking each bucket lock once.
+	mapped := make(map[page.PageID]*Frame, len(sh.frames))
+	for i := range sh.buckets {
+		b := &sh.buckets[i]
+		b.mu.RLock()
+		for id, f := range b.frames {
+			mapped[id] = f
+		}
+		nLoads := len(b.loads)
+		b.mu.RUnlock()
+		if nLoads != 0 {
+			return fmt.Errorf("buffer: %d loads in flight during invariant check (caller not quiescent)", nLoads)
+		}
+	}
+	byFrame := make(map[*Frame]page.PageID, len(mapped))
+	for id, f := range mapped {
+		if !owns(id) {
+			return fmt.Errorf("buffer: page %v resident in a shard that does not own it", id)
+		}
+		if prev, dup := byFrame[f]; dup {
+			return fmt.Errorf("buffer: frame mapped twice, as %v and %v", prev, id)
+		}
+		byFrame[f] = id
+		f.mu.Lock()
+		tag, pins := f.tag, f.pins
+		f.mu.Unlock()
+		if tag.Page != id {
+			return fmt.Errorf("buffer: table entry %v points at frame caching %v", id, tag.Page)
+		}
+		if pins < 0 {
+			return fmt.Errorf("buffer: page %v: negative pin count %d", id, pins)
+		}
+	}
+	// Free-list integrity: unpinned, untagged, unmapped, no duplicates.
+	sh.freeMu.Lock()
+	free := append([]*Frame(nil), sh.freeList...)
+	sh.freeMu.Unlock()
+	onFree := make(map[*Frame]bool, len(free))
+	for _, f := range free {
+		if onFree[f] {
+			return errors.New("buffer: frame on free list twice")
+		}
+		onFree[f] = true
+		if id, ok := byFrame[f]; ok {
+			return fmt.Errorf("buffer: frame on free list while mapped as %v", id)
+		}
+		f.mu.Lock()
+		tag, pins := f.tag, f.pins
+		f.mu.Unlock()
+		if tag.Page.Valid() {
+			return fmt.Errorf("buffer: free frame still tagged %v", tag.Page)
+		}
+		if pins != 0 {
+			return fmt.Errorf("buffer: free frame has %d pins", pins)
+		}
+	}
+	// Every frame is accounted for exactly once: mapped or free.
+	if len(mapped)+len(free) != len(sh.frames) {
+		return fmt.Errorf("buffer: %d mapped + %d free != %d frames (frame leaked or in flight)",
+			len(mapped), len(free), len(sh.frames))
+	}
+	// Quarantine: disjoint from the resident set at quiescence (the one
+	// sanctioned overlap is a flush's in-flight write window), within its
+	// soft capacity bound, and owned by this shard.
+	sh.quarMu.Lock()
+	quar := make([]page.PageID, 0, len(sh.quarantine))
+	for id := range sh.quarantine {
+		quar = append(quar, id)
+	}
+	sh.quarMu.Unlock()
+	for _, id := range quar {
+		if !owns(id) {
+			return fmt.Errorf("buffer: page %v quarantined in a shard that does not own it", id)
+		}
+		if _, resident := mapped[id]; resident {
+			return fmt.Errorf("buffer: page %v both resident and quarantined at quiescence", id)
+		}
+	}
+	if len(quar) > sh.quarCap+len(sh.frames) {
+		return fmt.Errorf("buffer: quarantine %d far beyond cap %d", len(quar), sh.quarCap)
+	}
+	// Policy agreement: every policy-resident page must have a table entry
+	// (a frameless resident would be unevictable and unservable). The
+	// reverse — a table entry the policy no longer tracks — is legal residue
+	// of eviction churn against pinned frames and is not flagged.
+	var perr error
+	sh.wrapper.Locked(func(pol replacer.Policy) {
+		n := pol.Len()
+		inTable := 0
+		for id := range mapped {
+			if pol.Contains(id) {
+				inTable++
+			}
+		}
+		if n != inTable {
+			perr = fmt.Errorf("buffer: policy tracks %d residents but only %d have table entries", n, inTable)
+		}
+	})
+	if perr != nil {
+		return perr
+	}
+	return sh.wrapper.CheckInvariants()
+}
+
+// mix64 is the 64-bit finalizer of MurmurHash3: a full-avalanche mix whose
+// output bits are all independent of one another, so the pool can route
+// shards off the high bits and buckets off the low bits of the same hash
+// without correlating the two.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

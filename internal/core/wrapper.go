@@ -168,6 +168,27 @@ type Stats struct {
 	HandoffSaved    int64 // publishes whose TryLock failed: batches handed to the combiner instead of blocking or re-accumulating
 }
 
+// Plus returns the field-wise sum of two snapshots. The sharded pool folds
+// its per-shard wrapper snapshots through this one helper so every
+// aggregate is produced the same way; summing internally consistent
+// snapshots (Hits+Misses ≤ Accesses, see Wrapper.Stats) preserves that
+// bound in the total.
+func (s Stats) Plus(o Stats) Stats {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Commits += o.Commits
+	s.Committed += o.Committed
+	s.Dropped += o.Dropped
+	s.Lock = s.Lock.Plus(o.Lock)
+	s.ForcedLocks += o.ForcedLocks
+	s.TryCommits += o.TryCommits
+	s.CombinedBatches += o.CombinedBatches
+	s.CombinedEntries += o.CombinedEntries
+	s.HandoffSaved += o.HandoffSaved
+	return s
+}
+
 // cacheLineSize separates counter groups with different writer populations
 // so a store to one group does not invalidate another group's line (the
 // false-sharing fix: before, eight adjacent atomics were bumped on every
@@ -264,11 +285,22 @@ func (w *Wrapper) Config() Config { return w.cfg }
 
 // Stats returns a snapshot of the wrapper's counters. See the Stats type
 // for the staleness bound on the per-access aggregates.
+//
+// The snapshot is internally consistent in one direction: Hits + Misses
+// never exceed Accesses. Sessions fold their private counts in the order
+// accesses, hits, misses (see Session.fold), so this reader loads hits and
+// misses FIRST and accesses LAST — any hit or miss it observes comes from
+// a fold whose accesses addition is already visible by the time accesses
+// is read (Go atomics are sequentially consistent). Reading accesses first
+// had the opposite skew: a fold landing between the loads made hits+misses
+// transiently exceed accesses, which aggregation-over-shards then amplified.
 func (w *Wrapper) Stats() Stats {
+	hits := w.agg.hits.Load()
+	misses := w.agg.misses.Load()
 	return Stats{
 		Accesses:        w.agg.accesses.Load(),
-		Hits:            w.agg.hits.Load(),
-		Misses:          w.agg.misses.Load(),
+		Hits:            hits,
+		Misses:          misses,
 		Commits:         w.cc.commits.Load(),
 		Committed:       w.cc.committed.Load(),
 		Dropped:         w.cc.dropped.Load(),

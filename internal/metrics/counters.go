@@ -43,6 +43,44 @@ func (c *AccessCounters) Reset() {
 	c.misses.Store(0)
 }
 
+// AccessSnapshot is a point-in-time copy of an AccessCounters, taken as a
+// pair so derived figures (Accesses, HitRatio) come from the same reads
+// instead of racing re-loads.
+type AccessSnapshot struct {
+	Hits   int64
+	Misses int64
+}
+
+// Snapshot captures the counters. Hits are loaded before misses — the same
+// direction the hot paths increment them (an access bumps exactly one) —
+// so a snapshot folded into an aggregate can undercount in-flight
+// activity but never manufactures accesses that did not happen.
+func (c *AccessCounters) Snapshot() AccessSnapshot {
+	h := c.hits.Load()
+	m := c.misses.Load()
+	return AccessSnapshot{Hits: h, Misses: m}
+}
+
+// Accesses returns hits + misses of the snapshot.
+func (a AccessSnapshot) Accesses() int64 { return a.Hits + a.Misses }
+
+// HitRatio returns hits / (hits + misses), or 0 with no accesses, derived
+// from the snapshot's own pair.
+func (a AccessSnapshot) HitRatio() float64 {
+	if a.Hits+a.Misses == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(a.Hits+a.Misses)
+}
+
+// Plus returns the field-wise sum of two snapshots, for aggregating the
+// per-shard counters of a sharded pool.
+func (a AccessSnapshot) Plus(o AccessSnapshot) AccessSnapshot {
+	a.Hits += o.Hits
+	a.Misses += o.Misses
+	return a
+}
+
 // Throughput converts a completed-operation count over an elapsed wall-clock
 // interval into operations per second.
 func Throughput(ops int64, elapsed time.Duration) float64 {

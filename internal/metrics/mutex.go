@@ -83,6 +83,17 @@ type LockStats struct {
 	HoldTime     time.Duration // total time the lock was held
 }
 
+// Plus returns the field-wise sum of two snapshots, for aggregating the
+// per-shard policy locks of a sharded pool into one figure.
+func (s LockStats) Plus(o LockStats) LockStats {
+	s.Acquisitions += o.Acquisitions
+	s.Contentions += o.Contentions
+	s.TryFailures += o.TryFailures
+	s.WaitTime += o.WaitTime
+	s.HoldTime += o.HoldTime
+	return s
+}
+
 // Stats returns a snapshot of the mutex's counters. It may be called
 // concurrently with lock operations; the fields are individually consistent.
 func (m *ContentionMutex) Stats() LockStats {

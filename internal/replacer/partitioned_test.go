@@ -1,0 +1,195 @@
+package replacer
+
+import "testing"
+
+// TestPartitionedUnevenSplit pins the capacity division when capacity is
+// not a multiple of k: base = capacity/k everywhere, and exactly
+// capacity%k partitions — the FIRST ones — get one extra slot, so the
+// split is deterministic, sums to the requested capacity, and never
+// leaves a zero-capacity partition.
+func TestPartitionedUnevenSplit(t *testing.T) {
+	cases := []struct {
+		capacity, k int
+		want        []int
+	}{
+		{7, 3, []int{3, 2, 2}},
+		{10, 4, []int{3, 3, 2, 2}},
+		{5, 5, []int{1, 1, 1, 1, 1}},
+		{9, 2, []int{5, 4}},
+		{64, 7, []int{10, 9, 9, 9, 9, 9, 9}},
+	}
+	for _, c := range cases {
+		p := NewPartitioned(c.capacity, c.k, func(n int) Policy { return NewLRU(n) })
+		if p.Cap() != c.capacity {
+			t.Errorf("cap=%d k=%d: Cap()=%d", c.capacity, c.k, p.Cap())
+		}
+		for i, part := range p.parts {
+			if part.Cap() != c.want[i] {
+				t.Errorf("cap=%d k=%d: partition %d has capacity %d, want %d",
+					c.capacity, c.k, i, part.Cap(), c.want[i])
+			}
+			if part.Cap() < 1 {
+				t.Errorf("cap=%d k=%d: partition %d has zero capacity", c.capacity, c.k, i)
+			}
+		}
+	}
+}
+
+// TestPartitionedEvictSkipsEmpty fills a single partition and drains the
+// whole policy: Evict must skip the empty partitions, return every page
+// of the occupied one, and then report exhaustion — regardless of where
+// the round-robin cursor starts.
+func TestPartitionedEvictSkipsEmpty(t *testing.T) {
+	p := NewPartitioned(12, 4, func(n int) Policy { return NewLRU(n) })
+
+	// Collect three pages that all hash to the same partition.
+	var same []PageID
+	owner := -1
+	for b := uint64(0); len(same) < 3; b++ {
+		id := tid(b)
+		if owner == -1 {
+			owner = p.Partition(id)
+		}
+		if p.Partition(id) == owner {
+			same = append(same, id)
+		}
+	}
+	for _, id := range same {
+		if _, evicted := p.Admit(id); evicted {
+			t.Fatalf("admit %d evicted inside a 3-slot partition", id)
+		}
+	}
+
+	// Start the cursor away from the owning partition so Evict has to walk
+	// past at least one empty partition before finding a victim.
+	p.rr = (owner + 1) % p.Partitions()
+	seen := map[PageID]bool{}
+	for i := 0; i < 3; i++ {
+		v, ok := p.Evict()
+		if !ok {
+			t.Fatalf("Evict #%d found nothing with %d pages resident", i, 3-i)
+		}
+		if p.Partition(v) != owner {
+			t.Fatalf("Evict returned %d from partition %d, only partition %d is populated",
+				v, p.Partition(v), owner)
+		}
+		if seen[v] {
+			t.Fatalf("Evict returned %d twice", v)
+		}
+		seen[v] = true
+	}
+	if v, ok := p.Evict(); ok {
+		t.Fatalf("Evict returned %d from a drained policy", v)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len()=%d after draining", p.Len())
+	}
+}
+
+// TestPartitionedEvictRoundRobin checks that consecutive evictions with
+// every partition populated rotate across partitions instead of draining
+// one before touching the next — the fairness property the cursor exists
+// for.
+func TestPartitionedEvictRoundRobin(t *testing.T) {
+	const k = 4
+	p := NewPartitioned(4*k, k, func(n int) Policy { return NewLRU(n) })
+	// Two resident pages per partition.
+	count := make([]int, k)
+	for b := uint64(0); ; b++ {
+		id := tid(b)
+		part := p.Partition(id)
+		if count[part] >= 2 {
+			continue
+		}
+		p.Admit(id)
+		count[part]++
+		done := true
+		for _, c := range count {
+			if c < 2 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	// The first k evictions must hit k distinct partitions.
+	hit := map[int]bool{}
+	for i := 0; i < k; i++ {
+		v, ok := p.Evict()
+		if !ok {
+			t.Fatalf("Evict #%d failed with every partition populated", i)
+		}
+		part := p.Partition(v)
+		if hit[part] {
+			t.Fatalf("Evict #%d returned partition %d again before visiting all %d partitions", i, part, k)
+		}
+		hit[part] = true
+	}
+}
+
+// TestPartitionedRemoveContainsRouting verifies Remove and Contains reach
+// only the hash-owning partition: removing a page makes exactly that page
+// non-resident, and a Remove of an id owned by a different partition
+// cannot disturb a resident page that shares no partition with it.
+func TestPartitionedRemoveContainsRouting(t *testing.T) {
+	p := NewPartitioned(16, 4, func(n int) Policy { return NewLRU(n) })
+
+	// Find two pages owned by different partitions.
+	a := tid(0)
+	var b PageID
+	for n := uint64(1); ; n++ {
+		if p.Partition(tid(n)) != p.Partition(a) {
+			b = tid(n)
+			break
+		}
+	}
+	p.Admit(a)
+	p.Admit(b)
+	if !p.Contains(a) || !p.Contains(b) {
+		t.Fatal("admitted pages not resident")
+	}
+	// Contains consults only the owner: the owning sub-policy answers true,
+	// and every other partition would answer false for the same id.
+	for i, part := range p.parts {
+		want := i == p.Partition(a)
+		if part.Contains(a) != want {
+			t.Fatalf("partition %d Contains(a)=%v, owner is %d", i, part.Contains(a), p.Partition(a))
+		}
+	}
+
+	p.Remove(a)
+	if p.Contains(a) {
+		t.Fatal("Remove(a) left a resident")
+	}
+	if !p.Contains(b) {
+		t.Fatal("Remove(a) disturbed b in another partition")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len()=%d after removing one of two pages", p.Len())
+	}
+	// Removing an id that is not resident anywhere is a no-op.
+	p.Remove(a)
+	if !p.Contains(b) || p.Len() != 1 {
+		t.Fatal("double Remove disturbed unrelated state")
+	}
+}
+
+// TestPartitionedNameStability checks Name is derived from the
+// sub-policy, is stable across operations, and does not vary with k.
+func TestPartitionedNameStability(t *testing.T) {
+	for _, k := range []int{1, 3, 8} {
+		p := NewPartitioned(16, k, func(n int) Policy { return NewTwoQ(n) })
+		want := "partitioned-" + NewTwoQ(16).Name()
+		if p.Name() != want {
+			t.Fatalf("k=%d: Name()=%q, want %q", k, p.Name(), want)
+		}
+		for b := uint64(0); b < 40; b++ {
+			p.Admit(tid(b))
+		}
+		p.Evict()
+		if p.Name() != want {
+			t.Fatalf("k=%d: Name() changed to %q after operations", k, p.Name())
+		}
+	}
+}

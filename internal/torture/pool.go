@@ -24,6 +24,7 @@ type PoolRunConfig struct {
 	Phases   int    // bursts separated by quiescent invariant checks
 	Policy   string // replacer algorithm name; "" means lru
 	Path     Path   // commit path for the pool's wrapper
+	Shards   int    // hash partitions of the pool; 0 or 1 is the monolithic pool
 	Faults   bool   // inject transient read/write failures and corruption
 	BGWriter bool   // run a background writer during the bursts
 }
@@ -51,6 +52,41 @@ func stampID(b, version int) page.PageID {
 	return page.NewPageID(uint32(0x100+version), uint64(b))
 }
 
+// checkStatsConsistency verifies the pool's aggregated snapshot at a
+// quiescent point: every session has flushed, so the wrapper aggregates
+// must balance exactly (accesses = hits + misses — sessions fold all three
+// together), the pool-level counters must equal the per-shard sums, and
+// the pool's own hit/miss counters must agree with the wrappers' totals.
+// Under load these are only one-sided bounds (see buffer.Stats); at
+// quiescence any imbalance is an aggregation bug.
+func checkStatsConsistency(pool *buffer.Pool) error {
+	st := pool.Stats()
+	ws := pool.WrapperStats()
+	if ws.Accesses != ws.Hits+ws.Misses {
+		return fmt.Errorf("wrapper stats unbalanced at quiescence: accesses=%d hits=%d misses=%d",
+			ws.Accesses, ws.Hits, ws.Misses)
+	}
+	var hits, misses, frames int64
+	for _, ss := range st.PerShard {
+		hits += ss.Hits
+		misses += ss.Misses
+		frames += int64(ss.Frames)
+	}
+	if st.Hits != hits || st.Misses != misses {
+		return fmt.Errorf("pool stats disagree with per-shard sums: pool %d/%d, shards %d/%d",
+			st.Hits, st.Misses, hits, misses)
+	}
+	if int64(st.Frames) != frames {
+		return fmt.Errorf("pool frames %d != per-shard sum %d", st.Frames, frames)
+	}
+	a := pool.AccessStats()
+	if a.Hits != st.Hits || a.Misses != st.Misses {
+		return fmt.Errorf("AccessStats %d/%d disagrees with Stats %d/%d at quiescence",
+			a.Hits, a.Misses, st.Hits, st.Misses)
+	}
+	return nil
+}
+
 // RunPool executes the cross-layer torture run and verifies:
 //
 //   - content integrity: every page read is a complete stamp of a version
@@ -58,8 +94,10 @@ func stampID(b, version int) page.PageID {
 //     -window reads through the pool);
 //   - pin sanity: after each phase and before Close no frame stays pinned;
 //   - structural consistency: Pool.CheckInvariants (frame/hash-table/free-
-//     list/quarantine agreement plus the policy's own invariants) passes at
-//     every quiescent point;
+//     list/quarantine agreement plus the policy's own invariants, walking
+//     every shard and checking shard-routing ownership) passes at every
+//     quiescent point, and the aggregated statistics balance exactly
+//     (checkStatsConsistency);
 //   - zero lost dirty pages: after Close, the device holds the LAST version
 //     written to every page, fault injection notwithstanding.
 //
@@ -107,12 +145,21 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		return nil, fmt.Errorf("seed %d: unknown policy %q", cfg.Seed, cfg.Policy)
 	}
 	wcfg := configFor(cfg.Path, 16)
-	pool := buffer.New(buffer.Config{
+	bcfg := buffer.Config{
 		Frames:  cfg.Frames,
-		Policy:  factory(cfg.Frames),
+		Shards:  cfg.Shards,
 		Wrapper: wcfg,
 		Device:  dev,
-	})
+	}
+	if cfg.Shards > 1 {
+		bcfg.PolicyFactory = factory
+	} else {
+		// Single-shard runs keep the pre-sharding construction path (one
+		// policy instance handed to the pool) so they exercise exactly the
+		// configuration the earlier differential suites pinned down.
+		bcfg.Policy = factory(cfg.Frames)
+	}
+	pool := buffer.New(bcfg)
 
 	if cfg.Faults {
 		fault.SetReadFailRate(0.02)
@@ -231,6 +278,9 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 			return nil, fmt.Errorf("seed %d: phase %d: %d frames still pinned at quiescence", cfg.Seed, phase, n)
 		}
 		if err := pool.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err)
+		}
+		if err := checkStatsConsistency(pool); err != nil {
 			return nil, fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err)
 		}
 		rep.Invariantified++

@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -231,6 +232,57 @@ func TestPoolTorture(t *testing.T) {
 						Ops: 2000, Phases: 5, Workers: 8,
 					},
 				})
+			}
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunPool(c.cfg)
+			if err != nil {
+				failSeed(t, c.cfg.Seed, err)
+			}
+			if rep.Writes == 0 || rep.Reads == 0 {
+				t.Fatalf("seed %d: degenerate run: %+v", c.cfg.Seed, rep)
+			}
+		})
+	}
+}
+
+// TestPoolTortureSharded drives the hash-partitioned pool (Shards > 1)
+// through the same cross-layer run: the shadow model is shard-agnostic
+// (versions are per page, and each page lives in exactly one shard), so
+// the zero-lost-dirty-pages and content-integrity oracles carry over
+// unchanged while CheckInvariants additionally verifies shard routing.
+// The nightly workflow runs this target by name under -race -tags torture.
+func TestPoolTortureSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-layer torture run skipped in -short")
+	}
+	seed := SeedFromEnv(53)
+	type cse struct {
+		name string
+		cfg  PoolRunConfig
+	}
+	cases := []cse{
+		{"shards4-lru-batch-faults", PoolRunConfig{Seed: seed, Path: PathBatch, Policy: "lru", Shards: 4, Faults: true}},
+		{"shards4-2q-fc-faults-bg", PoolRunConfig{Seed: seed + 1, Path: PathFC, Policy: "2q", Shards: 4, Faults: true, BGWriter: true}},
+		{"shards2-clockpro-shared", PoolRunConfig{Seed: seed + 2, Path: PathShared, Policy: "clockpro", Shards: 2}},
+	}
+	if LongMode() {
+		for i, pol := range []string{"lru", "2q", "lirs", "arc", "clockpro"} {
+			for j, path := range Paths() {
+				for _, shards := range []int{2, 4, 8} {
+					cases = append(cases, cse{
+						fmt.Sprintf("long-shards%d-%s-%s", shards, pol, path),
+						PoolRunConfig{
+							Seed: seed + int64(1000+i*100+j*10+shards), Path: path, Policy: pol,
+							Shards: shards, Faults: true, BGWriter: j%2 == 1,
+							Ops: 1500, Phases: 4, Workers: 8, Frames: 64,
+						},
+					})
+				}
 			}
 		}
 	}

@@ -142,7 +142,7 @@ func Run(cfg Config) (Result, error) {
 	for _, h := range hists {
 		resp.Merge(h)
 	}
-	ws := cfg.Pool.Wrapper().Stats()
+	ws := cfg.Pool.WrapperStats()
 	res := Result{
 		Workers:        workers,
 		Procs:          cfg.Procs,
@@ -151,7 +151,7 @@ func Run(cfg Config) (Result, error) {
 		Elapsed:        elapsed,
 		ThroughputTPS:  metrics.Throughput(txns.Load(), elapsed),
 		Response:       resp.Summarize(),
-		HitRatio:       cfg.Pool.Counters().HitRatio(),
+		HitRatio:       cfg.Pool.AccessStats().HitRatio(),
 		Wrapper:        ws,
 		ContentionPerM: metrics.ContentionPerMillion(ws.Lock.Contentions, ws.Accesses),
 	}
@@ -186,7 +186,7 @@ func runWorker(cfg *Config, w int, stop *atomic.Bool, txns *atomic.Int64, hist *
 }
 
 // execute performs one transaction's page accesses: pin, touch, release.
-func execute(cfg *Config, sess *core.Session, accesses []workload.Access) error {
+func execute(cfg *Config, sess *buffer.Session, accesses []workload.Access) error {
 	for _, a := range accesses {
 		var ref *buffer.PageRef
 		var err error
