@@ -55,6 +55,7 @@ import (
 	"bpwrapper/internal/buffer"
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
 	"bpwrapper/internal/storage"
@@ -303,6 +304,46 @@ func NewRetryDevice(backing Device, cfg RetryConfig) *RetryDevice {
 func NewChecksumDevice(backing Device) *ChecksumDevice {
 	return storage.NewChecksumDevice(backing)
 }
+
+// ---------------------------------------------------------------------------
+// Observability
+//
+// The obs layer exposes a pool's full metric tree — per-shard lock
+// wait/hold histograms, batch-size and combiner-run distributions, access
+// counters, quarantine depth, flight-recorder pressure, device counters —
+// as Prometheus text (/metrics) and expvar-style JSON (/debug/vars), plus
+// the flight-recorder dump (/debug/events) and the standard pprof
+// handlers. Enable the per-shard flight recorder with
+// PoolConfig.RecorderSize; register a pool with Pool.RegisterObs.
+//
+//	reg := bpwrapper.NewObsRegistry()
+//	pool.RegisterObs(reg)
+//	srv, _ := bpwrapper.NewObsServer(":6060", reg)
+//	defer srv.Close()
+
+// Observability types: the scrape registry, its HTTP server, the
+// lock-free flight recorder, and recorded events.
+type (
+	ObsRegistry = obs.Registry
+	ObsServer   = obs.Server
+	ObsMetric   = obs.Metric
+	Recorder    = obs.Recorder
+	Event       = obs.Event
+	EventKind   = obs.EventKind
+	LockProfile = metrics.LockProfile
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsServer binds addr (":0" picks a free port) and serves the registry
+// over HTTP in the background.
+func NewObsServer(addr string, reg *ObsRegistry) (*ObsServer, error) {
+	return obs.NewServer(addr, reg)
+}
+
+// NewRecorder returns a flight recorder holding the newest size events.
+func NewRecorder(size int) *Recorder { return obs.NewRecorder(size) }
 
 // ---------------------------------------------------------------------------
 // Workloads

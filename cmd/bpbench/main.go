@@ -14,11 +14,20 @@
 //	bpbench -exp ablation-queue   # shared vs private FIFO queues
 //	bpbench -exp ablation-policy  # LIRS/MQ under the wrapper
 //	bpbench -exp combine          # baseline vs batched vs flat-combined commits
+//	bpbench -exp contention       # lock anatomy: acquisitions/blocking/wait/hold
 //	bpbench -exp faults           # throughput under injected storage faults
 //	bpbench -exp all              # everything above, in order
 //
-// The combine experiment additionally accepts -format json, the shape
-// committed as results/BENCH_combine.json (see scripts/bench_combine.sh).
+// The combine and contention experiments additionally accept -format json,
+// the shapes committed as results/BENCH_combine.json and
+// results/BENCH_contention.json (see scripts/bench_combine.sh and
+// scripts/bench_contention.sh).
+//
+// With -obs addr the process serves /metrics (Prometheus text),
+// /debug/vars (expvar JSON), /debug/events (flight recorder) and
+// /debug/pprof while experiments run; in -mode real the pool of the point
+// currently measured is registered live, so `bpstat -addr addr` renders
+// its per-shard activity.
 //
 // The faults experiment (also reachable as -faults) measures batched vs
 // unbatched wrappers against a degraded device — injected transient
@@ -40,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"bpwrapper"
 	"bpwrapper/internal/bench"
 	"bpwrapper/internal/storage"
 	"bpwrapper/internal/workload"
@@ -47,14 +57,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, faults, shard, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		wlNames  = flag.String("workloads", "tpcw,tpcc,tablescan", "comma-separated workloads")
 		procs    = flag.Int("procs", 16, "processor count for single-point experiments (fig2, tab2, tab3, ablations)")
-		format   = flag.String("format", "table", "output format: table (paper-shaped), csv, or json (combine only)")
+		format   = flag.String("format", "table", "output format: table (paper-shaped), csv, or json (combine/contention/shard)")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/events and pprof on this address while experiments run")
 	)
 	flag.Parse()
 	if *faults {
@@ -65,6 +76,16 @@ func main() {
 		Mode:     bench.Mode(*mode),
 		Duration: *duration,
 		Seed:     *seed,
+	}
+	if *obsAddr != "" {
+		reg := bpwrapper.NewObsRegistry()
+		srv, err := bpwrapper.NewObsServer(*obsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		opts.Obs = reg
+		fmt.Fprintf(os.Stderr, "bpbench: obs endpoint on http://%s/metrics\n", srv.Addr())
 	}
 	for _, name := range strings.Split(*wlNames, ",") {
 		wl, err := workload.ByName(strings.TrimSpace(name))
@@ -186,6 +207,17 @@ func main() {
 			default:
 				bench.PrintCombine(os.Stdout, rows)
 			}
+		case "contention":
+			rows, err := bench.ContentionExperiment(nil, opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONContention(os.Stdout, opts, rows))
+			case csvOut:
+				check(bench.CSVContention(os.Stdout, rows))
+			default:
+				bench.PrintContention(os.Stdout, rows)
+			}
 		case "faults":
 			rows, err := bench.FaultTolerance(*procs, opts)
 			check(err)
@@ -214,7 +246,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig2", "fig6", "fig7", "tab2", "tab3", "fig8", "ablation-queue", "ablation-policy", "distributed", "adaptive", "combine"} {
+		for _, name := range []string{"fig2", "fig6", "fig7", "tab2", "tab3", "fig8", "ablation-queue", "ablation-policy", "distributed", "adaptive", "combine", "contention"} {
 			run(name)
 		}
 		return

@@ -34,6 +34,8 @@ func main() {
 		bgwriter    = flag.Bool("bgwriter", true, "run the background writer")
 		statsEvery  = flag.Duration("stats", time.Second, "live stats interval")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		obsAddr     = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/events and pprof on this address (e.g. :6060)")
+		recorder    = flag.Int("recorder", 4096, "per-shard flight-recorder ring size (0 disables)")
 	)
 	flag.Parse()
 
@@ -61,11 +63,26 @@ func main() {
 			Prefetching:       *prefetching,
 			AdaptiveThreshold: *adaptive,
 		},
-		Device: device,
+		Device:       device,
+		RecorderSize: *recorder,
 	})
+	var bw *bpwrapper.BackgroundWriter
 	if *bgwriter {
-		bw := pool.StartBackgroundWriter(bpwrapper.BackgroundWriterConfig{})
+		bw = pool.StartBackgroundWriter(bpwrapper.BackgroundWriterConfig{})
 		defer bw.Stop()
+	}
+	if *obsAddr != "" {
+		reg := bpwrapper.NewObsRegistry()
+		pool.RegisterObs(reg)
+		if bw != nil {
+			bw.RegisterObs(reg)
+		}
+		srv, err := bpwrapper.NewObsServer(*obsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	fmt.Printf("bpload: %s over %d frames (%s, batching=%v prefetching=%v), %d workers, %v\n",

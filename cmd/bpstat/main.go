@@ -1,0 +1,164 @@
+// Command bpstat polls a running pool's observability endpoint (bpload or
+// bpbench started with -obs) and renders a per-shard live table — the
+// iostat of the BP-Wrapper stack. Rates are deltas between polls; the
+// first sample prints totals.
+//
+// Usage:
+//
+//	bpstat                       # poll 127.0.0.1:6060 every second
+//	bpstat -addr :6061 -interval 2s
+//	bpstat -once                 # one sample and exit (totals, no rates)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// series is one labelled sample of the /debug/vars "bpwrapper" tree, as
+// written by obs.Registry.JSONTree.
+type series struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+	Count  int64             `json:"count"`
+	Sum    float64           `json:"sum"`
+	Max    int64             `json:"max"`
+	Mean   float64           `json:"mean"`
+}
+
+type tree map[string][]series
+
+// shardVal returns the named metric's value for one shard (by label).
+func (t tree) shardVal(name, shard string) float64 {
+	for _, s := range t[name] {
+		if s.Labels["shard"] == shard {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// shardDist returns the named distribution's series for one shard.
+func (t tree) shardDist(name, shard string) series {
+	for _, s := range t[name] {
+		if s.Labels["shard"] == shard {
+			return s
+		}
+	}
+	return series{}
+}
+
+// shards lists the shard labels present, in numeric order.
+func (t tree) shards() []string {
+	seen := map[string]bool{}
+	for _, s := range t["bpw_lock_acquisitions_total"] {
+		if sh, ok := s.Labels["shard"]; ok {
+			seen[sh] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for sh := range seen {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := strconv.Atoi(out[i])
+		b, _ := strconv.Atoi(out[j])
+		return a < b
+	})
+	return out
+}
+
+func fetch(addr string) (tree, error) {
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/vars: status %d", resp.StatusCode)
+	}
+	var all struct {
+		BPWrapper tree `json:"bpwrapper"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil, fmt.Errorf("decode /debug/vars: %w", err)
+	}
+	if all.BPWrapper == nil {
+		return nil, fmt.Errorf("no \"bpwrapper\" tree in /debug/vars (is -obs enabled?)")
+	}
+	return all.BPWrapper, nil
+}
+
+// render prints one per-shard table. prev is the previous poll (nil on the
+// first), dt the time between them; rate columns fall back to totals when
+// prev is nil.
+func render(t, prev tree, dt time.Duration) {
+	shards := t.shards()
+	if len(shards) == 0 {
+		fmt.Println("no per-shard series yet (pool idle or not registered)")
+		return
+	}
+	rateHdr := "acc/s"
+	if prev == nil {
+		rateHdr = "accesses"
+	}
+	fmt.Printf("%-5s  %10s  %6s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s\n",
+		"shard", rateHdr, "hit%", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop")
+	for _, sh := range shards {
+		accesses := t.shardVal("bpw_accesses_total", sh)
+		rate := accesses
+		if prev != nil && dt > 0 {
+			rate = (accesses - prev.shardVal("bpw_accesses_total", sh)) / dt.Seconds()
+		}
+		hits := t.shardVal("bpw_hits_total", sh)
+		misses := t.shardVal("bpw_misses_total", sh)
+		hitPct := 0.0
+		if hits+misses > 0 {
+			hitPct = 100 * hits / (hits + misses)
+		}
+		batch := t.shardDist("bpw_batch_size", sh)
+		comb := t.shardDist("bpw_combine_run_length", sh)
+		fmt.Printf("%-5s  %10.0f  %5.1f%%  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f\n",
+			sh, rate, hitPct,
+			t.shardVal("bpw_lock_acquisitions_total", sh),
+			t.shardVal("bpw_lock_contentions_total", sh),
+			t.shardVal("bpw_lock_try_failures_total", sh),
+			batch.Mean, comb.Mean,
+			t.shardVal("bpw_dirty_pages", sh),
+			t.shardVal("bpw_quarantined_pages", sh),
+			t.shardVal("bpw_flight_dropped_total", sh))
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6060", "obs endpoint address (host:port)")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print one sample and exit")
+	)
+	flag.Parse()
+
+	var prev tree
+	last := time.Now()
+	for {
+		t, err := fetch(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpstat:", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		render(t, prev, now.Sub(last))
+		if *once {
+			return
+		}
+		prev, last = t, now
+		time.Sleep(*interval)
+		fmt.Println()
+	}
+}

@@ -72,7 +72,7 @@ func CombineExperiment(procsList []int, o Options) ([]CombineRow, error) {
 func combinePoint(sys System, wl workload.Workload, procs int, o Options) (CombineRow, error) {
 	row := CombineRow{Workload: wl.Name(), System: sys.Name, Procs: procs}
 	if o.Mode == ModeReal {
-		pool, err := buildPool(sys, wl.DataPages(), sys.WrapperConfig(CombineQueueSize, CombineThreshold))
+		pool, err := buildPoolObs(sys, wl.DataPages(), sys.WrapperConfig(CombineQueueSize, CombineThreshold), o)
 		if err != nil {
 			return CombineRow{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/sim"
 	"bpwrapper/internal/storage"
 	"bpwrapper/internal/txn"
@@ -56,6 +57,13 @@ type Options struct {
 
 	// Params overrides the simulator's cost constants (ModeSim only).
 	Params *sim.Params
+
+	// Obs, when set, exposes each real-mode pool live: the registry is
+	// cleared and the freshly built pool registered before the point
+	// runs, so an HTTP listener serving this registry (bpbench -obs)
+	// always shows the measurement in progress. Ignored in ModeSim, which
+	// builds no pools.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -156,7 +164,7 @@ func runPointSim(sys System, wl workload.Workload, procs, queueSize, threshold, 
 
 // runPointReal executes a point on real goroutines.
 func runPointReal(sys System, wl workload.Workload, procs, queueSize, threshold int, o Options) (Point, error) {
-	pool, err := sys.NewPool(wl.DataPages(), storage.NewNullDevice(), queueSize, threshold)
+	pool, err := buildPoolObs(sys, wl.DataPages(), sys.WrapperConfig(queueSize, threshold), o)
 	if err != nil {
 		return Point{}, err
 	}

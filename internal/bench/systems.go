@@ -127,3 +127,30 @@ func buildPool(s System, frames int, wcfg core.Config) (*buffer.Pool, error) {
 		Device:  storage.NewNullDevice(),
 	}), nil
 }
+
+// buildPoolObs is buildPool plus live observability: when o.Obs is set the
+// pool gets per-shard flight recorders and takes over the registry (the
+// previous point's collectors are cleared), so a `bpbench -obs` listener
+// always serves the pool of the point currently running. With o.Obs nil it
+// is buildPool exactly — no recorder, no registration, no overhead.
+func buildPoolObs(s System, frames int, wcfg core.Config, o Options) (*buffer.Pool, error) {
+	pol, ok := replacer.New(s.Policy, frames)
+	if !ok {
+		return nil, fmt.Errorf("bench: system %s uses unknown policy %q", s.Name, s.Policy)
+	}
+	cfg := buffer.Config{
+		Frames:  frames,
+		Policy:  pol,
+		Wrapper: wcfg,
+		Device:  storage.NewNullDevice(),
+	}
+	if o.Obs != nil {
+		cfg.RecorderSize = 4096
+	}
+	pool := buffer.New(cfg)
+	if o.Obs != nil {
+		o.Obs.Clear()
+		pool.RegisterObs(o.Obs)
+	}
+	return pool, nil
+}

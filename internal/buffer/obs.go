@@ -1,0 +1,150 @@
+// Exposition bridge: the pool walks its shards into an obs.Registry so
+// that one /metrics scrape (or /debug/vars poll) sees every layer —
+// per-shard lock contention, batch-size and combiner-run distributions,
+// access counters, quarantine depth, write-back failures, flight-recorder
+// pressure — plus the pool-level device counters. The dependency points
+// one way only: buffer imports obs, never the reverse.
+package buffer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bpwrapper/internal/obs"
+	"bpwrapper/internal/replacer"
+)
+
+// RegisterObs registers the pool's collectors and per-shard flight
+// recorders with reg. Collection happens at scrape time and reads only
+// lock-free snapshots, except the resident-page gauge (a brief policy-lock
+// acquisition per shard, same as Stats) and the free-list gauge (the
+// free-list mutex) — fine at scrape cadence, not meant for hot paths.
+func (p *Pool) RegisterObs(reg *obs.Registry) {
+	reg.Register(p.collect)
+	for i := range p.shards {
+		if rec := p.shards[i].events; rec != nil {
+			reg.RegisterRecorder(fmt.Sprintf("shard %d", i), rec)
+		}
+	}
+}
+
+// collect emits the full metric tree. Series are labelled {shard="i"};
+// pool-level series (shard count, device counters) carry no labels.
+func (p *Pool) collect(emit func(obs.Metric)) {
+	c := func(name, help string, labels [][2]string, v float64) {
+		emit(obs.Metric{Name: name, Help: help, Type: obs.Counter, Labels: labels, Value: v})
+	}
+	g := func(name, help string, labels [][2]string, v float64) {
+		emit(obs.Metric{Name: name, Help: help, Type: obs.Gauge, Labels: labels, Value: v})
+	}
+
+	g("bpw_shards", "hash partitions in the pool", nil, float64(len(p.shards)))
+
+	for i := range p.shards {
+		sh := &p.shards[i]
+		l := [][2]string{{"shard", strconv.Itoa(i)}}
+		ws := sh.wrapper.Stats()
+
+		// Lock contention: scalar totals plus the sampled distributions.
+		c("bpw_lock_acquisitions_total", "policy-lock acquisitions", l, float64(ws.Lock.Acquisitions))
+		c("bpw_lock_contentions_total", "policy-lock acquisitions that blocked", l, float64(ws.Lock.Contentions))
+		c("bpw_lock_try_failures_total", "failed TryLock attempts at the batch threshold", l, float64(ws.Lock.TryFailures))
+		c("bpw_lock_wait_seconds_total", "total time blocked on the policy lock", l, ws.Lock.WaitTime.Seconds())
+		c("bpw_lock_hold_seconds_total", "estimated total policy-lock holding time (sampled)", l, ws.Lock.HoldTime.Seconds())
+		if lp := sh.wrapper.LockProfile(); lp != nil {
+			if lp.Wait != nil {
+				hs := lp.Wait.Snapshot()
+				emit(obs.Metric{Name: "bpw_lock_wait_seconds", Help: "contended policy-lock wait time",
+					Type: obs.Histogram, Labels: l, Hist: &hs})
+			}
+			if lp.Hold != nil {
+				hs := lp.Hold.Snapshot()
+				emit(obs.Metric{Name: "bpw_lock_hold_seconds", Help: "sampled policy-lock holding time",
+					Type: obs.Histogram, Labels: l, Hist: &hs})
+			}
+		}
+
+		// Commit-protocol activity (Sections III-A/III-B of the paper).
+		c("bpw_accesses_total", "page accesses recorded through the wrapper", l, float64(ws.Accesses))
+		c("bpw_commits_total", "commit rounds (lock-holding periods for hits)", l, float64(ws.Commits))
+		c("bpw_committed_entries_total", "batched hit entries applied to the policy", l, float64(ws.Committed))
+		c("bpw_dropped_entries_total", "hit entries dropped by commit-time validation", l, float64(ws.Dropped))
+		c("bpw_forced_locks_total", "commits that needed a blocking lock (queue full)", l, float64(ws.ForcedLocks))
+		c("bpw_try_commits_total", "commits obtained via TryLock at the threshold", l, float64(ws.TryCommits))
+		c("bpw_combined_batches_total", "other sessions' batches applied by a combiner", l, float64(ws.CombinedBatches))
+		c("bpw_combined_entries_total", "entries in combined batches", l, float64(ws.CombinedEntries))
+		c("bpw_handoff_saved_total", "publishes handed to a combiner instead of blocking", l, float64(ws.HandoffSaved))
+		bs := sh.wrapper.BatchSizes()
+		emit(obs.Metric{Name: "bpw_batch_size", Help: "entries per committed batch",
+			Type: obs.Histogram, Labels: l, Dist: &bs})
+		cr := sh.wrapper.CombineRuns()
+		emit(obs.Metric{Name: "bpw_combine_run_length", Help: "published batches drained per combiner run",
+			Type: obs.Histogram, Labels: l, Dist: &cr})
+
+		// Buffer-manager state.
+		a := sh.counters.Snapshot()
+		c("bpw_hits_total", "buffer hits", l, float64(a.Hits))
+		c("bpw_misses_total", "buffer misses", l, float64(a.Misses))
+		g("bpw_frames", "page slots owned by the shard", l, float64(len(sh.frames)))
+		sh.freeMu.Lock()
+		free := len(sh.freeList)
+		sh.freeMu.Unlock()
+		g("bpw_free_frames", "slots on the free list", l, float64(free))
+		g("bpw_dirty_pages", "dirty resident pages", l, float64(sh.dirtyCount()))
+		g("bpw_quarantined_pages", "pages parked awaiting confirmed write-back", l, float64(sh.quarantineLen()))
+		resident := 0
+		sh.wrapper.Locked(func(pol replacer.Policy) { resident = pol.Len() })
+		g("bpw_resident_pages", "pages tracked by the replacement policy", l, float64(resident))
+		c("bpw_writeback_failures_total", "failed write-back attempts", l, float64(sh.writeBackFailures.Load()))
+
+		// Flight-recorder pressure: how much history the ring has seen and
+		// how much has scrolled out (or been torn) since startup.
+		if rec := sh.events; rec != nil {
+			c("bpw_flight_events_total", "events recorded by the flight recorder", l, float64(rec.Seq()))
+			c("bpw_flight_dropped_total", "flight-recorder events overwritten or torn", l, float64(rec.Dropped()))
+		}
+	}
+
+	ds := p.device.Stats()
+	c("bpw_device_reads_total", "page reads issued to the device", nil, float64(ds.Reads))
+	c("bpw_device_writes_total", "page writes issued to the device", nil, float64(ds.Writes))
+	c("bpw_device_read_seconds_total", "wall time in ReadPage", nil, ds.ReadTime.Seconds())
+	c("bpw_device_write_seconds_total", "wall time in WritePage", nil, ds.WriteTime.Seconds())
+	c("bpw_device_read_errors_total", "failed page reads", nil, float64(ds.ReadErrors))
+	c("bpw_device_write_errors_total", "failed page writes", nil, float64(ds.WriteErrors))
+	c("bpw_device_retries_total", "retry attempts by a RetryDevice", nil, float64(ds.Retries))
+	c("bpw_device_corrupt_pages_total", "checksum mismatches detected", nil, float64(ds.CorruptPages))
+}
+
+// RegisterObs adds the background writer's counters to reg under the
+// bpw_bgwriter_* names.
+func (w *BackgroundWriter) RegisterObs(reg *obs.Registry) {
+	reg.Register(func(emit func(obs.Metric)) {
+		s := w.Stats()
+		for _, m := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"bpw_bgwriter_rounds_total", "completed write-back rounds", s.Rounds},
+			{"bpw_bgwriter_written_total", "pages made durable by the writer", s.Written},
+			{"bpw_bgwriter_write_failures_total", "failed background write attempts", s.WriteFailures},
+			{"bpw_bgwriter_backoff_rounds_total", "rounds that triggered backoff", s.BackoffRounds},
+		} {
+			emit(obs.Metric{Name: m.name, Help: m.help, Type: obs.Counter, Value: float64(m.v)})
+		}
+	})
+}
+
+// FlightDump renders every shard's flight recorder as text, newest last,
+// for failure reports (Close errors, torture-oracle dumps). It returns ""
+// when recording is disabled, so callers can append it unconditionally.
+func (p *Pool) FlightDump() string {
+	var sb strings.Builder
+	for i := range p.shards {
+		if rec := p.shards[i].events; rec != nil {
+			sb.WriteString(rec.DumpString(fmt.Sprintf("shard %d", i)))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"bpwrapper/internal/core"
+	"bpwrapper/internal/obs"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+func TestFlightRecorderDisabledByDefault(t *testing.T) {
+	p := newTestPool(4, core.Config{Batching: true, QueueSize: 4, BatchThreshold: 2})
+	if dump := p.FlightDump(); dump != "" {
+		t.Fatalf("dump without recorders: %q", dump)
+	}
+	s := p.NewSession()
+	for i := uint64(1); i <= 8; i++ {
+		ref, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+	s.Flush()
+	if p.shards[0].events != nil {
+		t.Fatal("recorder allocated with RecorderSize 0")
+	}
+}
+
+func TestFlightRecorderCapturesEvictionAndQuarantine(t *testing.T) {
+	dev := storage.NewMemDevice()
+	p := New(Config{
+		Frames:       2,
+		Policy:       replacer.NewLRU(2),
+		Device:       dev,
+		RecorderSize: 64,
+	})
+	s := p.NewSession()
+	// Dirty a page, then force it out: eviction must park the copy in the
+	// quarantine and flush it, leaving all three buffer events in the ring.
+	ref, err := p.GetWrite(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.MarkDirty()
+	ref.Release()
+	for i := uint64(2); i <= 4; i++ {
+		r, err := p.Get(s, pid(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range p.shards[0].events.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []obs.EventKind{obs.EvEvict, obs.EvQuarantinePark, obs.EvQuarantineFlush} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v events recorded: %v", k, kinds)
+		}
+	}
+	dump := p.FlightDump()
+	for _, want := range []string{"shard 0", "evict", "quarantine-park", "quarantine-flush"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestPerShardRecordersAreIndependent(t *testing.T) {
+	p := New(Config{
+		Frames:        8,
+		Shards:        2,
+		PolicyFactory: func(n int) replacer.Policy { return replacer.NewLRU(n) },
+		Device:        storage.NewMemDevice(),
+		RecorderSize:  32,
+	})
+	if p.shards[0].events == p.shards[1].events {
+		t.Fatal("shards share one recorder")
+	}
+	for i := range p.shards {
+		if p.shards[i].events == nil {
+			t.Fatalf("shard %d recorder missing", i)
+		}
+	}
+}
+
+func TestRegisterObsExposition(t *testing.T) {
+	p := New(Config{
+		Frames:        8,
+		Shards:        2,
+		PolicyFactory: func(n int) replacer.Policy { return replacer.NewLRU(n) },
+		Wrapper:       core.Config{Batching: true, QueueSize: 8, BatchThreshold: 4},
+		Device:        storage.NewMemDevice(),
+		RecorderSize:  32,
+	})
+	s := p.NewSession()
+	for i := uint64(1); i <= 32; i++ {
+		ref, err := p.Get(s, pid(i%12+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+	s.Flush()
+
+	reg := obs.NewRegistry()
+	p.RegisterObs(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`bpw_lock_acquisitions_total{shard="0"}`,
+		`bpw_lock_acquisitions_total{shard="1"}`,
+		`bpw_lock_wait_seconds_bucket{shard="0",le=`,
+		`bpw_lock_hold_seconds_count{shard="0"}`,
+		`bpw_batch_size_bucket{shard="0",le=`,
+		`bpw_combine_run_length_count{shard="1"}`,
+		`bpw_hits_total{shard="0"}`,
+		`bpw_quarantined_pages{shard="1"} 0`,
+		`bpw_flight_events_total{shard="0"}`,
+		`bpw_flight_dropped_total{shard="1"}`,
+		"bpw_shards 2",
+		"bpw_device_reads_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The JSON tree must carry the same series for bpstat/expvar use.
+	tree := reg.JSONTree()
+	acq, ok := tree["bpw_lock_acquisitions_total"].([]any)
+	if !ok || len(acq) != 2 {
+		t.Fatalf("acquisitions series: %#v", tree["bpw_lock_acquisitions_total"])
+	}
+}
+
+func TestRegisterObsBackgroundWriter(t *testing.T) {
+	p := newTestPool(4, core.Config{})
+	w := p.StartBackgroundWriter(BackgroundWriterConfig{})
+	defer w.Stop()
+	reg := obs.NewRegistry()
+	w.RegisterObs(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bpw_bgwriter_rounds_total") {
+		t.Fatalf("bgwriter counters missing:\n%s", sb.String())
+	}
+}
+
+func TestCloseErrorCarriesFlightDump(t *testing.T) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
+	p := New(Config{
+		Frames:       2,
+		Policy:       replacer.NewLRU(2),
+		Device:       dev,
+		RecorderSize: 64,
+	})
+	s := p.NewSession()
+	ref, err := p.GetWrite(s, pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.MarkDirty()
+	ref.Release()
+	dev.FailNextWrites(1 << 30) // every retry attempt fails
+	cerr := p.Close()
+	if cerr == nil {
+		t.Fatal("Close succeeded with an unwritable device")
+	}
+	msg := cerr.Error()
+	for _, want := range []string{"close did not reach a clean state", "flight recorder", "shard 0"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("close error missing %q:\n%s", want, msg)
+		}
+	}
+	dev.FailNextWrites(0)
+	if err := p.Close(); err != nil {
+		t.Fatalf("pool not usable after failed close: %v", err)
+	}
+}

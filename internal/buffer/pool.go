@@ -23,6 +23,7 @@ import (
 
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
 	"bpwrapper/internal/storage"
@@ -75,6 +76,18 @@ type Config struct {
 	// simultaneous evictions may briefly overshoot it by the number of
 	// in-flight write-backs.
 	QuarantineCap int
+
+	// RecorderSize enables the per-shard flight recorder: each shard gets
+	// its own lock-free ring of the most recent RecorderSize commit-path
+	// events (commits, TryLock failures, forced locks, publishes, combines,
+	// evictions, quarantine parks/flushes), rounded up to a power of two.
+	// Zero disables recording entirely — the hot paths then pay only a
+	// nil check. Dumps are appended to Close errors and are available
+	// through FlightDump and the /debug/events endpoint.
+	//
+	// If Wrapper.Events is set it is shared by every shard and RecorderSize
+	// is ignored; normally leave Wrapper.Events nil and set RecorderSize.
+	RecorderSize int
 }
 
 // Pool is the buffer-pool manager: a router over one or more shards, keyed
@@ -164,7 +177,14 @@ func New(cfg Config) *Pool {
 		} else {
 			pol = cfg.Policy
 		}
-		p.shards[i].init(n, pol, cfg.Wrapper, cfg.Device, shardQuar)
+		wcfg := cfg.Wrapper
+		if wcfg.Events == nil {
+			// One ring per shard: recorders are single-writer-friendly but
+			// fully concurrent, and per-shard rings keep a hot shard from
+			// scrolling a quiet shard's history out of the ring.
+			wcfg.Events = obs.NewRecorder(cfg.RecorderSize)
+		}
+		p.shards[i].init(n, pol, wcfg, cfg.Device, shardQuar)
 	}
 	return p
 }
@@ -346,7 +366,14 @@ func (p *Pool) Close() error {
 			backoff *= 2
 		}
 	}
-	return fmt.Errorf("buffer: close did not reach a clean state: %w", lastErr)
+	err := fmt.Errorf("buffer: close did not reach a clean state: %w", lastErr)
+	// A dirty shutdown is exactly the situation the flight recorder exists
+	// for: attach the recent protocol history (evictions, parks, failed
+	// flushes) so the error is diagnosable post mortem.
+	if dump := p.FlightDump(); dump != "" {
+		err = fmt.Errorf("%w\n%s", err, dump)
+	}
+	return err
 }
 
 // Prewarm loads the given pages through a throwaway session so that a

@@ -9,6 +9,7 @@ import (
 
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
 	"bpwrapper/internal/sched"
@@ -62,6 +63,12 @@ type shard struct {
 	writeBackFailures atomic.Int64
 
 	counters metrics.AccessCounters
+
+	// events is the shard's flight recorder (nil when disabled). The same
+	// ring the shard's wrapper traces its commit protocol into also receives
+	// the buffer-layer events — eviction, quarantine park/flush — so a dump
+	// shows one interleaved history of the shard's recent protocol activity.
+	events *obs.Recorder
 }
 
 // wbStripes is the number of per-page write-back serialization stripes.
@@ -109,6 +116,7 @@ func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device 
 		sh.freeList[i] = &sh.frames[i]
 	}
 	wcfg.Validate = sh.validTag
+	sh.events = wcfg.Events
 	sh.wrapper = core.New(pol, wcfg)
 }
 
@@ -404,6 +412,12 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 	f.tag.Page = page.InvalidPageID
 	f.mu.Unlock()
 
+	var dirtyArg uint64
+	if needWriteback {
+		dirtyArg = 1
+	}
+	sh.events.Record(obs.EvEvict, uint64(victim), dirtyArg)
+
 	sched.Yield(sched.BufReclaimClaim)
 	if needWriteback {
 		sh.quarantinePut(victim, wb)
@@ -447,6 +461,7 @@ func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, 
 		return false, err
 	}
 	sh.quarantineResolve(id, copy)
+	sh.events.Record(obs.EvQuarantineFlush, uint64(id), 0)
 	return true, nil
 }
 
@@ -459,7 +474,9 @@ func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, 
 func (sh *shard) quarantinePut(id page.PageID, copy *page.Page) {
 	sh.quarMu.Lock()
 	sh.quarantine[id] = copy
+	n := len(sh.quarantine)
 	sh.quarMu.Unlock()
+	sh.events.Record(obs.EvQuarantinePark, uint64(id), uint64(n))
 }
 
 // quarantineTake removes and returns the quarantined copy of id, if any.

@@ -34,9 +34,12 @@
 package core
 
 import (
+	"context"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/sched"
 )
@@ -103,6 +106,14 @@ func (w *Wrapper) combineLocked(own *pubSlot) {
 	if slots == nil {
 		return
 	}
+	// Annotate combiner drains in runtime/trace output (go test -trace,
+	// bpbench with tracing): the region spans the whole drain so trace
+	// viewers show how long combining extends the lock-holding period.
+	// IsEnabled keeps the cost to one predictable branch when off.
+	if trace.IsEnabled() {
+		defer trace.StartRegion(context.Background(), "bpwrapper.combine").End()
+	}
+	var drained, entries uint64
 	for _, sl := range *slots {
 		bp := sl.pub.Swap(nil)
 		if bp == nil {
@@ -112,11 +123,17 @@ func (w *Wrapper) combineLocked(own *pubSlot) {
 		for _, e := range *bp {
 			w.applyHit(e)
 		}
+		drained++
+		entries += uint64(len(*bp))
 		if sl != own {
 			w.fcc.combinedBatches.Add(1)
 			w.fcc.combinedEntries.Add(int64(len(*bp)))
 		}
 		sl.recycle(bp)
+	}
+	if drained > 0 {
+		w.combineRuns.Observe(int(drained))
+		w.events.Record(obs.EvCombine, drained, entries)
 	}
 }
 
@@ -157,6 +174,8 @@ func (s *Session) fcCommit() {
 		s.pubLen = len(s.queue)
 		s.queue, s.fcBox = s.slot.takeSpare(w.cfg.QueueSize)
 		s.slot.pub.Store(box)
+		w.batchSizes.Observe(s.pubLen)
+		w.events.Record(obs.EvPublish, uint64(s.pubLen), 0)
 		sched.Yield(sched.CoreFCPublish)
 		if w.lock.TryLock() {
 			w.cc.tryCommits.Add(1)
@@ -172,6 +191,7 @@ func (s *Session) fcCommit() {
 		// will drain it. Nothing to wait for — this is the handoff the
 		// TryLock-or-block protocol could not make.
 		w.fcc.handoffSaved.Add(1)
+		w.events.Record(obs.EvTryFail, uint64(s.pubLen), 0)
 		return
 	}
 	if len(s.queue) < w.cfg.QueueSize {
@@ -185,6 +205,7 @@ func (s *Session) fcCommit() {
 	}
 	w.lock.Lock()
 	w.cc.forcedLocks.Add(1)
+	w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 	s.applyPublished()
 	for _, e := range s.queue {
 		w.applyHit(e)
@@ -192,6 +213,7 @@ func (s *Session) fcCommit() {
 	w.combineLocked(s.slot)
 	w.lock.Unlock()
 	w.cc.commits.Add(1)
+	w.batchSizes.Observe(len(s.queue))
 	s.queue = s.queue[:0]
 	s.adaptDown()
 }

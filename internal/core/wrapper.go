@@ -34,8 +34,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
 	"bpwrapper/internal/sched"
@@ -109,6 +111,17 @@ type Config struct {
 	// invoked from any session's goroutine (the combiner applies other
 	// sessions' batches), so it must be safe for concurrent use.
 	Validate func(Entry) bool
+
+	// Events, when non-nil, receives flight-recorder events from the
+	// commit path: commits, TryLock failures, blocking fallbacks, flat-
+	// combining publishes and combiner drains. A nil recorder costs one
+	// predictable branch per event site.
+	Events *obs.Recorder
+
+	// LockProfile, when non-nil, replaces the wrapper's default sampled
+	// lock profile (DefaultSampleEvery with wait/hold histograms). Use it
+	// to force always-on clocking in tests or to share histograms.
+	LockProfile *metrics.LockProfile
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -239,6 +252,15 @@ type Wrapper struct {
 	shared *sharedQueue // non-nil iff cfg.SharedQueue
 	fc     *combiner    // non-nil iff cfg.FlatCombining
 
+	events *obs.Recorder // nil-safe flight recorder (cfg.Events)
+
+	// Commit-shape distributions, recorded once per commit/publish/drain
+	// (never on the per-access fast path): how large batches are when they
+	// commit, and how many published batches a combiner drains per
+	// lock-holding period.
+	batchSizes  *metrics.CountDist
+	combineRuns *metrics.CountDist
+
 	_    cachePad
 	lock metrics.ContentionMutex
 	_    cachePad
@@ -250,6 +272,11 @@ type Wrapper struct {
 	_    cachePad
 }
 
+// combineRunCap bounds the dedicated buckets of the combiner-run-length
+// distribution; longer runs (more concurrent sessions than this) share
+// the overflow bucket, whose exact maximum is still tracked.
+const combineRunCap = 32
+
 // New returns a Wrapper around policy configured by cfg.
 func New(policy replacer.Policy, cfg Config) *Wrapper {
 	cfg = cfg.withDefaults()
@@ -257,7 +284,20 @@ func New(policy replacer.Policy, cfg Config) *Wrapper {
 		policy:      policy,
 		cfg:         cfg,
 		lockFreeHit: !replacer.HitNeedsLock(policy),
+		events:      cfg.Events,
+		batchSizes:  metrics.NewCountDist(cfg.QueueSize),
+		combineRuns: metrics.NewCountDist(combineRunCap),
 	}
+	profile := cfg.LockProfile
+	if profile == nil {
+		// Default profile: sampled hold times plus wait/hold histograms,
+		// so every wrapper's lock behaviour is exposable without setup.
+		profile = &metrics.LockProfile{
+			Wait: metrics.NewHistogram(100*time.Nanosecond, 10*time.Second, 60),
+			Hold: metrics.NewHistogram(100*time.Nanosecond, 10*time.Second, 60),
+		}
+	}
+	w.lock.SetProfile(profile)
 	if cfg.Prefetching {
 		if pf, ok := policy.(replacer.Prefetcher); ok {
 			w.prefetcher = pf
@@ -282,6 +322,23 @@ func (w *Wrapper) Policy() replacer.Policy { return w.policy }
 
 // Config returns the resolved configuration.
 func (w *Wrapper) Config() Config { return w.cfg }
+
+// LockProfile returns the profile installed on the policy lock (the
+// default sampled profile unless Config.LockProfile overrode it). The
+// attached histograms are live: snapshot them for exposition.
+func (w *Wrapper) LockProfile() *metrics.LockProfile { return w.lock.Profile() }
+
+// BatchSizes returns the distribution of committed/published batch
+// lengths.
+func (w *Wrapper) BatchSizes() metrics.CountDistSnapshot { return w.batchSizes.Snapshot() }
+
+// CombineRuns returns the distribution of combiner run lengths: how many
+// published batches each combining lock-holding period drained (recorded
+// only for periods that drained at least one).
+func (w *Wrapper) CombineRuns() metrics.CountDistSnapshot { return w.combineRuns.Snapshot() }
+
+// Events returns the wrapper's flight recorder, nil when disabled.
+func (w *Wrapper) Events() *obs.Recorder { return w.events }
 
 // Stats returns a snapshot of the wrapper's counters. See the Stats type
 // for the staleness bound on the per-access aggregates.
@@ -327,6 +384,8 @@ func (w *Wrapper) ResetStats() {
 	w.fcc.combinedBatches.Store(0)
 	w.fcc.combinedEntries.Store(0)
 	w.fcc.handoffSaved.Store(0)
+	w.batchSizes.Reset()
+	w.combineRuns.Reset()
 	w.lock.Reset()
 }
 
@@ -556,6 +615,7 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 	w.lock.Unlock()
 	if len(pending) > 0 {
 		w.cc.commits.Add(1)
+		w.batchSizes.Observe(len(pending))
 	}
 	if w.shared != nil {
 		w.shared.release(pending)
@@ -606,6 +666,7 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 	w.lock.Unlock()
 	if len(pending) > 0 {
 		w.cc.commits.Add(1)
+		w.batchSizes.Observe(len(pending))
 	}
 	if w.shared != nil {
 		w.shared.release(pending)
@@ -649,6 +710,7 @@ func (s *Session) Flush() {
 		}
 		w.lock.Unlock()
 		w.cc.commits.Add(1)
+		w.batchSizes.Observe(len(pending))
 		w.shared.release(pending)
 		return
 	}
@@ -695,8 +757,10 @@ func (s *Session) commit(force bool) {
 	if force {
 		w.lock.Lock()
 		w.cc.forcedLocks.Add(1)
+		w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 	} else if w.lock.TryLock() {
 		w.cc.tryCommits.Add(1)
+		w.events.Record(obs.EvCommit, uint64(len(s.queue)), 0)
 		if len(s.queue) == s.Threshold() {
 			// First-attempt success: the lock has headroom.
 			s.adaptUp()
@@ -704,10 +768,12 @@ func (s *Session) commit(force bool) {
 	} else {
 		if len(s.queue) < w.cfg.QueueSize {
 			// Lock busy and queue not yet full: keep accumulating.
+			w.events.Record(obs.EvTryFail, uint64(len(s.queue)), 0)
 			return
 		}
 		w.lock.Lock()
 		w.cc.forcedLocks.Add(1)
+		w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 		// The queue filled before any TryLock succeeded: start trying
 		// earlier next time.
 		s.adaptDown()
@@ -718,6 +784,7 @@ func (s *Session) commit(force bool) {
 	}
 	w.lock.Unlock()
 	w.cc.commits.Add(1)
+	w.batchSizes.Observe(len(s.queue))
 	s.queue = s.queue[:0]
 }
 
@@ -781,11 +848,14 @@ func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	if full {
 		w.lock.Lock()
 		w.cc.forcedLocks.Add(1)
+		w.events.Record(obs.EvForcedLock, uint64(len(batch)), 0)
 	} else if w.lock.TryLock() {
 		w.cc.tryCommits.Add(1)
+		w.events.Record(obs.EvCommit, uint64(len(batch)), 0)
 	} else {
 		// Lock busy: put the batch back (in front — it is older than
 		// anything recorded meanwhile) and keep accumulating.
+		w.events.Record(obs.EvTryFail, uint64(len(batch)), 0)
 		q.requeue(batch)
 		return
 	}
@@ -794,6 +864,7 @@ func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	}
 	w.lock.Unlock()
 	w.cc.commits.Add(1)
+	w.batchSizes.Observe(len(batch))
 	q.release(batch)
 }
 

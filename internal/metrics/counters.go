@@ -11,13 +11,28 @@ import (
 type AccessCounters struct {
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// resetting marks a Reset in progress. It exists only to let torture
+	// builds (-tags torture) turn the quiescent-only Reset contract into a
+	// panic when violated; release builds never touch it.
+	resetting atomic.Int32
 }
 
 // Hit records one buffer hit.
-func (c *AccessCounters) Hit() { c.hits.Add(1) }
+func (c *AccessCounters) Hit() {
+	if tortureChecks && c.resetting.Load() != 0 {
+		panic("metrics: AccessCounters.Hit raced Reset — Reset is quiescent-only")
+	}
+	c.hits.Add(1)
+}
 
 // Miss records one buffer miss.
-func (c *AccessCounters) Miss() { c.misses.Add(1) }
+func (c *AccessCounters) Miss() {
+	if tortureChecks && c.resetting.Load() != 0 {
+		panic("metrics: AccessCounters.Miss raced Reset — Reset is quiescent-only")
+	}
+	c.misses.Add(1)
+}
 
 // Hits returns the number of recorded hits.
 func (c *AccessCounters) Hits() int64 { return c.hits.Load() }
@@ -38,7 +53,21 @@ func (c *AccessCounters) HitRatio() float64 {
 }
 
 // Reset zeroes the counters.
+//
+// Reset is quiescent-only: the two stores are not atomic as a pair, so a
+// concurrent Snapshot (or Hit/Miss) can observe pre-Reset hits with
+// post-Reset misses — an inconsistent pair that undercounts accesses and
+// skews the hit ratio. Callers must ensure no sessions are recording and
+// no scraper is snapshotting while Reset runs; every in-tree caller
+// (txn.Run setup, Pool.ResetStats) does so at a quiescent point. Builds
+// with -tags torture enforce the contract with a panic.
 func (c *AccessCounters) Reset() {
+	if tortureChecks {
+		if !c.resetting.CompareAndSwap(0, 1) {
+			panic("metrics: concurrent AccessCounters.Reset calls — Reset is quiescent-only")
+		}
+		defer c.resetting.Store(0)
+	}
 	c.hits.Store(0)
 	c.misses.Store(0)
 }
@@ -54,8 +83,13 @@ type AccessSnapshot struct {
 // Snapshot captures the counters. Hits are loaded before misses — the same
 // direction the hot paths increment them (an access bumps exactly one) —
 // so a snapshot folded into an aggregate can undercount in-flight
-// activity but never manufactures accesses that did not happen.
+// activity but never manufactures accesses that did not happen. That
+// one-sided guarantee assumes the counters only grow: Snapshot must not
+// race Reset (see Reset).
 func (c *AccessCounters) Snapshot() AccessSnapshot {
+	if tortureChecks && c.resetting.Load() != 0 {
+		panic("metrics: AccessCounters.Snapshot raced Reset — Reset is quiescent-only")
+	}
 	h := c.hits.Load()
 	m := c.misses.Load()
 	return AccessSnapshot{Hits: h, Misses: m}

@@ -53,6 +53,18 @@ func (h *Histogram) Record(d time.Duration) {
 	idx := 0
 	if ns > h.min {
 		idx = int(math.Log(ns/h.min) / math.Log(h.growth))
+		// Floating-point log can land an exact bucket boundary on either
+		// side of the integer; re-check against the computed bucket's
+		// bounds and shift by one if needed so binning is exact.
+		if idx < len(h.buckets)-1 && ns > h.min*math.Pow(h.growth, float64(idx+1)) {
+			idx++
+		}
+		if idx > 0 && ns <= h.min*math.Pow(h.growth, float64(idx)) {
+			idx--
+		}
+		if idx < 0 {
+			idx = 0
+		}
 		if idx >= len(h.buckets) {
 			idx = len(h.buckets) - 1
 		}
@@ -108,7 +120,10 @@ func (h *Histogram) Min() time.Duration {
 }
 
 // Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) using the
-// geometric upper bound of the bucket containing the quantile rank.
+// geometric upper bound of the bucket containing the quantile rank. The
+// extremes are exact: Quantile(0) is the smallest observation and
+// Quantile(1) the largest, so single-bucket histograms report their true
+// range instead of a bucket bound. An empty histogram returns 0 for any q.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
@@ -117,6 +132,12 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
+	}
+	if q == 0 {
+		return time.Duration(h.minSeen)
+	}
+	if q == 1 {
+		return time.Duration(h.maxSeen)
 	}
 	rank := int64(math.Ceil(q * float64(h.count)))
 	if rank < 1 {
@@ -127,8 +148,15 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		cum += c
 		if cum >= rank {
 			upper := h.min * math.Pow(h.growth, float64(i+1))
+			// Clamp the bucket bound into the observed range: values are
+			// clamped into the edge buckets at Record time, so the
+			// geometric bound can overshoot maxSeen or (for observations
+			// below the histogram floor) undershoot minSeen.
 			if upper > h.maxSeen {
 				upper = h.maxSeen
+			}
+			if upper < h.minSeen {
+				upper = h.minSeen
 			}
 			return time.Duration(upper)
 		}
@@ -174,6 +202,41 @@ func (h *Histogram) Reset() {
 	h.sum = 0
 	h.maxSeen = 0
 	h.minSeen = math.Inf(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets,
+// shaped for exposition: Bounds[i] is the inclusive upper bound of
+// Counts[i], and Sum is the total of all observations.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []int64
+	Count  int64
+	Sum    time.Duration
+}
+
+// Snapshot copies the histogram's current contents for exposition (e.g.
+// Prometheus bucket output). Trailing empty buckets are trimmed to keep
+// scrape payloads small; the full geometry is recoverable from the bounds.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	s := HistogramSnapshot{
+		Bounds: make([]time.Duration, last+1),
+		Counts: make([]int64, last+1),
+		Count:  h.count,
+		Sum:    time.Duration(h.sum),
+	}
+	for i := 0; i <= last; i++ {
+		s.Bounds[i] = time.Duration(h.min * math.Pow(h.growth, float64(i+1)))
+		s.Counts[i] = h.buckets[i]
+	}
+	return s
 }
 
 // Summary describes a distribution compactly for reports.

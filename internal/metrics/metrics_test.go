@@ -44,6 +44,9 @@ func TestContentionMutexTryLock(t *testing.T) {
 
 func TestContentionMutexBlockingCounts(t *testing.T) {
 	var m ContentionMutex
+	// Hold times are sampled by default; clock every acquisition so the
+	// 20ms hold below is measured rather than (maybe) skipped.
+	m.SetProfile(&LockProfile{SampleEvery: 1})
 	m.Lock()
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,7 @@
+//go:build !torture
+
+package metrics
+
+// tortureChecks is false in release builds: the quiescence assertions are
+// compile-time dead code and cost nothing on the hot paths.
+const tortureChecks = false

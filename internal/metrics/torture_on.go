@@ -1,0 +1,7 @@
+//go:build torture
+
+package metrics
+
+// tortureChecks enables the quiescence assertions (AccessCounters.Reset
+// vs concurrent recording) that release builds compile away.
+const tortureChecks = true

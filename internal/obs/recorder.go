@@ -1,0 +1,256 @@
+// Package obs is the observability layer of the BP-Wrapper reproduction:
+// a lock-free flight recorder for commit-path events, a metrics registry
+// that walks the pool's stats tree, and an HTTP server exposing both as
+// Prometheus text and expvar-style JSON.
+//
+// The package sits below core and buffer in the import graph (it depends
+// only on metrics and the standard library) so the hot layers can emit
+// events without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind labels a flight-recorder event. The kinds cover the commit
+// protocol (what the paper's Section III batches and defers) plus the
+// buffer-manager transitions that interact with it.
+type EventKind uint8
+
+const (
+	// EvCommit: a batch was applied after an immediate TryLock success.
+	// Arg1 = batch length.
+	EvCommit EventKind = iota + 1
+	// EvTryFail: the commit TryLock failed; accesses stay queued.
+	// Arg1 = pending queue length.
+	EvTryFail
+	// EvForcedLock: the queue filled, forcing a blocking Lock — the
+	// paper's contention event. Arg1 = batch length.
+	EvForcedLock
+	// EvPublish: a flat-combining session published its batch.
+	// Arg1 = batch length.
+	EvPublish
+	// EvCombine: a combiner drained published batches.
+	// Arg1 = batches drained, Arg2 = entries applied.
+	EvCombine
+	// EvEvict: a frame was evicted. Arg1 = page id.
+	EvEvict
+	// EvQuarantinePark: a dirty page parked in the write-back quarantine.
+	// Arg1 = page id.
+	EvQuarantinePark
+	// EvQuarantineFlush: a quarantined page was written back.
+	// Arg1 = page id.
+	EvQuarantineFlush
+)
+
+// String returns the kind's short name, used in dumps and the events
+// endpoint.
+func (k EventKind) String() string {
+	switch k {
+	case EvCommit:
+		return "commit"
+	case EvTryFail:
+		return "trylock-fail"
+	case EvForcedLock:
+		return "forced-lock"
+	case EvPublish:
+		return "publish"
+	case EvCombine:
+		return "combine"
+	case EvEvict:
+		return "evict"
+	case EvQuarantinePark:
+		return "quarantine-park"
+	case EvQuarantineFlush:
+		return "quarantine-flush"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	Seq  uint64 // global claim order within the recorder
+	// Time is a coarse wall-clock timestamp: the clock is read on a
+	// 1-in-clockEvery sample of records and cached in between, so an
+	// event's stamp can be up to clockEvery-1 events stale. Seq, not
+	// Time, is the ordering authority.
+	Time time.Time
+	Kind EventKind
+	Arg1 uint64
+	Arg2 uint64
+}
+
+// clockEvery is the timestamp sampling period: Record reads the
+// nanosecond clock on one in clockEvery events (must be a power of two)
+// and reuses the cached reading otherwise. Commit-path callers record an
+// event every few dozen page accesses, so an always-on clock read would
+// dominate the recorder's cost and break the fast-path overhead budget.
+const clockEvery = 16
+
+// slot is one ring entry. Every word is atomic so concurrent writers and
+// readers are race-free; the begin/end sequence pair brackets the payload
+// seqlock-style so readers can detect torn entries.
+type slot struct {
+	begin atomic.Uint64 // claim sequence + 1, stored before the payload
+	kind  atomic.Uint64
+	arg1  atomic.Uint64
+	arg2  atomic.Uint64
+	nanos atomic.Int64
+	end   atomic.Uint64 // claim sequence + 1, stored after the payload
+}
+
+// Recorder is a fixed-size lock-free ring buffer of commit-path events —
+// a flight recorder. Writers claim slots with one atomic increment and
+// fill them wait-free; the newest events overwrite the oldest. Readers
+// take a best-effort snapshot: entries overwritten mid-read are detected
+// via their begin/end sequence bracket and counted into Dropped rather
+// than returned corrupt.
+//
+// A nil *Recorder is valid and records nothing, so call sites need no
+// enabled-checks.
+type Recorder struct {
+	mask  uint64
+	seq   atomic.Uint64
+	torn  atomic.Uint64 // snapshot reads that discarded a torn slot
+	clock atomic.Int64  // cached UnixNano, refreshed every clockEvery records
+	slots []slot
+}
+
+// NewRecorder returns a recorder holding the most recent size events
+// (rounded up to a power of two, minimum 8). A size ≤ 0 returns nil —
+// the disabled recorder.
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		return nil
+	}
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Record appends one event. Safe for concurrent use; no-op on a nil
+// recorder. An enabled record is one atomic increment plus six plain
+// atomic stores; the nanosecond clock is read only on a 1-in-clockEvery
+// sample of records (see Event.Time), keeping the recorder within the
+// commit path's observability budget.
+func (r *Recorder) Record(kind EventKind, arg1, arg2 uint64) {
+	if r == nil {
+		return
+	}
+	i := r.seq.Add(1) - 1
+	now := r.clock.Load()
+	if i&(clockEvery-1) == 0 || now == 0 {
+		now = time.Now().UnixNano()
+		r.clock.Store(now)
+	}
+	s := &r.slots[i&r.mask]
+	s.begin.Store(i + 1)
+	s.kind.Store(uint64(kind))
+	s.arg1.Store(arg1)
+	s.arg2.Store(arg2)
+	s.nanos.Store(now)
+	s.end.Store(i + 1)
+}
+
+// Seq returns the number of events ever recorded (including overwritten
+// ones). Zero on a nil recorder.
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Cap returns the ring capacity, 0 for a disabled recorder.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Dropped returns how many events have been overwritten before any reader
+// saw them plus how many snapshot reads discarded a torn slot — the
+// recorder's data-loss figure for exposition.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	n := r.seq.Load()
+	cap := uint64(len(r.slots))
+	over := uint64(0)
+	if n > cap {
+		over = n - cap
+	}
+	return over + r.torn.Load()
+}
+
+// Events returns a best-effort snapshot of the surviving ring contents in
+// claim order (oldest first). Entries being overwritten during the read
+// are skipped and counted. Nil recorders return nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		e := s.end.Load()
+		if e == 0 {
+			continue // never written
+		}
+		ev := Event{
+			Seq:  e - 1,
+			Time: time.Unix(0, s.nanos.Load()),
+			Kind: EventKind(s.kind.Load()),
+			Arg1: s.arg1.Load(),
+			Arg2: s.arg2.Load(),
+		}
+		if s.begin.Load() != e {
+			r.torn.Add(1)
+			continue // overwrite in progress; payload unreliable
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Dump writes a human-readable tail of the recorder to w, newest last,
+// prefixed with label. It is the format appended to torture-oracle
+// failures and Pool.Close errors. A nil or empty recorder writes a
+// one-line note so failure output stays self-explanatory.
+func (r *Recorder) Dump(w io.Writer, label string) {
+	if r == nil {
+		fmt.Fprintf(w, "%s: flight recorder disabled\n", label)
+		return
+	}
+	evs := r.Events()
+	fmt.Fprintf(w, "%s: flight recorder: %d/%d events (%d recorded, %d dropped)\n",
+		label, len(evs), len(r.slots), r.Seq(), r.Dropped())
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  [%d] %s %s arg1=%d arg2=%d\n",
+			ev.Seq, ev.Time.Format("15:04:05.000000"), ev.Kind, ev.Arg1, ev.Arg2)
+	}
+}
+
+// DumpString renders Dump into a string, for embedding in error values.
+func (r *Recorder) DumpString(label string) string {
+	var sb writerString
+	r.Dump(&sb, label)
+	return string(sb)
+}
+
+type writerString []byte
+
+func (w *writerString) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a Registry over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar-style JSON (standard vars + the registry tree)
+//	/debug/events   flight-recorder dump (plain text)
+//	/debug/pprof/*  the standard pprof handlers
+//
+// It owns its listener so tests can pass ":0" and read the bound address
+// back; it never touches the process-global expvar/pprof registration, so
+// any number of servers can coexist (and be torn down) in one process.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer binds addr (host:port; ":0" picks a free port) and starts
+// serving the registry in a background goroutine.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	s := &Server{reg: reg, ln: ln}
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:6060".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry returns the served registry, so callers holding only the
+// server can keep registering collectors.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// The connection is gone; nothing useful to do.
+		return
+	}
+}
+
+// handleVars mimics the standard expvar handler — the process-global vars
+// (cmdline, memstats) in the same JSON shape — and adds the registry tree
+// under "bpwrapper". Serving it ourselves avoids expvar.Publish, which
+// panics on duplicate names when multiple pools or tests expose metrics
+// in one process.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: ", "bpwrapper")
+	s.reg.WriteJSON(w) //nolint:errcheck // best-effort over HTTP
+	fmt.Fprintf(w, "}\n")
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.DumpRecorders(w)
+}

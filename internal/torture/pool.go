@@ -27,6 +27,11 @@ type PoolRunConfig struct {
 	Shards   int    // hash partitions of the pool; 0 or 1 is the monolithic pool
 	Faults   bool   // inject transient read/write failures and corruption
 	BGWriter bool   // run a background writer during the bursts
+
+	// RecorderSize sizes the per-shard flight recorder whose dump is
+	// appended to every oracle failure. Zero means 512 events per shard;
+	// negative disables recording.
+	RecorderSize int
 }
 
 // PoolRunReport summarizes a completed run.
@@ -121,6 +126,11 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 	if cfg.Policy == "" {
 		cfg.Policy = "lru"
 	}
+	if cfg.RecorderSize == 0 {
+		cfg.RecorderSize = 512
+	} else if cfg.RecorderSize < 0 {
+		cfg.RecorderSize = 0
+	}
 
 	mem := storage.NewMemDevice()
 	fault := storage.NewFaultDevice(mem, storage.FaultConfig{Seed: cfg.Seed})
@@ -146,10 +156,11 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 	}
 	wcfg := configFor(cfg.Path, 16)
 	bcfg := buffer.Config{
-		Frames:  cfg.Frames,
-		Shards:  cfg.Shards,
-		Wrapper: wcfg,
-		Device:  dev,
+		Frames:       cfg.Frames,
+		Shards:       cfg.Shards,
+		Wrapper:      wcfg,
+		Device:       dev,
+		RecorderSize: cfg.RecorderSize,
 	}
 	if cfg.Shards > 1 {
 		bcfg.PolicyFactory = factory
@@ -160,6 +171,20 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		bcfg.Policy = factory(cfg.Frames)
 	}
 	pool := buffer.New(bcfg)
+
+	// oracleFail attaches the shards' flight-recorder history to a failed
+	// oracle: the ring holds the last protocol steps (commits, evictions,
+	// quarantine traffic) leading up to the violation, which is usually
+	// exactly what a seed-replay debugging session needs first.
+	oracleFail := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		if dump := pool.FlightDump(); dump != "" {
+			return fmt.Errorf("%w\n%s", err, dump)
+		}
+		return err
+	}
 
 	if cfg.Faults {
 		fault.SetReadFailRate(0.02)
@@ -270,18 +295,18 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		stopBG()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, oracleFail(err)
 			}
 		}
 		// Quiescent point: no worker, no loader, no background writer.
 		if n := pool.PinnedFrames(); n != 0 {
-			return nil, fmt.Errorf("seed %d: phase %d: %d frames still pinned at quiescence", cfg.Seed, phase, n)
+			return nil, oracleFail(fmt.Errorf("seed %d: phase %d: %d frames still pinned at quiescence", cfg.Seed, phase, n))
 		}
 		if err := pool.CheckInvariants(); err != nil {
-			return nil, fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err)
+			return nil, oracleFail(fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err))
 		}
 		if err := checkStatsConsistency(pool); err != nil {
-			return nil, fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err)
+			return nil, oracleFail(fmt.Errorf("seed %d: phase %d: %w", cfg.Seed, phase, err))
 		}
 		rep.Invariantified++
 	}
@@ -295,17 +320,17 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		return nil, fmt.Errorf("seed %d: Close: %v", cfg.Seed, err)
 	}
 	if n := pool.PinnedFrames(); n != 0 {
-		return nil, fmt.Errorf("seed %d: %d frames pinned after Close", cfg.Seed, n)
+		return nil, oracleFail(fmt.Errorf("seed %d: %d frames pinned after Close", cfg.Seed, n))
 	}
 	for b := 0; b < cfg.Pages; b++ {
 		var pg page.Page
 		if err := mem.ReadPage(poolPage(b), &pg); err != nil {
-			return nil, fmt.Errorf("seed %d: post-close read of page %d: %v", cfg.Seed, b, err)
+			return nil, oracleFail(fmt.Errorf("seed %d: post-close read of page %d: %v", cfg.Seed, b, err))
 		}
 		v := int(versions[b].Load())
 		if !pg.VerifyStamp(stampID(b, v)) {
-			return nil, fmt.Errorf("seed %d: page %d: device does not hold last written version %d — dirty page lost",
-				cfg.Seed, b, v)
+			return nil, oracleFail(fmt.Errorf("seed %d: page %d: device does not hold last written version %d — dirty page lost",
+				cfg.Seed, b, v))
 		}
 	}
 	return &rep, nil
