@@ -306,6 +306,103 @@ func NewChecksumDevice(backing Device) *ChecksumDevice {
 }
 
 // ---------------------------------------------------------------------------
+// Graceful degradation
+//
+// A failing device must degrade its shard, not the pool. Each shard's
+// health ladder (Healthy → Degraded → ReadOnly) is driven by a per-shard
+// circuit breaker and quarantine pressure: a Degraded shard
+// admission-controls its misses, a ReadOnly shard sheds them immediately
+// with ErrOverloaded while resident pages keep serving and dirty
+// evictions park losslessly in the quarantine. Compose the resilient
+// per-shard stack with PoolConfig.WrapShardDevice:
+//
+//	cfg.WrapShardDevice = func(shard int, base bpwrapper.Device) bpwrapper.Device {
+//		retried := bpwrapper.NewRetryDevice(bpwrapper.NewChecksumDevice(base), retryCfg)
+//		bounded := bpwrapper.NewDeadlineDevice(retried, bpwrapper.DeadlineConfig{
+//			ReadDeadline: 80 * time.Millisecond, WriteDeadline: 25 * time.Millisecond,
+//		})
+//		return bpwrapper.NewBreakerDevice(bounded, bpwrapper.BreakerConfig{
+//			Window: 64, ErrorThreshold: 0.5, LatencySLO: 10 * time.Millisecond,
+//			OpenTimeout: 150 * time.Millisecond,
+//		})
+//	}
+//
+// See DESIGN.md §11 for the full degradation contract and the chaos
+// scenarios that validate it.
+
+// BreakerDevice is a circuit breaker over a device: it opens on error
+// rate or latency-SLO violations across a sliding outcome window,
+// rejects operations with ErrBreakerOpen while open, and re-closes via
+// half-open probes after OpenTimeout.
+type (
+	BreakerDevice = storage.BreakerDevice
+	BreakerConfig = storage.BreakerConfig
+	BreakerState  = storage.BreakerState
+	BreakerStats  = storage.BreakerStats
+)
+
+// Breaker states, as reported by BreakerDevice.State.
+const (
+	BreakerClosed   = storage.BreakerClosed
+	BreakerOpen     = storage.BreakerOpen
+	BreakerHalfOpen = storage.BreakerHalfOpen
+)
+
+// DeadlineDevice bounds each device operation by a deadline, abandoning
+// (not waiting out) operations that hang; per-page stripe locks keep an
+// abandoned write from landing after a later rewrite of the same page.
+type (
+	DeadlineDevice = storage.DeadlineDevice
+	DeadlineConfig = storage.DeadlineConfig
+)
+
+// NewBreakerDevice wraps a device with a circuit breaker.
+func NewBreakerDevice(backing Device, cfg BreakerConfig) *BreakerDevice {
+	return storage.NewBreakerDevice(backing, cfg)
+}
+
+// NewDeadlineDevice wraps a device with per-operation deadlines.
+func NewDeadlineDevice(backing Device, cfg DeadlineConfig) *DeadlineDevice {
+	return storage.NewDeadlineDevice(backing, cfg)
+}
+
+// Degradation errors. None of them is retryable: ErrOverloaded and
+// ErrBreakerOpen are load-shedding feedback (retrying into an open
+// breaker is how brownouts spread), and a deadline miss means the
+// operation was abandoned, not that it failed transiently.
+var (
+	ErrBreakerOpen      = storage.ErrBreakerOpen
+	ErrDeadlineExceeded = storage.ErrDeadlineExceeded
+	ErrDeviceCanceled   = storage.ErrCanceled
+	ErrOverloaded       = buffer.ErrOverloaded
+	ErrQuarantineFull   = buffer.ErrQuarantineFull
+)
+
+// HealthState is one rung of a shard's degradation ladder; read it with
+// Pool.ShardHealth or PoolStats.PerShard[i].Health.
+type HealthState = buffer.HealthState
+
+// Health ladder rungs.
+const (
+	ShardHealthy  = buffer.Healthy
+	ShardDegraded = buffer.Degraded
+	ShardReadOnly = buffer.ReadOnly
+)
+
+// HealthConfig tunes a pool's degradation behaviour
+// (PoolConfig.Health): the Degraded-state miss admission bound, or
+// Disable to opt a pool out of shedding entirely.
+type HealthConfig = buffer.HealthConfig
+
+// FindBreaker walks a shard's device chain (Pool.ShardDevice) to its
+// breaker, if one is present.
+func FindBreaker(d Device) (*BreakerDevice, bool) { return storage.FindBreaker(d) }
+
+// FindDeadline walks a shard's device chain to its deadline wrapper, if
+// one is present.
+func FindDeadline(d Device) (*DeadlineDevice, bool) { return storage.FindDeadline(d) }
+
+// ---------------------------------------------------------------------------
 // Observability
 //
 // The obs layer exposes a pool's full metric tree — per-shard lock

@@ -40,6 +40,12 @@
 // and with -mode real a throughput sweep of shards × {pg2Q, pgBat,
 // pgBatFC} measures whether batching still pays as sharding divides the
 // policy lock.
+//
+// The chaos experiment (E16) scripts four device-fault campaigns —
+// brownout, harddown, quarantine pressure, recovery — against the
+// per-shard breaker/deadline/admission machinery on a deterministic tick
+// clock, and reports each campaign's event ledger (committed as
+// results/BENCH_chaos.json via scripts/bench_chaos.sh).
 package main
 
 import (
@@ -57,14 +63,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		wlNames  = flag.String("workloads", "tpcw,tpcc,tablescan", "comma-separated workloads")
 		procs    = flag.Int("procs", 16, "processor count for single-point experiments (fig2, tab2, tab3, ablations)")
-		format   = flag.String("format", "table", "output format: table (paper-shaped), csv, or json (combine/contention/shard)")
+		format   = flag.String("format", "table", "output format: table (paper-shaped), csv, or json (combine/contention/shard/chaos)")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/events and pprof on this address while experiments run")
 	)
 	flag.Parse()
@@ -236,6 +242,17 @@ func main() {
 				check(bench.CSVShard(os.Stdout, rep))
 			default:
 				bench.PrintShard(os.Stdout, rep)
+			}
+		case "chaos":
+			rep, err := bench.ChaosExperiment(opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONChaos(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVChaos(os.Stdout, rep))
+			default:
+				bench.PrintChaos(os.Stdout, rep)
 			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))

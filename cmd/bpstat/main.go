@@ -95,6 +95,18 @@ func fetch(addr string) (tree, error) {
 	return all.BPWrapper, nil
 }
 
+// healthName renders the bpw_health_state gauge for humans.
+func healthName(v float64) string {
+	switch int(v) {
+	case 1:
+		return "degraded"
+	case 2:
+		return "read-only"
+	default:
+		return "healthy"
+	}
+}
+
 // render prints one per-shard table. prev is the previous poll (nil on the
 // first), dt the time between them; rate columns fall back to totals when
 // prev is nil.
@@ -108,8 +120,8 @@ func render(t, prev tree, dt time.Duration) {
 	if prev == nil {
 		rateHdr = "accesses"
 	}
-	fmt.Printf("%-5s  %10s  %6s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s\n",
-		"shard", rateHdr, "hit%", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop")
+	fmt.Printf("%-5s  %10s  %6s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
+		"shard", rateHdr, "hit%", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
 	for _, sh := range shards {
 		accesses := t.shardVal("bpw_accesses_total", sh)
 		rate := accesses
@@ -124,7 +136,7 @@ func render(t, prev tree, dt time.Duration) {
 		}
 		batch := t.shardDist("bpw_batch_size", sh)
 		comb := t.shardDist("bpw_combine_run_length", sh)
-		fmt.Printf("%-5s  %10.0f  %5.1f%%  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f\n",
+		fmt.Printf("%-5s  %10.0f  %5.1f%%  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
 			sh, rate, hitPct,
 			t.shardVal("bpw_lock_acquisitions_total", sh),
 			t.shardVal("bpw_lock_contentions_total", sh),
@@ -132,7 +144,9 @@ func render(t, prev tree, dt time.Duration) {
 			batch.Mean, comb.Mean,
 			t.shardVal("bpw_dirty_pages", sh),
 			t.shardVal("bpw_quarantined_pages", sh),
-			t.shardVal("bpw_flight_dropped_total", sh))
+			t.shardVal("bpw_flight_dropped_total", sh),
+			healthName(t.shardVal("bpw_health_state", sh)),
+			t.shardVal("bpw_shed_total", sh))
 	}
 }
 

@@ -1,0 +1,365 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// The chaos experiment (E16) drives the graceful-degradation machinery —
+// per-shard circuit breakers, miss admission control, quarantine-pressure
+// health — through four scripted fault scenarios and reports the
+// machinery's event counts. Unlike the torture chaos scenarios (which use
+// wall-clock deadlines and concurrency), E16 is built to be byte-for-byte
+// reproducible: a scripted tick clock replaces time.Now inside the
+// breaker, retry backoffs are no-op sleeps, fault rates are only 0 or 1,
+// and one goroutine drives every operation in a fixed order. The
+// committed results/BENCH_chaos.json is therefore a behavioural baseline:
+// a diff after a change to internal/buffer or internal/storage is a real
+// protocol difference, not scheduling noise.
+
+// ChaosRow is one scenario's event ledger.
+type ChaosRow struct {
+	Scenario           string `json:"scenario"`
+	Misses             int64  `json:"misses"`
+	Shed               int64  `json:"shed"`
+	BreakerTrips       int64  `json:"breaker_trips"`
+	BreakerRejections  int64  `json:"breaker_rejections"`
+	Probes             int64  `json:"probes"`
+	QuarantineRefusals int64  `json:"quarantine_refusals"`
+	PeakHealth         string `json:"peak_health"`
+	FinalHealth        string `json:"final_health"`
+	Recovered          bool   `json:"recovered"`
+	LostPages          int    `json:"lost_pages"`
+}
+
+// ChaosReport is the committed E16 baseline shape.
+type ChaosReport struct {
+	Experiment string     `json:"experiment"`
+	Seed       int64      `json:"seed"`
+	Rows       []ChaosRow `json:"rows"`
+}
+
+// tickClock is a scripted clock: every reading advances a fixed step, so
+// "latency" under it is a function of the operation sequence alone. The
+// step is the scenario's brownout knob — raising it past the breaker's
+// SLO makes every operation measure slow without any wall time passing.
+type tickClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func newTickClock() *tickClock {
+	return &tickClock{t: time.Unix(1000, 0), step: 100 * time.Microsecond}
+}
+
+func (c *tickClock) Now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+const (
+	chaosTable  = 0x7e
+	chaosSLO    = time.Millisecond // tick step 100µs is fast, 2ms is a brownout
+	chaosShards = 2
+	chaosHot    = 2 // resident pages per shard
+	chaosCold   = 6 // miss-provoking pages per shard
+)
+
+func chaosPage(b uint64) page.PageID { return page.NewPageID(chaosTable, b) }
+
+// chaosStamp encodes (block, version) as a stamp identity, like the
+// torture harness does, so lost updates are detectable from raw bytes.
+func chaosStamp(id page.PageID, version int) page.PageID {
+	return page.NewPageID(uint32(0x200+version), id.Block())
+}
+
+// chaosRun is one scenario's assembled stack plus its shadow model.
+type chaosRun struct {
+	pool     *buffer.Pool
+	mem      *storage.MemDevice
+	clocks   []*tickClock // one per shard: a brownout slows only its shard
+	faults   []*storage.FaultDevice
+	breakers []*storage.BreakerDevice
+	ids      [][]page.PageID // per shard: hot ids first, then cold
+	versions map[page.PageID]int
+	ses      *buffer.Session
+	row      *ChaosRow
+}
+
+// buildChaosRun assembles the per-shard resilience stacks. minSamples
+// lets the quarantine scenario park its breaker (a breaker that trips
+// would shed the misses the quarantine ladder is supposed to drive).
+func buildChaosRun(seed int64, scenario string, minSamples int) *chaosRun {
+	r := &chaosRun{
+		mem:      storage.NewMemDevice(),
+		clocks:   make([]*tickClock, chaosShards),
+		faults:   make([]*storage.FaultDevice, chaosShards),
+		breakers: make([]*storage.BreakerDevice, chaosShards),
+		versions: map[page.PageID]int{},
+		row:      &ChaosRow{Scenario: scenario},
+	}
+	framesPerShard := chaosHot + chaosCold/2 // cold misses overflow the shard
+	r.pool = buffer.New(buffer.Config{
+		Frames:        framesPerShard * chaosShards,
+		Shards:        chaosShards,
+		PolicyFactory: func(n int) replacer.Policy { return replacer.NewLRU(n) },
+		Device:        r.mem,
+		QuarantineCap: 2 * chaosShards,
+		WrapShardDevice: func(shard int, base storage.Device) storage.Device {
+			r.clocks[shard] = newTickClock()
+			r.faults[shard] = storage.NewFaultDevice(base, storage.FaultConfig{Seed: seed + int64(shard)})
+			retry := storage.NewRetryDevice(storage.NewChecksumDevice(r.faults[shard]), storage.RetryConfig{
+				MaxAttempts: 2,
+				Sleep:       func(time.Duration) {}, // no wall time in the ladder
+				Jitter:      -1,
+				Seed:        seed,
+			})
+			dl := storage.NewDeadlineDevice(retry, storage.DeadlineConfig{
+				ReadDeadline:  time.Hour, // present in the stack, never firing:
+				WriteDeadline: time.Hour, // deadline timing is wall-clock, not scripted
+			})
+			r.breakers[shard] = storage.NewBreakerDevice(dl, storage.BreakerConfig{
+				Window:         16,
+				MinSamples:     minSamples,
+				LatencySLO:     chaosSLO,
+				OpenTimeout:    10 * time.Millisecond, // 100 ticks at the fast step
+				ProbeProb:      1,
+				HalfOpenProbes: 2,
+				Seed:           seed,
+				Now:            r.clocks[shard].Now,
+			})
+			return r.breakers[shard]
+		},
+	})
+	// Partition ids by owning shard and seed version 0 below the stacks.
+	r.ids = make([][]page.PageID, chaosShards)
+	for b := uint64(0); ; b++ {
+		id := chaosPage(b)
+		s := r.pool.ShardOf(id)
+		if len(r.ids[s]) < chaosHot+chaosCold {
+			r.ids[s] = append(r.ids[s], id)
+		}
+		full := true
+		for _, l := range r.ids {
+			if len(l) < chaosHot+chaosCold {
+				full = false
+			}
+		}
+		if full {
+			break
+		}
+	}
+	for _, l := range r.ids {
+		for _, id := range l {
+			var pg page.Page
+			pg.Stamp(chaosStamp(id, 0))
+			pg.ID = id
+			r.mem.WritePage(&pg)
+			r.versions[id] = 0
+		}
+	}
+	r.ses = r.pool.NewSession()
+	return r
+}
+
+// write dirties id with the next version through the pool.
+func (r *chaosRun) write(id page.PageID) error {
+	ref, err := r.pool.GetWrite(r.ses, id)
+	if err != nil {
+		return err
+	}
+	v := r.versions[id] + 1
+	var pg page.Page
+	pg.Stamp(chaosStamp(id, v))
+	copy(ref.Data(), pg.Data[:])
+	ref.MarkDirty()
+	ref.Release()
+	r.versions[id] = v
+	return nil
+}
+
+// observe folds the sick shard's health into the row's peak.
+func (r *chaosRun) observe() buffer.HealthState {
+	h := r.pool.Stats().PerShard[0].Health
+	if peak := h.String(); r.row.PeakHealth == "" || h > parseHealth(r.row.PeakHealth) {
+		r.row.PeakHealth = peak
+	}
+	return h
+}
+
+func parseHealth(s string) buffer.HealthState {
+	switch s {
+	case "degraded":
+		return buffer.Degraded
+	case "read-only":
+		return buffer.ReadOnly
+	default:
+		return buffer.Healthy
+	}
+}
+
+// finish heals, walks the breaker back closed, closes the pool, and
+// scores the zero-lost-dirty oracle against the raw device.
+func (r *chaosRun) finish() error {
+	r.faults[0].SetReadFailRate(0)
+	r.faults[0].SetWriteFailRate(0)
+	r.clocks[0].step = 100 * time.Microsecond
+	// Walk the open timeout off the scripted clock and feed probes until
+	// the breaker re-closes (HalfOpenProbes successes; cap the walk so a
+	// regression cannot loop forever).
+	cold := r.ids[0][chaosHot:]
+	for i := 0; i < 300 && r.breakers[0].State() != storage.BreakerClosed; i++ {
+		if ref, err := r.pool.Get(r.ses, cold[i%len(cold)]); err == nil {
+			ref.Release()
+		}
+	}
+	recovered := r.breakers[0].State() == storage.BreakerClosed
+	if _, err := r.pool.FlushDirty(); err != nil { // drain parked quarantine writes
+		return fmt.Errorf("chaos %s: flush after healing: %w", r.row.Scenario, err)
+	}
+	st := r.pool.Stats()
+	r.row.FinalHealth = st.PerShard[0].Health.String()
+	r.row.Recovered = recovered && st.PerShard[0].Health == buffer.Healthy
+	if err := r.pool.Close(); err != nil {
+		return fmt.Errorf("chaos %s: close after healing: %w", r.row.Scenario, err)
+	}
+	for id, v := range r.versions {
+		var pg page.Page
+		if err := r.mem.ReadPage(id, &pg); err != nil {
+			return fmt.Errorf("chaos %s: post-close read %v: %w", r.row.Scenario, id, err)
+		}
+		if !pg.VerifyStamp(chaosStamp(id, v)) {
+			r.row.LostPages++
+		}
+	}
+	bs := r.breakers[0].BreakerStats()
+	r.row.BreakerTrips = bs.Trips
+	r.row.BreakerRejections = bs.Rejections
+	r.row.Probes = bs.Probes
+	r.row.Misses = st.Misses
+	r.row.Shed = st.Shed
+	r.row.QuarantineRefusals = st.PerShard[0].QuarantineRefusals
+	return nil
+}
+
+// chaosScenario runs one scripted campaign and returns its row.
+func chaosScenario(seed int64, scenario string) (ChaosRow, error) {
+	minSamples := 4
+	if scenario == "quarantine" {
+		minSamples = 1000 // breaker parked: quarantine depth drives health alone
+	}
+	r := buildChaosRun(seed, scenario, minSamples)
+
+	// Warm the hot set (resident + dirty) on every shard.
+	for s := 0; s < chaosShards; s++ {
+		for _, id := range r.ids[s][:chaosHot] {
+			if err := r.write(id); err != nil {
+				return ChaosRow{}, fmt.Errorf("chaos %s: warmup: %w", scenario, err)
+			}
+		}
+	}
+
+	// Inject the scenario's fault on shard 0.
+	switch scenario {
+	case "brownout":
+		r.clocks[0].step = 2 * chaosSLO // shard 0's ops now measure past the SLO
+	case "harddown", "recovery":
+		r.faults[0].SetReadFailRate(1)
+		r.faults[0].SetWriteFailRate(1)
+	case "quarantine":
+		r.faults[0].SetWriteFailRate(1) // reads fine; dirty evictions park
+	default:
+		return ChaosRow{}, fmt.Errorf("chaos: unknown scenario %q", scenario)
+	}
+
+	// Scripted degraded window: a fixed budget of sick-shard cold misses
+	// (errors and sheds are the measured behaviour), the quarantine
+	// ladder for the write-fault scenario (dirty cold pages so evictions
+	// must write back), and hot reads plus healthy-shard misses that must
+	// keep serving throughout.
+	cold := func(s, i int) page.PageID { return r.ids[s][chaosHot+i%chaosCold] }
+	for i := 0; i < 24; i++ {
+		if scenario == "quarantine" {
+			if err := r.write(cold(0, i)); err == nil {
+				// dirty page loaded; the next misses will evict it into a
+				// failing write-back and park it
+				_ = err
+			}
+		} else if ref, err := r.pool.Get(r.ses, cold(0, i)); err == nil {
+			ref.Release()
+		}
+		r.observe()
+		for _, id := range r.ids[0][:chaosHot] {
+			ref, err := r.pool.Get(r.ses, id)
+			if err != nil {
+				return ChaosRow{}, fmt.Errorf("chaos %s: resident read failed mid-fault: %w", scenario, err)
+			}
+			ref.Release()
+		}
+		if ref, err := r.pool.Get(r.ses, cold(1, i)); err != nil {
+			return ChaosRow{}, fmt.Errorf("chaos %s: healthy-shard miss failed mid-fault: %w", scenario, err)
+		} else {
+			ref.Release()
+		}
+	}
+
+	if err := r.finish(); err != nil {
+		return ChaosRow{}, err
+	}
+	return *r.row, nil
+}
+
+// ChaosExperiment runs every scenario at o.Seed.
+func ChaosExperiment(o Options) (*ChaosReport, error) {
+	o = o.withDefaults()
+	rep := &ChaosReport{Experiment: "chaos", Seed: o.Seed}
+	for _, sc := range []string{"brownout", "harddown", "quarantine", "recovery"} {
+		row, err := chaosScenario(o.Seed, sc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// JSONChaos writes the committed-baseline shape.
+func JSONChaos(w io.Writer, rep *ChaosReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// CSVChaos writes one row per scenario.
+func CSVChaos(w io.Writer, rep *ChaosReport) error {
+	if _, err := fmt.Fprintln(w, "scenario,misses,shed,breaker_trips,breaker_rejections,probes,quarantine_refusals,peak_health,final_health,recovered,lost_pages"); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%s,%s,%v,%d\n",
+			r.Scenario, r.Misses, r.Shed, r.BreakerTrips, r.BreakerRejections,
+			r.Probes, r.QuarantineRefusals, r.PeakHealth, r.FinalHealth, r.Recovered, r.LostPages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrintChaos renders the ledger as a table.
+func PrintChaos(w io.Writer, rep *ChaosReport) {
+	fmt.Fprintln(w, "Chaos scenarios (E16) — graceful-degradation event ledger (scripted clock, deterministic)")
+	fmt.Fprintf(w, "  %-10s %7s %6s %6s %7s %7s %8s %-10s %-10s %-9s %5s\n",
+		"scenario", "misses", "shed", "trips", "reject", "probes", "quarref", "peak", "final", "recovered", "lost")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "  %-10s %7d %6d %6d %7d %7d %8d %-10s %-10s %-9v %5d\n",
+			r.Scenario, r.Misses, r.Shed, r.BreakerTrips, r.BreakerRejections,
+			r.Probes, r.QuarantineRefusals, r.PeakHealth, r.FinalHealth, r.Recovered, r.LostPages)
+	}
+}

@@ -1,8 +1,13 @@
 package buffer
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"bpwrapper/internal/obs"
 )
 
 // BackgroundWriter periodically writes dirty, unpinned pages back to the
@@ -23,16 +28,21 @@ type BackgroundWriter struct {
 	mu    sync.Mutex
 	stats BackgroundWriterStats
 
+	// lastPanic holds the most recent contained round panic (message,
+	// stack, and a FlightDump of the pool at the moment of recovery).
+	lastPanic atomic.Pointer[string]
+
 	stop chan struct{}
 	done chan struct{}
 }
 
 // BackgroundWriterStats counts the writer's activity.
 type BackgroundWriterStats struct {
-	Rounds        int64 // completed write-back rounds
-	Written       int64 // pages made durable (frames + quarantine)
-	WriteFailures int64 // failed write attempts
-	BackoffRounds int64 // rounds that triggered a backoff (no progress)
+	Rounds          int64 // completed write-back rounds
+	Written         int64 // pages made durable (frames + quarantine)
+	WriteFailures   int64 // failed write attempts
+	BackoffRounds   int64 // rounds that triggered a backoff (no progress)
+	PanicRecoveries int64 // round panics contained (see LastPanic)
 }
 
 // BackgroundWriterConfig tunes a BackgroundWriter.
@@ -81,7 +91,7 @@ func (w *BackgroundWriter) run() {
 	for {
 		select {
 		case <-timer.C:
-			written, failed := w.round()
+			written, failed := w.safeRound()
 			if failed > 0 && written == 0 {
 				// The device refused everything: retrying at full cadence
 				// only adds load to a struggling device. Back off.
@@ -97,10 +107,45 @@ func (w *BackgroundWriter) run() {
 			}
 			timer.Reset(interval)
 		case <-w.stop:
-			w.round() // final sweep so Stop leaves the pool clean-ish
+			w.safeRound() // final sweep so Stop leaves the pool clean-ish
 			return
 		}
 	}
+}
+
+// safeRound runs one round with panic containment: a panic anywhere in
+// the sweep (a broken policy, a misbehaving device wrapper) is recovered
+// instead of killing the writer goroutine — the pool's retry engine must
+// outlive one bad round. The panic is counted, recorded in every shard's
+// flight ring, and preserved with its stack and a FlightDump for
+// post-mortem retrieval via LastPanic. The round's partial progress
+// stands; pages it did not reach stay dirty or quarantined for the next
+// round.
+func (w *BackgroundWriter) safeRound() (written, failed int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.mu.Lock()
+			w.stats.PanicRecoveries++
+			w.mu.Unlock()
+			for si := range w.pool.shards {
+				w.pool.shards[si].events.Record(obs.EvPanic, 1, 0)
+			}
+			msg := fmt.Sprintf("bgwriter: recovered round panic: %v\n%s\n%s",
+				r, debug.Stack(), w.pool.FlightDump())
+			w.lastPanic.Store(&msg)
+			failed++
+		}
+	}()
+	return w.round()
+}
+
+// LastPanic returns the most recent contained round panic — message,
+// stack, and flight dump — or "" if none has occurred.
+func (w *BackgroundWriter) LastPanic() string {
+	if s := w.lastPanic.Load(); s != nil {
+		return *s
+	}
+	return ""
 }
 
 // round walks the shards: for each shard it retries the quarantine, then

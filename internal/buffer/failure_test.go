@@ -215,6 +215,9 @@ func TestQuarantineBoundRefusesDirtyEvictions(t *testing.T) {
 		Policy:        replacer.NewLRU(4),
 		Device:        dev,
 		QuarantineCap: 2,
+		// Health admission would shed these misses before they ever reach
+		// the eviction path; this test targets the cap mechanics beneath it.
+		Health: HealthConfig{Disable: true},
 	})
 	s := p.NewSession()
 	for i := uint64(1); i <= 4; i++ {
@@ -240,6 +243,9 @@ func TestQuarantineBoundRefusesDirtyEvictions(t *testing.T) {
 	}
 	if !errors.Is(lastErr, ErrNoUnpinnedBuffers) {
 		t.Fatalf("full quarantine + dead device: err=%v, want ErrNoUnpinnedBuffers", lastErr)
+	}
+	if !errors.Is(lastErr, ErrQuarantineFull) {
+		t.Fatalf("full quarantine + dead device: err=%v, want ErrQuarantineFull", lastErr)
 	}
 	if q := p.QuarantineLen(); q > 2 {
 		t.Fatalf("quarantine grew to %d entries past its cap of 2", q)

@@ -1,0 +1,195 @@
+// Per-shard health state machine and miss admission control.
+//
+// BP-Wrapper's contract is that nothing blocks the hot path; this file
+// extends that contract to device failures. Hits never consult health at
+// all — a resident page is served from memory regardless of how sick the
+// device is. Misses, which must touch the device, pass an admission check
+// driven by two signals the shard already has: the circuit-breaker state
+// of its device stack and the depth of its dirty quarantine. A shard
+// degrades in two steps instead of queueing unbounded work behind a dead
+// device:
+//
+//	Healthy   — misses flow freely.
+//	Degraded  — the breaker is probing (half-open) or the quarantine is
+//	            half full: misses are admission-controlled to a bounded
+//	            number in flight; the excess is shed with ErrOverloaded
+//	            instead of queued.
+//	ReadOnly  — the breaker is open or the quarantine is at capacity:
+//	            every miss is shed immediately. Resident pages keep
+//	            serving (including writes to them — the data is safe in
+//	            memory and the quarantine protocol keeps eviction
+//	            lossless), so one dead device degrades its shard to an
+//	            in-memory cache instead of an error fountain.
+//
+// Health is computed pull-style on the miss path and at metrics scrapes —
+// a couple of atomic loads plus the quarantine length — so there is no
+// health-monitor goroutine to schedule, and the hit path pays nothing.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"bpwrapper/internal/obs"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/storage"
+)
+
+// ErrOverloaded is returned when a miss is shed by admission control
+// because the owning shard is degraded or read-only. The page is not
+// cached and the device was not touched; callers should back off or
+// serve degraded results. It deliberately does not wrap ErrTransient:
+// retrying immediately is exactly the load the shed exists to refuse.
+var ErrOverloaded = errors.New("buffer: shard overloaded, miss shed by admission control")
+
+// ErrQuarantineFull is returned when an operation fails because the
+// dirty quarantine is at capacity, so every dirty eviction would risk
+// exceeding the durability bound. It wraps ErrNoUnpinnedBuffers so
+// existing errors.Is(err, ErrNoUnpinnedBuffers) checks keep matching;
+// new callers can distinguish overload (quarantine pressure) from a
+// genuinely over-pinned pool.
+var ErrQuarantineFull = fmt.Errorf("buffer: dirty quarantine at capacity: %w", ErrNoUnpinnedBuffers)
+
+// HealthState is a shard's position in the degradation ladder.
+type HealthState int32
+
+const (
+	// Healthy: misses flow freely.
+	Healthy HealthState = iota
+	// Degraded: misses are bounded in flight; the excess is shed.
+	Degraded
+	// ReadOnly: every miss is shed; resident pages keep serving.
+	ReadOnly
+)
+
+// String implements fmt.Stringer.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int32(h))
+	}
+}
+
+// HealthConfig tunes the per-shard health machinery.
+type HealthConfig struct {
+	// MaxInflightMisses bounds concurrently admitted misses per shard
+	// while the shard is Degraded (Healthy shards are unbounded —
+	// backpressure there is the device's own concurrency limit). Zero
+	// means 8; negative disables the bound (Degraded sheds nothing).
+	MaxInflightMisses int
+
+	// Disable turns the health machinery off entirely: shards report
+	// Healthy forever and never shed. The quarantine cap still bounds
+	// dirty evictions as before.
+	Disable bool
+}
+
+// healthState holds a shard's health machinery. Embedded in shard.
+type healthState struct {
+	health       atomic.Int32 // HealthState, latched by evalHealth
+	missInflight atomic.Int64 // admitted misses currently in flight
+	maxInflight  int          // Degraded-mode bound (0 = disabled)
+	disabled     bool
+
+	breaker  *storage.BreakerDevice  // nil when the shard's stack has none
+	deadline *storage.DeadlineDevice // nil when the shard's stack has none
+
+	shed              atomic.Int64 // misses refused with ErrOverloaded
+	healthTransitions atomic.Int64
+	quarRefusals      atomic.Int64 // dirty evictions/flushes refused by the cap
+}
+
+// wireHealth probes the shard's device stack for resilience layers and
+// applies the pool-level config. Called once from Pool.New.
+func (sh *shard) wireHealth(cfg HealthConfig) {
+	sh.disabled = cfg.Disable
+	sh.maxInflight = cfg.MaxInflightMisses
+	if sh.maxInflight == 0 {
+		sh.maxInflight = 8
+	}
+	if sh.maxInflight < 0 {
+		sh.maxInflight = 0
+	}
+	sh.breaker, _ = storage.FindBreaker(sh.device)
+	sh.deadline, _ = storage.FindDeadline(sh.device)
+}
+
+// evalHealth recomputes the shard's health from its two inputs and
+// latches the result, recording a flight-recorder event on change. It
+// is called on the miss path (where its cost — one quarantine-length
+// mutex hop and an atomic breaker load — is noise next to the device
+// read it gates) and at metrics scrapes.
+func (sh *shard) evalHealth() HealthState {
+	if sh.disabled {
+		return Healthy
+	}
+	st := Healthy
+	q := sh.quarantineLen()
+	switch {
+	case q >= sh.quarCap:
+		st = ReadOnly
+	case 2*q >= sh.quarCap:
+		st = Degraded
+	}
+	if sh.breaker != nil && st != ReadOnly {
+		switch sh.breaker.State() {
+		case storage.BreakerOpen:
+			st = ReadOnly
+		case storage.BreakerHalfOpen:
+			st = Degraded
+		}
+	}
+	for {
+		old := sh.health.Load()
+		if old == int32(st) {
+			break
+		}
+		if sh.health.CompareAndSwap(old, int32(st)) {
+			sh.healthTransitions.Add(1)
+			sh.events.Record(obs.EvHealthChange, uint64(st), uint64(old))
+			break
+		}
+	}
+	return st
+}
+
+// lastHealth returns the most recently latched health state without
+// recomputing it; evalHealth keeps it fresh from the miss path and
+// metric scrapes.
+func (sh *shard) lastHealth() HealthState {
+	return HealthState(sh.health.Load())
+}
+
+// admitMiss is the admission check a miss passes after winning the
+// single-flight race and before any frame is claimed or device I/O
+// issued. It returns a release func the loader must call when the miss
+// resolves (either way), or the shed error. The in-flight counter is
+// maintained in every state so a transition into Degraded sees the true
+// load immediately.
+func (sh *shard) admitMiss(id page.PageID) (release func(), err error) {
+	if sh.disabled {
+		return func() {}, nil
+	}
+	st := sh.evalHealth()
+	switch st {
+	case ReadOnly:
+		sh.shed.Add(1)
+		sh.events.Record(obs.EvShed, uint64(id), uint64(st))
+		return nil, fmt.Errorf("buffer: page %v (shard read-only): %w", id, ErrOverloaded)
+	case Degraded:
+		if sh.maxInflight > 0 && sh.missInflight.Load() >= int64(sh.maxInflight) {
+			sh.shed.Add(1)
+			sh.events.Record(obs.EvShed, uint64(id), uint64(st))
+			return nil, fmt.Errorf("buffer: page %v (%d misses in flight): %w", id, sh.maxInflight, ErrOverloaded)
+		}
+	}
+	sh.missInflight.Add(1)
+	return func() { sh.missInflight.Add(-1) }, nil
+}

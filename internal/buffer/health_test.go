@@ -1,0 +1,462 @@
+package buffer
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// blockingReadDevice parks the next `block` reads on a gate so tests can
+// hold a miss in flight at the device while probing admission control.
+type blockingReadDevice struct {
+	storage.Device
+	gate    chan struct{}
+	entered chan struct{}
+	block   atomic.Int64
+}
+
+func (d *blockingReadDevice) ReadPage(id page.PageID, p *page.Page) error {
+	if d.block.Add(-1) >= 0 {
+		d.entered <- struct{}{}
+		<-d.gate
+	}
+	return d.Device.ReadPage(id, p)
+}
+
+func (d *blockingReadDevice) Backing() storage.Device { return d.Device }
+
+// panicDevice panics on writes when armed, to exercise the background
+// writer's panic containment.
+type panicDevice struct {
+	storage.Device
+	panicWrites atomic.Bool
+}
+
+func (d *panicDevice) WritePage(p *page.Page) error {
+	if d.panicWrites.Load() {
+		panic("injected write panic")
+	}
+	return d.Device.WritePage(p)
+}
+
+func (d *panicDevice) Backing() storage.Device { return d.Device }
+
+// shardBreaker fetches the breaker from a shard's device stack.
+func shardBreaker(t *testing.T, p *Pool, i int) *storage.BreakerDevice {
+	t.Helper()
+	b, ok := storage.FindBreaker(p.ShardDevice(i))
+	if !ok {
+		t.Fatalf("shard %d has no breaker in its device stack", i)
+	}
+	return b
+}
+
+// TestHealthQuarantinePressureDegrades walks a shard down the full
+// degradation ladder on quarantine depth alone: half-full quarantine →
+// Degraded, full → ReadOnly (misses shed with ErrOverloaded, resident
+// pages — reads and writes — keep serving), and back to Healthy once the
+// device recovers and the quarantine drains, with no page lost.
+func TestHealthQuarantinePressureDegrades(t *testing.T) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
+	p := New(Config{
+		Frames:        4,
+		Policy:        replacer.NewLRU(4),
+		Device:        dev,
+		QuarantineCap: 2,
+	})
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+	if st := p.Stats(); st.Health != Healthy {
+		t.Fatalf("health=%v before any fault, want Healthy", st.Health)
+	}
+	dev.SetWriteFailRate(1)
+
+	// Each miss evicts a dirty page whose write-back fails and parks it.
+	ref, err := p.Get(s, pid(10))
+	if err != nil {
+		t.Fatalf("first miss under failing writes: %v", err)
+	}
+	ref.Release()
+	if st := p.Stats(); st.Health != Degraded {
+		t.Fatalf("health=%v at quarantine 1/2, want Degraded", st.Health)
+	}
+	ref, err = p.Get(s, pid(11))
+	if err != nil {
+		t.Fatalf("second miss (Degraded admits bounded misses): %v", err)
+	}
+	ref.Release()
+	if st := p.Stats(); st.Health != ReadOnly {
+		t.Fatalf("health=%v at quarantine 2/2, want ReadOnly", st.Health)
+	}
+
+	// Read-only: misses are shed without touching the device...
+	readsBefore := mem.Stats().Reads
+	if _, err := p.Get(s, pid(12)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("miss on read-only shard: err=%v, want ErrOverloaded", err)
+	}
+	if got := mem.Stats().Reads; got != readsBefore {
+		t.Fatalf("shed miss still reached the device (%d reads, was %d)", got, readsBefore)
+	}
+	// ...but resident pages keep serving, including writes.
+	ref, err = p.Get(s, pid(10))
+	if err != nil {
+		t.Fatalf("resident read on read-only shard: %v", err)
+	}
+	ref.Release()
+	wref, err := p.GetWrite(s, pid(11))
+	if err != nil {
+		t.Fatalf("resident write on read-only shard: %v", err)
+	}
+	wref.MarkDirty()
+	wref.Release()
+	st := p.Stats()
+	if st.Shed == 0 {
+		t.Fatal("Stats().Shed did not count the shed miss")
+	}
+	if st.PerShard[0].Health != ReadOnly {
+		t.Fatalf("ShardStats health=%v, want ReadOnly", st.PerShard[0].Health)
+	}
+
+	// Recovery: drain the quarantine and the shard heals; the shed page
+	// loads normally and nothing dirtied was lost.
+	dev.SetWriteFailRate(0)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+	if st := p.Stats(); st.Health != Healthy {
+		t.Fatalf("health=%v after drain, want Healthy", st.Health)
+	}
+	ref, err = p.Get(s, pid(12))
+	if err != nil {
+		t.Fatalf("miss after recovery: %v", err)
+	}
+	ref.Release()
+	for i := uint64(1); i <= 4; i++ {
+		var back page.Page
+		if err := mem.ReadPage(pid(i), &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.VerifyStamp(pid(i) + stampShift) {
+			t.Fatalf("page %d lost across the degradation episode", i)
+		}
+	}
+}
+
+// breakerPool builds a two-shard pool where each shard's I/O runs through
+// its own FaultDevice+BreakerDevice stack, so one shard's faults cannot
+// trip the other's breaker.
+func breakerPool(t *testing.T, bcfg storage.BreakerConfig) (*Pool, *storage.MemDevice, []*storage.FaultDevice) {
+	t.Helper()
+	mem := storage.NewMemDevice()
+	faults := make([]*storage.FaultDevice, 2)
+	p := New(Config{
+		Frames:        8,
+		Shards:        2,
+		PolicyFactory: func(n int) replacer.Policy { return replacer.NewLRU(n) },
+		Device:        mem,
+		WrapShardDevice: func(shard int, base storage.Device) storage.Device {
+			faults[shard] = storage.NewFaultDevice(base, storage.FaultConfig{})
+			return storage.NewBreakerDevice(faults[shard], bcfg)
+		},
+	})
+	return p, mem, faults
+}
+
+// TestHealthBreakerIsolatesSickShard trips one shard's breaker with read
+// faults and checks the blast radius: that shard goes ReadOnly (misses
+// shed before the device, resident pages keep serving) while the other
+// shard stays Healthy and serves misses untouched.
+func TestHealthBreakerIsolatesSickShard(t *testing.T) {
+	p, _, faults := breakerPool(t, storage.BreakerConfig{
+		Window:      8,
+		MinSamples:  4,
+		OpenTimeout: time.Hour, // stays open for the whole test
+	})
+	s := p.NewSession()
+
+	shard0 := idsInShard(p, 0, 4, 1)
+	shard1 := idsInShard(p, 1, 4, 10_000)
+	for _, id := range append(append([]page.PageID{}, shard0[:2]...), shard1[:2]...) {
+		ref, err := p.Get(s, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+
+	// Fault shard 0's reads until its breaker trips (4 failures at the
+	// default 0.5 threshold with MinSamples 4).
+	faults[0].SetReadFailRate(1)
+	for i := 2; i < len(shard0); i++ {
+		p.Get(s, shard0[i]) // errors expected; feeding the breaker window
+	}
+	for i := 0; shardBreaker(t, p, 0).State() != storage.BreakerOpen; i++ {
+		if i >= 16 {
+			t.Fatal("breaker never opened under a 100% read-fault rate")
+		}
+		p.Get(s, shard0[2+i%2])
+	}
+
+	if _, err := p.Get(s, idsInShard(p, 0, 6, 1)[5]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("miss on breaker-open shard: err=%v, want ErrOverloaded", err)
+	}
+	if h := p.ShardHealth(0); h != ReadOnly {
+		t.Fatalf("sick shard health=%v, want ReadOnly", h)
+	}
+
+	// Resident pages on the sick shard still serve from memory.
+	ref, err := p.Get(s, shard0[0])
+	if err != nil {
+		t.Fatalf("resident read on breaker-open shard: %v", err)
+	}
+	ref.Release()
+
+	// The healthy shard is untouched: misses flow, health stays Healthy.
+	for _, id := range shard1 {
+		ref, err := p.Get(s, id)
+		if err != nil {
+			t.Fatalf("healthy shard miss: %v", err)
+		}
+		ref.Release()
+	}
+	if h := p.ShardHealth(1); h != Healthy {
+		t.Fatalf("healthy shard health=%v, want Healthy", h)
+	}
+	st := p.Stats()
+	if st.PerShard[0].BreakerState != "open" {
+		t.Fatalf("ShardStats breaker state=%q, want open", st.PerShard[0].BreakerState)
+	}
+	if st.PerShard[0].BreakerTrips == 0 {
+		t.Fatal("ShardStats did not report the breaker trip")
+	}
+	if st.PerShard[1].BreakerState != "closed" {
+		t.Fatalf("healthy shard breaker state=%q, want closed", st.PerShard[1].BreakerState)
+	}
+}
+
+// TestHealthBreakerRecovery closes the recovery loop that shedding could
+// otherwise deadlock: with the shard ReadOnly no miss reaches the device,
+// so the breaker's own open-timeout must surface through State() as
+// half-open, demoting the shard to Degraded, whose admitted misses are
+// the probes that re-close the circuit.
+func TestHealthBreakerRecovery(t *testing.T) {
+	p, _, faults := breakerPool(t, storage.BreakerConfig{
+		Window:         8,
+		MinSamples:     4,
+		OpenTimeout:    30 * time.Millisecond,
+		ProbeProb:      1, // every admitted op is a probe
+		HalfOpenProbes: 1,
+	})
+	s := p.NewSession()
+	shard0 := idsInShard(p, 0, 8, 1)
+
+	faults[0].SetReadFailRate(1)
+	for i := 0; i < 8 && shardBreaker(t, p, 0).State() != storage.BreakerOpen; i++ {
+		p.Get(s, shard0[i%4])
+	}
+	if st := shardBreaker(t, p, 0).State(); st != storage.BreakerOpen {
+		t.Fatalf("breaker state=%v after fault storm, want open", st)
+	}
+	if _, err := p.Get(s, shard0[4]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("miss while open: err=%v, want ErrOverloaded", err)
+	}
+
+	// Heal the device and let the open timeout lapse. The next miss must
+	// be admitted (Degraded) as a probe and close the circuit.
+	faults[0].SetReadFailRate(0)
+	time.Sleep(40 * time.Millisecond)
+	ref, err := p.Get(s, shard0[5])
+	if err != nil {
+		t.Fatalf("probe miss after open timeout: %v", err)
+	}
+	ref.Release()
+	if st := shardBreaker(t, p, 0).State(); st != storage.BreakerClosed {
+		t.Fatalf("breaker state=%v after successful probe, want closed", st)
+	}
+	ref, err = p.Get(s, shard0[6])
+	if err != nil {
+		t.Fatalf("miss after recovery: %v", err)
+	}
+	ref.Release()
+	if h := p.ShardHealth(0); h != Healthy {
+		t.Fatalf("shard health=%v after recovery, want Healthy", h)
+	}
+}
+
+// TestHealthDegradedAdmissionBound holds one admitted miss in flight at
+// the device while the shard is Degraded with MaxInflightMisses=1: the
+// next miss must be shed with ErrOverloaded, and admitted again once the
+// first resolves.
+func TestHealthDegradedAdmissionBound(t *testing.T) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
+	blk := &blockingReadDevice{
+		Device:  dev,
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+	}
+	p := New(Config{
+		Frames:        4,
+		Policy:        replacer.NewLRU(4),
+		Device:        blk,
+		QuarantineCap: 4,
+		Health:        HealthConfig{MaxInflightMisses: 1},
+	})
+	s := p.NewSession()
+	for i := uint64(1); i <= 4; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+
+	// Park two failed write-backs to push the shard to Degraded (2/4).
+	dev.SetWriteFailRate(1)
+	for _, n := range []uint64{10, 11} {
+		ref, err := p.Get(s, pid(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+	}
+	dev.SetWriteFailRate(0)
+	if st := p.Stats(); st.Health != Degraded {
+		t.Fatalf("health=%v at quarantine 2/4, want Degraded", st.Health)
+	}
+
+	// Hold one admitted miss at the device.
+	blk.block.Store(1)
+	done := make(chan error, 1)
+	go func() {
+		ref, err := p.Get(p.NewSession(), pid(20))
+		if err == nil {
+			ref.Release()
+		}
+		done <- err
+	}()
+	<-blk.entered
+
+	if _, err := p.Get(s, pid(21)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second concurrent miss while degraded: err=%v, want ErrOverloaded", err)
+	}
+	close(blk.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("admitted miss failed: %v", err)
+	}
+
+	// The in-flight slot freed: the same miss is admitted now.
+	ref, err := p.Get(s, pid(21))
+	if err != nil {
+		t.Fatalf("miss after slot freed: %v", err)
+	}
+	ref.Release()
+	if st := p.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed=%d, want exactly the one bounded shed", st.Shed)
+	}
+}
+
+// TestBackgroundWriterPanicContainment arms a device wrapper that panics
+// on write and checks the writer goroutine survives: the panic is
+// counted, captured with a flight dump, the round's parked page stays
+// lossless in quarantine, and after disarming, the writer drains it.
+func TestBackgroundWriterPanicContainment(t *testing.T) {
+	mem := storage.NewMemDevice()
+	pd := &panicDevice{Device: mem}
+	p := New(Config{
+		Frames: 4,
+		Policy: replacer.NewLRU(4),
+		Device: pd,
+	})
+	s := p.NewSession()
+	dirtyPage(t, p, s, pid(1))
+	pd.panicWrites.Store(true)
+
+	w := p.StartBackgroundWriter(BackgroundWriterConfig{Interval: time.Millisecond})
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().PanicRecoveries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background writer never recorded a panic recovery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	lp := w.LastPanic()
+	if !strings.Contains(lp, "injected write panic") {
+		t.Fatalf("LastPanic missing the panic value:\n%s", lp)
+	}
+	if !strings.Contains(lp, "flight recorder") && !strings.Contains(lp, "shard") {
+		t.Fatalf("LastPanic carries no flight dump:\n%s", lp)
+	}
+
+	// The writer survived; disarm and it must still drain everything.
+	pd.panicWrites.Store(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for p.DirtyCount() > 0 || p.QuarantineLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("writer did not drain after disarm: dirty=%d quarantined=%d",
+				p.DirtyCount(), p.QuarantineLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	var back page.Page
+	if err := mem.ReadPage(pid(1), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.VerifyStamp(pid(1) + stampShift) {
+		t.Fatal("page lost across the contained panic")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseWithinBudget bounds shutdown against a dead device: CloseWithin
+// must give up within its budget (not sleep out the full retry ladder),
+// lose nothing, and a later Close after recovery must succeed.
+func TestCloseWithinBudget(t *testing.T) {
+	mem := storage.NewMemDevice()
+	dev := storage.NewFaultDevice(mem, storage.FaultConfig{})
+	p := New(Config{
+		Frames: 4,
+		Policy: replacer.NewLRU(4),
+		Device: dev,
+	})
+	s := p.NewSession()
+	for i := uint64(1); i <= 3; i++ {
+		dirtyPage(t, p, s, pid(i))
+	}
+	dev.SetWriteFailRate(1)
+
+	start := time.Now()
+	err := p.CloseWithin(5 * time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("CloseWithin with a dead device returned nil")
+	}
+	if !strings.Contains(err.Error(), "close budget") {
+		t.Fatalf("error does not name the exhausted budget: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("CloseWithin(5ms) took %v; budget did not bound the ladder", elapsed)
+	}
+
+	dev.SetWriteFailRate(0)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		var back page.Page
+		if err := mem.ReadPage(pid(i), &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.VerifyStamp(pid(i) + stampShift) {
+			t.Fatalf("page %d lost across the bounded shutdown", i)
+		}
+	}
+}

@@ -98,6 +98,28 @@ func (p *Pool) collect(emit func(obs.Metric)) {
 		g("bpw_resident_pages", "pages tracked by the replacement policy", l, float64(resident))
 		c("bpw_writeback_failures_total", "failed write-back attempts", l, float64(sh.writeBackFailures.Load()))
 
+		// Health and graceful degradation. The gauge re-evaluates at
+		// scrape time so a dashboard sees transitions even on an idle
+		// shard (a miss would otherwise have to arrive first).
+		g("bpw_health_state", "shard health: 0 healthy, 1 degraded, 2 read-only", l, float64(sh.evalHealth()))
+		c("bpw_shed_total", "misses refused by admission control", l, float64(sh.shed.Load()))
+		c("bpw_health_transitions_total", "health state changes", l, float64(sh.healthTransitions.Load()))
+		c("bpw_quarantine_refusals_total", "dirty write-backs refused by the quarantine cap", l, float64(sh.quarRefusals.Load()))
+		g("bpw_miss_inflight", "admitted misses currently in flight", l, float64(sh.missInflight.Load()))
+		if sh.breaker != nil {
+			bst := sh.breaker.BreakerStats()
+			g("bpw_breaker_state", "circuit breaker: 0 closed, 1 open, 2 half-open", l, float64(bst.State))
+			c("bpw_breaker_trips_total", "circuit-breaker trips", l, float64(bst.Trips))
+			c("bpw_breaker_rejections_total", "operations rejected while open", l, float64(bst.Rejections))
+			c("bpw_breaker_probes_total", "half-open probe operations", l, float64(bst.Probes))
+			c("bpw_breaker_probe_failures_total", "probes that reopened the circuit", l, float64(bst.ProbeFails))
+		}
+		if sh.deadline != nil {
+			c("bpw_deadline_timeouts_total", "device operations abandoned at their deadline", l, float64(sh.deadline.Timeouts()))
+			c("bpw_deadline_canceled_total", "device operations canceled by stop", l, float64(sh.deadline.Canceled()))
+		}
+		c("bpw_combiner_panics_total", "panics contained inside combiner drains", l, float64(ws.CombinerPanics))
+
 		// Flight-recorder pressure: how much history the ring has seen and
 		// how much has scrolled out (or been torn) since startup.
 		if rec := sh.events; rec != nil {
@@ -130,6 +152,7 @@ func (w *BackgroundWriter) RegisterObs(reg *obs.Registry) {
 			{"bpw_bgwriter_written_total", "pages made durable by the writer", s.Written},
 			{"bpw_bgwriter_write_failures_total", "failed background write attempts", s.WriteFailures},
 			{"bpw_bgwriter_backoff_rounds_total", "rounds that triggered backoff", s.BackoffRounds},
+			{"bpw_bgwriter_panic_recoveries_total", "round panics contained by the writer", s.PanicRecoveries},
 		} {
 			emit(obs.Metric{Name: m.name, Help: m.help, Type: obs.Counter, Value: float64(m.v)})
 		}

@@ -66,6 +66,29 @@ type Config struct {
 	// partitioned by id, so shards never write the same page). Required.
 	Device storage.Device
 
+	// WrapShardDevice, when non-nil, builds a per-shard device stack over
+	// the shared Device: each shard issues its I/O through
+	// WrapShardDevice(shard, Device) instead of Device directly. This is
+	// how per-shard resilience layers (BreakerDevice, DeadlineDevice,
+	// RetryDevice) are attached so one shard's sick device cannot trip
+	// another shard's breaker. The pool probes each stack with
+	// storage.FindBreaker/FindDeadline and wires what it finds into that
+	// shard's health state machine. Pool.Stats().Device still reports the
+	// shared base device's counters.
+	WrapShardDevice func(shard int, base storage.Device) storage.Device
+
+	// Health tunes the per-shard health state machine and miss admission
+	// control (see HealthConfig). The zero value enables it with
+	// defaults; set Health.Disable to turn shedding off.
+	Health HealthConfig
+
+	// CloseTimeout bounds how long Close may spend flushing and backing
+	// off before giving up with an error. Zero keeps the legacy behavior
+	// (the full 8-attempt exponential ladder, ~130ms of sleeps plus
+	// flush time). Close never loses data either way — unflushed pages
+	// stay dirty or quarantined.
+	CloseTimeout time.Duration
+
 	// QuarantineCap bounds the dirty-quarantine list that parks pages
 	// across their write-back window (eviction in reclaim, flushes in
 	// flushFrame). Zero means 64. The cap is divided across shards
@@ -94,8 +117,9 @@ type Config struct {
 // by a PageID hash. All methods are safe for concurrent use; per-backend
 // access records flow through Sessions obtained from NewSession.
 type Pool struct {
-	shards []shard
-	device storage.Device
+	shards       []shard
+	device       storage.Device
+	closeTimeout time.Duration
 }
 
 // Session is a per-backend handle carrying one core.Session per shard
@@ -159,8 +183,9 @@ func New(cfg Config) *Pool {
 	}
 
 	p := &Pool{
-		shards: make([]shard, nshards),
-		device: cfg.Device,
+		shards:       make([]shard, nshards),
+		device:       cfg.Device,
+		closeTimeout: cfg.CloseTimeout,
 	}
 	// Distribute frames like replacer.Partitioned splits capacity: the
 	// first (Frames % Shards) shards get one extra frame.
@@ -184,7 +209,14 @@ func New(cfg Config) *Pool {
 			// scrolling a quiet shard's history out of the ring.
 			wcfg.Events = obs.NewRecorder(cfg.RecorderSize)
 		}
-		p.shards[i].init(n, pol, wcfg, cfg.Device, shardQuar)
+		dev := cfg.Device
+		if cfg.WrapShardDevice != nil {
+			if dev = cfg.WrapShardDevice(i, cfg.Device); dev == nil {
+				panic("buffer: WrapShardDevice returned nil")
+			}
+		}
+		p.shards[i].init(n, pol, wcfg, dev, shardQuar)
+		p.shards[i].wireHealth(cfg.Health)
 	}
 	return p
 }
@@ -222,6 +254,19 @@ func (p *Pool) NewSession() *Session {
 
 // Shards reports the number of hash partitions in the pool.
 func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardOf reports which shard owns page id; useful for tests, chaos
+// harnesses, and diagnostics that need to target one shard's traffic.
+func (p *Pool) ShardOf(id page.PageID) int { return p.shardIndexFor(id) }
+
+// ShardHealth reports the most recently evaluated health state of one
+// shard (the miss path and metric scrapes keep it fresh).
+func (p *Pool) ShardHealth(i int) HealthState { return p.shards[i].lastHealth() }
+
+// ShardDevice returns the device stack shard i issues its I/O through
+// (the shared Device unless Config.WrapShardDevice built a per-shard
+// stack).
+func (p *Pool) ShardDevice(i int) storage.Device { return p.shards[i].device }
 
 // Wrapper exposes the BP-Wrapper core of shard 0. It is a diagnostic
 // accessor for single-shard pools (where shard 0 IS the pool); with
@@ -345,10 +390,27 @@ func (p *Pool) FlushDirty() (int, error) {
 // every shard are written back with bounded retries and exponential
 // backoff, so transient device trouble at shutdown does not lose data. It
 // returns an error if pages remain non-durable (still failing, or pinned
-// dirty) after the retry budget. Close does not stop a BackgroundWriter —
-// the caller owns that — and the pool remains usable afterwards.
+// dirty) after the retry budget — or after Config.CloseTimeout, if set.
+// Close does not stop a BackgroundWriter — the caller owns that — and the
+// pool remains usable afterwards.
 func (p *Pool) Close() error {
+	return p.CloseWithin(p.closeTimeout)
+}
+
+// CloseWithin is Close with an explicit time budget: the flush-retry
+// ladder gives up as soon as the budget is exhausted instead of sleeping
+// out its remaining backoffs. A zero budget means unbounded (the full
+// ladder). The budget bounds the backoff sleeps between attempts; each
+// FlushDirty itself is bounded only by the device stack (a DeadlineDevice
+// in the stack is what makes the whole call promptly abortable against a
+// hung device). Giving up never loses data: unflushed pages stay dirty in
+// their frames or parked in the quarantine, and a later Close can retry.
+func (p *Pool) CloseWithin(budget time.Duration) error {
 	const attempts = 8
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	backoff := time.Millisecond
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -362,7 +424,18 @@ func (p *Pool) Close() error {
 			}
 		}
 		if i < attempts-1 {
-			time.Sleep(backoff)
+			sleep := backoff
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					lastErr = fmt.Errorf("buffer: close budget %v exhausted after %d attempts: %w", budget, i+1, lastErr)
+					break
+				}
+				if sleep > remaining {
+					sleep = remaining
+				}
+			}
+			time.Sleep(sleep)
 			backoff *= 2
 		}
 	}
@@ -411,6 +484,14 @@ type ShardStats struct {
 	Hits              int64 // buffer hits since the last reset
 	Misses            int64 // buffer misses since the last reset
 	WriteBackFailures int64 // failed write-back attempts
+
+	Health             HealthState // degradation state at snapshot time
+	Shed               int64       // misses refused with ErrOverloaded
+	QuarantineRefusals int64       // dirty evictions/flushes refused by the cap
+	BreakerState       string      // "" when the shard's stack has no breaker
+	BreakerTrips       int64
+	BreakerRejections  int64
+	DeadlineTimeouts   int64 // 0 when the shard's stack has no deadline layer
 }
 
 // Stats is a point-in-time operational snapshot of the pool.
@@ -438,6 +519,12 @@ type Stats struct {
 	Quarantined       int
 	WriteBackFailures int64
 
+	// Shed counts misses refused with ErrOverloaded by degraded or
+	// read-only shards; Health is the worst shard health at snapshot
+	// time (Healthy unless some shard is degraded).
+	Shed   int64
+	Health HealthState
+
 	// Wrapper is the BP-Wrapper statistics summed over all shards;
 	// PerShard carries the per-shard breakdown of the pool-level figures.
 	Wrapper  core.Stats
@@ -463,12 +550,24 @@ func (p *Pool) Stats() Stats {
 		sh := &p.shards[i]
 		a := sh.counters.Snapshot()
 		ss := ShardStats{
-			Frames:            len(sh.frames),
-			Dirty:             sh.dirtyCount(),
-			Quarantined:       sh.quarantineLen(),
-			Hits:              a.Hits,
-			Misses:            a.Misses,
-			WriteBackFailures: sh.writeBackFailures.Load(),
+			Frames:             len(sh.frames),
+			Dirty:              sh.dirtyCount(),
+			Quarantined:        sh.quarantineLen(),
+			Hits:               a.Hits,
+			Misses:             a.Misses,
+			WriteBackFailures:  sh.writeBackFailures.Load(),
+			Health:             sh.evalHealth(),
+			Shed:               sh.shed.Load(),
+			QuarantineRefusals: sh.quarRefusals.Load(),
+		}
+		if sh.breaker != nil {
+			bst := sh.breaker.BreakerStats()
+			ss.BreakerState = bst.State.String()
+			ss.BreakerTrips = bst.Trips
+			ss.BreakerRejections = bst.Rejections
+		}
+		if sh.deadline != nil {
+			ss.DeadlineTimeouts = sh.deadline.Timeouts()
 		}
 		sh.freeMu.Lock()
 		ss.Free = len(sh.freeList)
@@ -482,6 +581,10 @@ func (p *Pool) Stats() Stats {
 		s.Resident += ss.Resident
 		s.Quarantined += ss.Quarantined
 		s.WriteBackFailures += ss.WriteBackFailures
+		s.Shed += ss.Shed
+		if ss.Health > s.Health {
+			s.Health = ss.Health
+		}
 		acc = acc.Plus(a)
 		s.Wrapper = s.Wrapper.Plus(sh.wrapper.Stats())
 	}

@@ -62,6 +62,10 @@ type shard struct {
 
 	writeBackFailures atomic.Int64
 
+	// healthState drives graceful degradation: breaker/quarantine-driven
+	// health evaluation and miss admission control (see health.go).
+	healthState
+
 	counters metrics.AccessCounters
 
 	// events is the shard's flight recorder (nil when disabled). The same
@@ -214,6 +218,17 @@ func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *Page
 	}
 
 	sh.counters.Miss()
+	// Admission control: a degraded shard bounds in-flight misses and a
+	// read-only shard sheds them all, before any frame is claimed or
+	// device I/O issued. Followers waiting on the loadOp receive the same
+	// ErrOverloaded, which is correct — they were asking for the same
+	// uncached page.
+	releaseMiss, err := sh.admitMiss(id)
+	if err != nil {
+		finish(err)
+		return nil, false, err
+	}
+	defer releaseMiss()
 	f, err := sh.acquireFrame(s, id)
 	if err != nil {
 		finish(err)
@@ -312,7 +327,10 @@ func (sh *shard) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
 
 // reclaimLoop turns an eviction victim into a reusable frame, retrying
 // through the policy when the victim is pinned or mid-load. Bounded by
-// twice the shard size, after which every buffer is presumed pinned.
+// twice the shard size, after which every buffer is presumed pinned —
+// or, when the dirty quarantine is saturated (so dirty victims are being
+// refused rather than pinned), ErrQuarantineFull distinguishes overload
+// from a genuinely over-pinned pool.
 func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
 	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
 		if victim.Valid() {
@@ -328,11 +346,21 @@ func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
 		runtime.Gosched()
 		v, ok := sh.nextVictim(victim, id)
 		if !ok {
-			return nil, ErrNoUnpinnedBuffers
+			return nil, sh.reclaimFailure()
 		}
 		victim = v
 	}
-	return nil, ErrNoUnpinnedBuffers
+	return nil, sh.reclaimFailure()
+}
+
+// reclaimFailure picks the error for an exhausted reclaim: a saturated
+// quarantine means dirty evictions were refused for durability-bound
+// reasons, not that every buffer is pinned.
+func (sh *shard) reclaimFailure() error {
+	if sh.quarantineFull() {
+		return ErrQuarantineFull
+	}
+	return ErrNoUnpinnedBuffers
 }
 
 // nextVictim re-admits a wrongly evicted page prev (its frame turned out to
@@ -399,6 +427,7 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 	if needWriteback && sh.quarantineFull() {
 		// No room to guarantee durability for another dirty page; leave
 		// this frame untouched and let the caller try a different victim.
+		sh.quarRefusals.Add(1)
 		f.mu.Unlock()
 		return nil, false
 	}
@@ -646,6 +675,7 @@ func (sh *shard) flushFrame(f *Frame) (bool, error) {
 		// drained) retry, so the cap bounds every insertion path.
 		sh.quarMu.Unlock()
 		f.mu.Unlock()
+		sh.quarRefusals.Add(1)
 		return false, nil
 	}
 	sh.quarantine[id] = &wb

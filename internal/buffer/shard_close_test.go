@@ -52,7 +52,7 @@ func TestCloseRacingBGWriterRoundOnAnotherShard(t *testing.T) {
 	s := p.NewSession()
 
 	shard0 := idsInShard(p, 0, 6, 1)
-	idA := shard0[0]                       // the page that will be quarantined
+	idA := shard0[0]                      // the page that will be quarantined
 	shard1 := idsInShard(p, 1, 6, 10_000) // distinct block range, shard 1
 	idB := shard1[0]
 

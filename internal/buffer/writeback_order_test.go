@@ -271,6 +271,9 @@ func TestFlushRespectsQuarantineCap(t *testing.T) {
 		Policy:        replacer.NewLRU(4),
 		Device:        dev,
 		QuarantineCap: 1,
+		// A full quarantine flips the shard read-only under health
+		// admission; disable it so the flush-cap path itself is exercised.
+		Health: HealthConfig{Disable: true},
 	})
 	s := p.NewSession()
 	dirtyPage(t, p, s, pid(1))

@@ -106,6 +106,18 @@ func (w *Wrapper) combineLocked(own *pubSlot) {
 	if slots == nil {
 		return
 	}
+	// Contain panics from the policy or validator: the caller still holds
+	// the lock and will release it normally, so one poisoned entry stops
+	// this drain (already-swapped batches are lost to the policy's
+	// bookkeeping, never to the buffer manager — replacement state is
+	// advisory) instead of unwinding through an unrelated session and
+	// deadlocking everyone behind a never-released lock.
+	defer func() {
+		if r := recover(); r != nil {
+			w.fcc.combinerPanics.Add(1)
+			w.events.Record(obs.EvPanic, 2, 0)
+		}
+	}()
 	// Annotate combiner drains in runtime/trace output (go test -trace,
 	// bpbench with tracing): the region spans the whole drain so trace
 	// viewers show how long combining extends the lock-holding period.

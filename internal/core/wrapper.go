@@ -179,6 +179,11 @@ type Stats struct {
 	CombinedBatches int64 // other sessions' published batches applied by a combiner
 	CombinedEntries int64 // entries in those batches
 	HandoffSaved    int64 // publishes whose TryLock failed: batches handed to the combiner instead of blocking or re-accumulating
+
+	// CombinerPanics counts panics contained inside a combiner drain (a
+	// broken policy or validator); each leaves that drain incomplete but
+	// the wrapper serviceable.
+	CombinerPanics int64
 }
 
 // Plus returns the field-wise sum of two snapshots. The sharded pool folds
@@ -199,6 +204,7 @@ func (s Stats) Plus(o Stats) Stats {
 	s.CombinedBatches += o.CombinedBatches
 	s.CombinedEntries += o.CombinedEntries
 	s.HandoffSaved += o.HandoffSaved
+	s.CombinerPanics += o.CombinerPanics
 	return s
 }
 
@@ -238,6 +244,7 @@ type combineCounters struct {
 	combinedBatches atomic.Int64
 	combinedEntries atomic.Int64
 	handoffSaved    atomic.Int64
+	combinerPanics  atomic.Int64
 }
 
 // Wrapper couples a replacement policy with its global lock and the
@@ -367,6 +374,7 @@ func (w *Wrapper) Stats() Stats {
 		CombinedBatches: w.fcc.combinedBatches.Load(),
 		CombinedEntries: w.fcc.combinedEntries.Load(),
 		HandoffSaved:    w.fcc.handoffSaved.Load(),
+		CombinerPanics:  w.fcc.combinerPanics.Load(),
 	}
 }
 
@@ -384,6 +392,7 @@ func (w *Wrapper) ResetStats() {
 	w.fcc.combinedBatches.Store(0)
 	w.fcc.combinedEntries.Store(0)
 	w.fcc.handoffSaved.Store(0)
+	w.fcc.combinerPanics.Store(0)
 	w.batchSizes.Reset()
 	w.combineRuns.Reset()
 	w.lock.Reset()

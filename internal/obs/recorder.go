@@ -45,6 +45,16 @@ const (
 	// EvQuarantineFlush: a quarantined page was written back.
 	// Arg1 = page id.
 	EvQuarantineFlush
+	// EvHealthChange: a shard's health state changed.
+	// Arg1 = new state, Arg2 = previous state (buffer.HealthState values).
+	EvHealthChange
+	// EvShed: a miss was shed by admission control.
+	// Arg1 = page id, Arg2 = health state at shed time.
+	EvShed
+	// EvPanic: a contained panic in a background goroutine (bgwriter
+	// round or flat-combining drain). Arg1 = site (1 = bgwriter,
+	// 2 = combiner).
+	EvPanic
 )
 
 // String returns the kind's short name, used in dumps and the events
@@ -67,6 +77,12 @@ func (k EventKind) String() string {
 		return "quarantine-park"
 	case EvQuarantineFlush:
 		return "quarantine-flush"
+	case EvHealthChange:
+		return "health-change"
+	case EvShed:
+		return "shed"
+	case EvPanic:
+		return "panic-recovered"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -74,7 +90,7 @@ func (k EventKind) String() string {
 
 // Event is one decoded flight-recorder entry.
 type Event struct {
-	Seq  uint64 // global claim order within the recorder
+	Seq uint64 // global claim order within the recorder
 	// Time is a coarse wall-clock timestamp: the clock is read on a
 	// 1-in-clockEvery sample of records and cached in between, so an
 	// event's stamp can be up to clockEvery-1 events stale. Seq, not

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpwrapper/internal/page"
+)
+
+// Deadline/cancellation sentinels. Like ErrBreakerOpen these are
+// deliberately not Retryable: a deadline exists to bound how long a
+// caller waits, and retrying the wait would unbound it again.
+var (
+	// ErrDeadlineExceeded is returned when a backing operation does not
+	// complete within its deadline. The operation itself may still finish
+	// later on its abandoned goroutine; see DeadlineDevice for the
+	// ordering guarantees that make that safe.
+	ErrDeadlineExceeded = errors.New("storage: device deadline exceeded")
+
+	// ErrCanceled is returned when the device's Stop channel closes while
+	// an operation is waiting.
+	ErrCanceled = errors.New("storage: device operation canceled")
+)
+
+// DeadlineConfig tunes a DeadlineDevice.
+type DeadlineConfig struct {
+	// ReadDeadline bounds each ReadPage. Zero means 100ms.
+	ReadDeadline time.Duration
+
+	// WriteDeadline bounds each WritePage. Zero means ReadDeadline.
+	WriteDeadline time.Duration
+
+	// Stop, when non-nil, cancels every waiting caller when closed —
+	// the shutdown path's escape hatch from a stuck device.
+	Stop <-chan struct{}
+}
+
+// DeadlineDevice wraps a Device so that every ReadPage/WritePage returns
+// within a deadline (or as soon as Stop closes), no matter how long the
+// backing device blocks. The backing call runs on a private goroutine;
+// if it misses the deadline the caller returns ErrDeadlineExceeded and
+// the goroutine is abandoned to finish (and be discarded) on its own.
+//
+// Two hazards of abandonment are closed off:
+//
+//   - An abandoned read must not scribble into the caller's page after
+//     the caller has moved on. Reads therefore fill a private buffer
+//     that is copied out only on an in-deadline success.
+//
+//   - An abandoned write must not land on the device *after* a newer
+//     write of the same page (the caller sees a timeout, re-dirties the
+//     page, writes again — and the zombie would then clobber fresh data
+//     with stale bytes). Operations on the same page are therefore
+//     serialized through a striped lock held by the worker goroutine
+//     across the backing call: a later write of the page queues behind
+//     the zombie and lands after it.
+//
+// The abandoned goroutine holds its page stripe until the backing call
+// returns, so a truly stuck device pins at most one goroutine per
+// in-flight operation — bounded by the callers that were waiting — not
+// an unbounded leak.
+type DeadlineDevice struct {
+	backing Device
+	readD   time.Duration
+	writeD  time.Duration
+	stop    <-chan struct{}
+
+	stripes [64]sync.Mutex // per-page-stripe order for abandoned ops
+
+	timeouts atomic.Int64
+	canceled atomic.Int64
+}
+
+// NewDeadlineDevice wraps backing with deadlines per cfg.
+func NewDeadlineDevice(backing Device, cfg DeadlineConfig) *DeadlineDevice {
+	if cfg.ReadDeadline <= 0 {
+		cfg.ReadDeadline = 100 * time.Millisecond
+	}
+	if cfg.WriteDeadline <= 0 {
+		cfg.WriteDeadline = cfg.ReadDeadline
+	}
+	return &DeadlineDevice{
+		backing: backing,
+		readD:   cfg.ReadDeadline,
+		writeD:  cfg.WriteDeadline,
+		stop:    cfg.Stop,
+	}
+}
+
+// Backing returns the wrapped device, letting callers walk a wrapper
+// stack.
+func (d *DeadlineDevice) Backing() Device { return d.backing }
+
+// Timeouts reports how many operations missed their deadline.
+func (d *DeadlineDevice) Timeouts() int64 { return d.timeouts.Load() }
+
+// Canceled reports how many operations were cut short by Stop closing.
+func (d *DeadlineDevice) Canceled() int64 { return d.canceled.Load() }
+
+func (d *DeadlineDevice) stripe(id page.PageID) *sync.Mutex {
+	return &d.stripes[uint64(id)*0x9e3779b97f4a7c15>>58]
+}
+
+// await waits for res within the deadline. The worker goroutine always
+// sends exactly one value into the buffered channel, so abandonment
+// never leaks a blocked sender.
+func (d *DeadlineDevice) await(res <-chan error, deadline time.Duration, opName string, id page.PageID) (error, bool) {
+	t := time.NewTimer(deadline)
+	defer t.Stop()
+	select {
+	case err := <-res:
+		return err, true
+	case <-t.C:
+		d.timeouts.Add(1)
+		return fmt.Errorf("storage: %s of page %v after %v: %w", opName, id, deadline, ErrDeadlineExceeded), false
+	case <-d.stop:
+		d.canceled.Add(1)
+		return fmt.Errorf("storage: %s of page %v: %w", opName, id, ErrCanceled), false
+	}
+}
+
+// ReadPage implements Device. On timeout the caller's page is left
+// untouched.
+func (d *DeadlineDevice) ReadPage(id page.PageID, p *page.Page) error {
+	res := make(chan error, 1)
+	buf := new(page.Page)
+	go func() {
+		mu := d.stripe(id)
+		mu.Lock()
+		defer mu.Unlock()
+		res <- d.backing.ReadPage(id, buf)
+	}()
+	err, done := d.await(res, d.readD, "read", id)
+	if done && err == nil {
+		*p = *buf
+	}
+	return err
+}
+
+// WritePage implements Device. The page content is captured before the
+// worker starts, so the caller may reuse p immediately regardless of
+// outcome.
+func (d *DeadlineDevice) WritePage(p *page.Page) error {
+	res := make(chan error, 1)
+	buf := new(page.Page)
+	*buf = *p
+	go func() {
+		mu := d.stripe(buf.ID)
+		mu.Lock()
+		defer mu.Unlock()
+		res <- d.backing.WritePage(buf)
+	}()
+	err, _ := d.await(res, d.writeD, "write", p.ID)
+	return err
+}
+
+// Stats implements Device: the backing device's counters plus the
+// timeouts recorded by this layer. Operations that timed out here but
+// eventually completed underneath are counted by both layers — each
+// layer reports its own truth.
+func (d *DeadlineDevice) Stats() DeviceStats {
+	s := d.backing.Stats()
+	s.Timeouts += d.timeouts.Load()
+	return s
+}

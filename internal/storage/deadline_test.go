@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpwrapper/internal/page"
+)
+
+// gateDevice blocks a configurable countdown of operations on a gate
+// channel before delegating, modelling a device stuck mid-operation.
+type gateDevice struct {
+	backing     Device
+	gate        chan struct{}
+	blockReads  atomic.Int64
+	blockWrites atomic.Int64
+}
+
+func newGateDevice(backing Device) *gateDevice {
+	return &gateDevice{backing: backing, gate: make(chan struct{})}
+}
+
+func (d *gateDevice) ReadPage(id page.PageID, p *page.Page) error {
+	if takeTicket(&d.blockReads) {
+		<-d.gate
+	}
+	return d.backing.ReadPage(id, p)
+}
+
+func (d *gateDevice) WritePage(p *page.Page) error {
+	if takeTicket(&d.blockWrites) {
+		<-d.gate
+	}
+	return d.backing.WritePage(p)
+}
+
+func (d *gateDevice) Stats() DeviceStats { return d.backing.Stats() }
+func (d *gateDevice) Backing() Device    { return d.backing }
+func (d *gateDevice) release()           { close(d.gate) }
+
+func TestDeadlineReadTimeoutLeavesPageUntouched(t *testing.T) {
+	gd := newGateDevice(NewMemDevice())
+	gd.blockReads.Store(1)
+	dd := NewDeadlineDevice(gd, DeadlineConfig{ReadDeadline: 20 * time.Millisecond})
+	defer gd.release()
+
+	var p page.Page
+	p.ID = pid(999)
+	for i := range p.Data {
+		p.Data[i] = 0xAB
+	}
+	start := time.Now()
+	err := dd.ReadPage(pid(1), &p)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline was 20ms", elapsed)
+	}
+	// The abandoned read must not have scribbled into the caller's page.
+	if p.ID != pid(999) || p.Data[0] != 0xAB || p.Data[page.Size-1] != 0xAB {
+		t.Fatal("caller's page was modified by a timed-out read")
+	}
+	if dd.Timeouts() != 1 {
+		t.Fatalf("timeouts = %d, want 1", dd.Timeouts())
+	}
+	if got := dd.Stats().Timeouts; got != 1 {
+		t.Fatalf("DeviceStats.Timeouts = %d, want 1", got)
+	}
+}
+
+func TestDeadlineReadSuccessPassesThrough(t *testing.T) {
+	dd := NewDeadlineDevice(NewMemDevice(), DeadlineConfig{ReadDeadline: time.Second})
+	var p page.Page
+	if err := dd.ReadPage(pid(7), &p); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	var want page.Page
+	want.Stamp(pid(7))
+	if p.ID != want.ID || !bytes.Equal(p.Data[:], want.Data[:]) {
+		t.Fatal("read through deadline device returned wrong content")
+	}
+	if dd.Timeouts() != 0 {
+		t.Fatalf("timeouts = %d, want 0", dd.Timeouts())
+	}
+}
+
+func TestDeadlineStopCancelsWaiters(t *testing.T) {
+	gd := newGateDevice(NewMemDevice())
+	gd.blockReads.Store(1)
+	stop := make(chan struct{})
+	dd := NewDeadlineDevice(gd, DeadlineConfig{ReadDeadline: time.Minute, Stop: stop})
+	defer gd.release()
+
+	done := make(chan error, 1)
+	var p page.Page
+	go func() { done <- dd.ReadPage(pid(1), &p) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not cancel a waiting read")
+	}
+	if dd.Canceled() != 1 {
+		t.Fatalf("canceled = %d, want 1", dd.Canceled())
+	}
+}
+
+// TestDeadlineAbandonedWriteOrdering is the regression test for the
+// zombie-write hazard: a write that times out must not land on the
+// device *after* a newer write of the same page. The stripe lock makes
+// the newer write queue behind the zombie, so the final content is the
+// newer one.
+func TestDeadlineAbandonedWriteOrdering(t *testing.T) {
+	mem := NewMemDevice()
+	gd := newGateDevice(mem)
+	gd.blockWrites.Store(1) // only the first write gets stuck
+	dd := NewDeadlineDevice(gd, DeadlineConfig{WriteDeadline: 20 * time.Millisecond})
+
+	id := pid(5)
+	stale := &page.Page{ID: id}
+	stale.Data[0] = 0x01
+	fresh := &page.Page{ID: id}
+	fresh.Data[0] = 0x02
+
+	if err := dd.WritePage(stale); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("stuck write returned %v, want ErrDeadlineExceeded", err)
+	}
+	// The caller moves on and writes newer content for the same page; it
+	// queues behind the zombie on the stripe and also times out.
+	second := make(chan error, 1)
+	go func() { second <- dd.WritePage(fresh) }()
+	time.Sleep(30 * time.Millisecond)
+	gd.release() // the device unwedges: zombie lands, then the fresh write
+	<-second
+
+	deadline := time.Now().Add(2 * time.Second)
+	for mem.Stats().Writes < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("both writes never reached the backing device")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var got page.Page
+	if err := mem.ReadPage(id, &got); err != nil {
+		t.Fatalf("readback failed: %v", err)
+	}
+	if got.Data[0] != 0x02 {
+		t.Fatalf("final content is %#x, want the newer write (0x02): stale zombie write landed last", got.Data[0])
+	}
+}
+
+// TestDeadlineWriteCapturesContent: the caller may reuse its page the
+// moment WritePage returns, even if the backing write is still in
+// flight.
+func TestDeadlineWriteCapturesContent(t *testing.T) {
+	mem := NewMemDevice()
+	gd := newGateDevice(mem)
+	gd.blockWrites.Store(1)
+	dd := NewDeadlineDevice(gd, DeadlineConfig{WriteDeadline: 20 * time.Millisecond})
+
+	p := &page.Page{ID: pid(3)}
+	p.Data[0] = 0x5A
+	if err := dd.WritePage(p); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+	p.Data[0] = 0xFF // caller reuses the buffer while the zombie is in flight
+	gd.release()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for mem.Stats().Writes < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("write never reached the backing device")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var got page.Page
+	if err := mem.ReadPage(pid(3), &got); err != nil {
+		t.Fatalf("readback failed: %v", err)
+	}
+	if got.Data[0] != 0x5A {
+		t.Fatalf("device saw %#x, want the content at WritePage time (0x5A)", got.Data[0])
+	}
+}

@@ -59,6 +59,12 @@ type FaultConfig struct {
 	// 1ms.
 	SpikeLatency time.Duration
 
+	// SpikeWriteOnly restricts latency spikes to writes, modelling a
+	// device whose write path is wedged while reads stay healthy (the
+	// "stuck write" chaos scenario). The spike variate is still drawn
+	// for reads so the deterministic sequence does not shift.
+	SpikeWriteOnly bool
+
 	// Permanent makes injected failures wrap ErrPermanent instead of
 	// ErrTransient, modelling a dead sector rather than a flaky bus.
 	Permanent bool
@@ -87,6 +93,7 @@ type FaultDevice struct {
 	injectedReadFaults  atomic.Int64
 	injectedWriteFaults atomic.Int64
 	injectedCorruptions atomic.Int64
+	injectedSpikes      atomic.Int64
 }
 
 // NewFaultDevice wraps backing with fault injection per cfg.
@@ -133,6 +140,31 @@ func (d *FaultDevice) SetCorruptRate(p float64) {
 	d.mu.Unlock()
 }
 
+// SetSpike replaces the probabilistic latency-spike rate and duration.
+// A non-positive latency keeps the current one.
+func (d *FaultDevice) SetSpike(p float64, latency time.Duration) {
+	d.mu.Lock()
+	d.cfg.SpikeProb = p
+	if latency > 0 {
+		d.cfg.SpikeLatency = latency
+	}
+	d.mu.Unlock()
+}
+
+// SetSpikeWriteOnly restricts (or unrestricts) latency spikes to writes.
+func (d *FaultDevice) SetSpikeWriteOnly(writeOnly bool) {
+	d.mu.Lock()
+	d.cfg.SpikeWriteOnly = writeOnly
+	d.mu.Unlock()
+}
+
+// Spikes reports the latency spikes injected so far.
+func (d *FaultDevice) Spikes() int64 { return d.injectedSpikes.Load() }
+
+// Backing returns the wrapped device, letting callers walk a wrapper
+// stack.
+func (d *FaultDevice) Backing() Device { return d.backing }
+
 // Injected reports the faults injected so far: failed reads, failed
 // writes, and corrupted reads.
 func (d *FaultDevice) Injected() (reads, writes, corruptions int64) {
@@ -175,7 +207,9 @@ func (d *FaultDevice) decide(read bool) (fail, corrupt bool, spike time.Duration
 		failProb = d.cfg.ReadFailProb
 	}
 	if d.cfg.SpikeProb > 0 && d.rand() < d.cfg.SpikeProb {
-		spike = d.cfg.SpikeLatency
+		if !read || !d.cfg.SpikeWriteOnly {
+			spike = d.cfg.SpikeLatency
+		}
 	}
 	if failProb > 0 && d.rand() < failProb {
 		fail = true
@@ -208,6 +242,7 @@ func (d *FaultDevice) ReadPage(id page.PageID, p *page.Page) error {
 	}
 	fail, corrupt, spike := d.decide(true)
 	if spike > 0 {
+		d.injectedSpikes.Add(1)
 		time.Sleep(spike)
 	}
 	if fail {
@@ -238,6 +273,7 @@ func (d *FaultDevice) WritePage(p *page.Page) error {
 	}
 	fail, _, spike := d.decide(false)
 	if spike > 0 {
+		d.injectedSpikes.Add(1)
 		time.Sleep(spike)
 	}
 	if fail {

@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bpwrapper/internal/page"
+)
+
+// TestRetryCancelAbortsBackoff is the regression test for the
+// uncancellable backoff ladder: a close of Cancel mid-sleep must return
+// the operation immediately with its last real error, not wait out the
+// full jittered ladder.
+func TestRetryCancelAbortsBackoff(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice(), FaultConfig{ReadFailProb: 1})
+	cancel := make(chan struct{})
+	rd := NewRetryDevice(fd, RetryConfig{
+		MaxAttempts: 4,
+		BaseBackoff: 30 * time.Second, // would hang ~90s without cancellation
+		MaxBackoff:  30 * time.Second,
+		Jitter:      -1,
+		Cancel:      cancel,
+	})
+	done := make(chan error, 1)
+	go func() {
+		var p page.Page
+		done <- rd.ReadPage(pid(1), &p)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("got %v, want the last attempt's ErrTransient", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not abort the backoff sleep")
+	}
+	if rd.CanceledBackoffs() != 1 {
+		t.Fatalf("canceled backoffs = %d, want 1", rd.CanceledBackoffs())
+	}
+}
+
+// TestRetryCancelPreClosed: with Cancel already closed, a failing
+// operation gets its one attempt and no retries.
+func TestRetryCancelPreClosed(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice(), FaultConfig{ReadFailProb: 1})
+	cancel := make(chan struct{})
+	close(cancel)
+	rd := NewRetryDevice(fd, RetryConfig{MaxAttempts: 5, Cancel: cancel})
+	var p page.Page
+	if err := rd.ReadPage(pid(1), &p); !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want ErrTransient", err)
+	}
+	reads, _, _ := fd.Injected()
+	if reads != 1 {
+		t.Fatalf("backing saw %d attempts, want exactly 1", reads)
+	}
+	if got := rd.Stats().Retries; got != 0 {
+		t.Fatalf("retries = %d, want 0", got)
+	}
+}
+
+// TestRetryCancelWithCustomSleep: Cancel is honored between attempts
+// even when a test injects its own Sleep.
+func TestRetryCancelWithCustomSleep(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice(), FaultConfig{ReadFailProb: 1})
+	cancel := make(chan struct{})
+	sleeps := 0
+	rd := NewRetryDevice(fd, RetryConfig{
+		MaxAttempts: 5,
+		Cancel:      cancel,
+		Sleep: func(time.Duration) {
+			sleeps++
+			if sleeps == 2 {
+				close(cancel)
+			}
+		},
+	})
+	var p page.Page
+	if err := rd.ReadPage(pid(1), &p); !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want ErrTransient", err)
+	}
+	// Attempt 1 fails, sleep 1, attempt 2 fails, sleep 2 closes cancel,
+	// ladder aborts: the backing device saw exactly 2 attempts.
+	reads, _, _ := fd.Injected()
+	if reads != 2 {
+		t.Fatalf("backing saw %d attempts, want 2", reads)
+	}
+	if sleeps != 2 {
+		t.Fatalf("sleeps = %d, want 2", sleeps)
+	}
+}
+
+// TestRetryNoCancelStillSleeps: without Cancel the default sleep path
+// still honors injected ladders end to end (behavioral backstop for the
+// refactor from cfg.Sleep defaulting).
+func TestRetryNoCancelStillSleeps(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice(), FaultConfig{ReadFailProb: 1})
+	rd := NewRetryDevice(fd, RetryConfig{
+		MaxAttempts: 3,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+	})
+	var p page.Page
+	if err := rd.ReadPage(pid(1), &p); !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want ErrTransient", err)
+	}
+	reads, _, _ := fd.Injected()
+	if reads != 3 {
+		t.Fatalf("backing saw %d attempts, want all 3", reads)
+	}
+	if rd.Exhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", rd.Exhausted())
+	}
+}

@@ -48,6 +48,9 @@ type DeviceStats struct {
 	WriteErrors  int64 // failed page writes (injected or real)
 	Retries      int64 // retry attempts performed by a RetryDevice
 	CorruptPages int64 // checksum mismatches detected by a ChecksumDevice
+
+	Timeouts          int64 // operations that missed a DeadlineDevice deadline
+	BreakerRejections int64 // operations fast-failed by an open BreakerDevice
 }
 
 // deviceCounters is the shared atomic implementation behind Stats.

@@ -1,0 +1,426 @@
+// Chaos scenarios: targeted fault campaigns against the full resilience
+// stack — Breaker(Deadline(Retry(Checksum(Fault(mem))))) per shard — that
+// check the graceful-degradation contract end to end rather than the
+// statistical churn RunPool applies. Each scenario sickens exactly one
+// shard and asserts the blast radius: the sick shard degrades (misses
+// shed fast with buffer.ErrOverloaded, resident pages keep serving, dirty
+// data parks losslessly), every other shard stays Healthy, and after the
+// fault lifts the pool recovers and the zero-lost-dirty-page oracle holds
+// against the raw memory device.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/storage"
+)
+
+// ChaosScenario names one fault campaign.
+type ChaosScenario string
+
+const (
+	// ChaosBrownout: the sick shard's device stays up but every operation
+	// takes longer than the breaker's latency SLO; the breaker must trip
+	// on slowness alone.
+	ChaosBrownout ChaosScenario = "brownout"
+
+	// ChaosHardDown: every device operation on the sick shard fails
+	// instantly; the breaker trips on error rate.
+	ChaosHardDown ChaosScenario = "harddown"
+
+	// ChaosStuckWrite: writes on the sick shard hang far past the write
+	// deadline; the deadline layer abandons them, write-backs park in the
+	// quarantine, and shutdown stays prompt and lossless.
+	ChaosStuckWrite ChaosScenario = "stuckwrite"
+
+	// ChaosRecovery: a hard-down episode followed by healing; half-open
+	// probes must re-close the breaker and the shard must return to
+	// Healthy with shedding stopped.
+	ChaosRecovery ChaosScenario = "recovery"
+)
+
+// ChaosConfig shapes one scenario run.
+type ChaosConfig struct {
+	Scenario ChaosScenario
+	Seed     int64
+	Shards   int // hash partitions; 0 means 2 (one sick, the rest healthy)
+	Frames   int // pool frames; 0 means 8 per shard
+	HotSet   int // resident pages per shard; 0 means a quarter of the shard's frames
+}
+
+// ChaosReport summarizes what the scenario observed.
+type ChaosReport struct {
+	Scenario         ChaosScenario
+	SickShard        int
+	PeakHealth       buffer.HealthState // worst sick-shard health observed
+	Shed             int64              // sick-shard misses refused with ErrOverloaded
+	BreakerTrips     int64
+	DeadlineTimeouts int64
+	ResidentReads    int64         // hot-set reads served during the fault window
+	HealthyMisses    int64         // cold misses served by healthy shards during the window
+	MaxShedMicros    int64         // slowest shed, µs — the "fail fast" budget check
+	CloseBounded     time.Duration // stuckwrite only: elapsed inside the bounded CloseWithin
+}
+
+// chaosStack is the per-shard resilience stack and the knobs the
+// scenarios turn.
+type chaosStack struct {
+	fault    *storage.FaultDevice
+	deadline *storage.DeadlineDevice
+	breaker  *storage.BreakerDevice
+}
+
+const (
+	chaosSLO           = 10 * time.Millisecond
+	chaosReadDeadline  = 80 * time.Millisecond
+	chaosWriteDeadline = 25 * time.Millisecond
+	chaosOpenTimeout   = 150 * time.Millisecond
+)
+
+// buildChaosPool assembles the sharded pool with one full resilience
+// stack per shard and preloads nothing: page content is seeded directly
+// into the raw memory device so the breaker windows start empty.
+func buildChaosPool(cfg ChaosConfig) (*buffer.Pool, *storage.MemDevice, []chaosStack) {
+	mem := storage.NewMemDevice()
+	stacks := make([]chaosStack, cfg.Shards)
+	p := buffer.New(buffer.Config{
+		Frames:        cfg.Frames,
+		Shards:        cfg.Shards,
+		PolicyFactory: func(n int) replacer.Policy { return replacer.NewLRU(n) },
+		Device:        mem,
+		QuarantineCap: 2 * cfg.Shards, // small: quarantine pressure is a scenario signal
+		WrapShardDevice: func(shard int, base storage.Device) storage.Device {
+			st := &stacks[shard]
+			st.fault = storage.NewFaultDevice(base, storage.FaultConfig{Seed: cfg.Seed + int64(shard)})
+			retry := storage.NewRetryDevice(storage.NewChecksumDevice(st.fault), storage.RetryConfig{
+				MaxAttempts: 2,
+				BaseBackoff: time.Millisecond,
+				Seed:        cfg.Seed,
+			})
+			st.deadline = storage.NewDeadlineDevice(retry, storage.DeadlineConfig{
+				ReadDeadline:  chaosReadDeadline,
+				WriteDeadline: chaosWriteDeadline,
+			})
+			st.breaker = storage.NewBreakerDevice(st.deadline, storage.BreakerConfig{
+				Window:         16,
+				MinSamples:     4,
+				LatencySLO:     chaosSLO,
+				OpenTimeout:    chaosOpenTimeout,
+				ProbeProb:      1, // deterministic: every half-open op probes
+				HalfOpenProbes: 2,
+				Seed:           cfg.Seed,
+			})
+			return st.breaker
+		},
+	})
+	return p, mem, stacks
+}
+
+// chaosIDs partitions page ids by owning shard: ids[s] lists pages routed
+// to shard s, generated until every shard has n.
+func chaosIDs(p *buffer.Pool, shards, n int) [][]page.PageID {
+	ids := make([][]page.PageID, shards)
+	for b := uint64(0); ; b++ {
+		id := page.NewPageID(tortureTable, b)
+		s := p.ShardOf(id)
+		if len(ids[s]) < n {
+			ids[s] = append(ids[s], id)
+		}
+		full := true
+		for _, l := range ids {
+			if len(l) < n {
+				full = false
+				break
+			}
+		}
+		if full {
+			return ids
+		}
+	}
+}
+
+// RunChaos executes one scenario. Every oracle failure carries the seed
+// and the pool's flight-recorder dump.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Scenario == "" {
+		cfg.Scenario = ChaosHardDown
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = 8 * cfg.Shards
+	}
+	framesPerShard := cfg.Frames / cfg.Shards
+	if cfg.HotSet <= 0 {
+		cfg.HotSet = framesPerShard / 4
+	}
+	if cfg.HotSet >= framesPerShard {
+		return nil, fmt.Errorf("chaos seed %d: hot set %d must leave free frames in a %d-frame shard (free frames absorb failing misses without evicting)",
+			cfg.Seed, cfg.HotSet, framesPerShard)
+	}
+
+	pool, mem, stacks := buildChaosPool(cfg)
+	rep := &ChaosReport{Scenario: cfg.Scenario, SickShard: 0}
+	fail := func(format string, args ...any) error {
+		err := fmt.Errorf("chaos %s seed %d: "+format, append([]any{cfg.Scenario, cfg.Seed}, args...)...)
+		if dump := pool.FlightDump(); dump != "" {
+			err = fmt.Errorf("%w\n%s", err, dump)
+		}
+		return err
+	}
+
+	// Seed content directly into the raw device (below every wrapper) so
+	// the breaker windows start clean, then load each shard's hot set and
+	// dirty it to version 1. The shadow map tracks the last version
+	// written per page for the end oracle.
+	perShard := framesPerShard + 2 // hot set + cold ids used to provoke misses
+	ids := chaosIDs(pool, cfg.Shards, perShard)
+	versions := map[page.PageID]int{}
+	for _, l := range ids {
+		for _, id := range l {
+			var pg page.Page
+			pg.Stamp(stampID(int(id.Block()), 0))
+			pg.ID = id
+			if err := mem.WritePage(&pg); err != nil {
+				return nil, fail("device preload: %v", err)
+			}
+			versions[id] = 0
+		}
+	}
+	ses := pool.NewSession()
+	writeVersion := func(id page.PageID, v int) error {
+		ref, err := pool.GetWrite(ses, id)
+		if err != nil {
+			return err
+		}
+		var pg page.Page
+		pg.Stamp(stampID(int(id.Block()), v))
+		copy(ref.Data(), pg.Data[:])
+		ref.MarkDirty()
+		ref.Release()
+		versions[id] = v
+		return nil
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		for _, id := range ids[s][:cfg.HotSet] {
+			if err := writeVersion(id, 1); err != nil {
+				return nil, fail("hot-set load shard %d: %v", s, err)
+			}
+		}
+	}
+
+	sick := &stacks[0]
+	cold := func(s, i int) page.PageID { return ids[s][cfg.HotSet+i%(perShard-cfg.HotSet)] }
+
+	// observe folds one sick-shard health sample into the report.
+	observe := func() buffer.HealthState {
+		h := pool.Stats().PerShard[0].Health
+		if h > rep.PeakHealth {
+			rep.PeakHealth = h
+		}
+		return h
+	}
+
+	// inject arms the scenario's fault on the sick shard.
+	switch cfg.Scenario {
+	case ChaosBrownout:
+		sick.fault.SetSpike(1, 3*chaosSLO)
+	case ChaosHardDown, ChaosRecovery:
+		sick.fault.SetReadFailRate(1)
+		sick.fault.SetWriteFailRate(1)
+	case ChaosStuckWrite:
+		sick.fault.SetSpikeWriteOnly(true)
+		sick.fault.SetSpike(1, 10*chaosWriteDeadline)
+	default:
+		return nil, fmt.Errorf("chaos: unknown scenario %q", cfg.Scenario)
+	}
+	heal := func() {
+		sick.fault.SetReadFailRate(0)
+		sick.fault.SetWriteFailRate(0)
+		sick.fault.SetSpike(0, 0)
+		sick.fault.SetSpikeWriteOnly(false)
+	}
+
+	// Phase 1 — trip: drive sick-shard misses until the breaker opens.
+	// Failing loads draw frames from the free list and return them, so
+	// the hot set's residency is never disturbed. Stuck writes trip
+	// through eviction write-backs instead: dirty the shard's free-frame
+	// pages and churn misses so dirty evictions hit the hung device.
+	if cfg.Scenario == ChaosStuckWrite {
+		// Dirty exactly the shard's free frames — no evictions, so the hot
+		// set stays resident and every hung write comes from FlushDirty.
+		for i := 0; i < framesPerShard-cfg.HotSet; i++ {
+			if err := writeVersion(cold(0, i), 1); err != nil {
+				return nil, fail("cold dirty load: %v", err)
+			}
+		}
+		// FlushDirty pushes every dirty page into the hung device; the
+		// deadline abandons each write, so this returns (with an error)
+		// instead of hanging, and repeated rounds feed the breaker.
+		for i := 0; i < 6 && sick.breaker.State() == storage.BreakerClosed; i++ {
+			pool.FlushDirty() // errors expected: deadline-abandoned writes
+			observe()
+		}
+		if sick.deadline.Timeouts() == 0 {
+			return nil, fail("no write was abandoned at its deadline against a hung device")
+		}
+	} else {
+		for i := 0; i < 4*16 && sick.breaker.State() == storage.BreakerClosed; i++ {
+			ref, err := pool.Get(ses, cold(0, i))
+			if err == nil {
+				ref.Release() // pre-trip op may still succeed (brownout: slow, not failed)
+			}
+			observe()
+		}
+	}
+	if st := sick.breaker.State(); st == storage.BreakerClosed {
+		return nil, fail("breaker never left closed; trips=%d", sick.breaker.BreakerStats().Trips)
+	}
+	rep.BreakerTrips = sick.breaker.BreakerStats().Trips
+	rep.DeadlineTimeouts = sick.deadline.Timeouts()
+
+	// Phase 2 — degraded window: the contract assertions.
+	if h := observe(); h == buffer.Healthy {
+		return nil, fail("sick shard reports Healthy with its breaker tripped")
+	}
+	// (a) Sick-shard misses shed fast with ErrOverloaded.
+	shedBefore := pool.Stats().Shed
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		ref, err := pool.Get(ses, cold(0, i))
+		lat := time.Since(start)
+		if err == nil {
+			ref.Release() // Degraded admits a bounded few; only ReadOnly sheds all
+			continue
+		}
+		if !errors.Is(err, buffer.ErrOverloaded) {
+			if cfg.Scenario == ChaosStuckWrite || storage.Retryable(err) ||
+				errors.Is(err, storage.ErrDeadlineExceeded) || errors.Is(err, storage.ErrBreakerOpen) {
+				continue // half-open probe that failed; still within contract
+			}
+			return nil, fail("sick-shard miss returned %v, want ErrOverloaded or a fast device error", err)
+		}
+		if us := lat.Microseconds(); us > rep.MaxShedMicros {
+			rep.MaxShedMicros = us
+		}
+		if lat > chaosReadDeadline {
+			return nil, fail("shed miss took %v, past the %v deadline budget — sheds must not queue", lat, chaosReadDeadline)
+		}
+	}
+	rep.Shed = pool.Stats().Shed - shedBefore
+	if cfg.Scenario != ChaosStuckWrite && rep.Shed == 0 {
+		return nil, fail("no sick-shard miss was shed while the breaker was open")
+	}
+	// (b) Resident pages keep serving on every shard, sick included.
+	for s := 0; s < cfg.Shards; s++ {
+		for _, id := range ids[s][:cfg.HotSet] {
+			ref, err := pool.Get(ses, id)
+			if err != nil {
+				return nil, fail("resident Get(%v) on shard %d failed during the fault: %v", id, s, err)
+			}
+			var got page.Page
+			copy(got.Data[:], ref.Data())
+			ref.Release()
+			if !got.VerifyStamp(stampID(int(id.Block()), versions[id])) {
+				return nil, fail("resident page %v served wrong content during the fault", id)
+			}
+			rep.ResidentReads++
+		}
+	}
+	// (c) Resident writes on the sick shard still work (data is safe in
+	// memory; the quarantine protocol keeps eviction lossless).
+	for _, id := range ids[0][:cfg.HotSet] {
+		if err := writeVersion(id, versions[id]+1); err != nil {
+			return nil, fail("resident write on sick shard: %v", err)
+		}
+	}
+	// (d) Healthy shards are untouched: misses flow, health stays Healthy.
+	for s := 1; s < cfg.Shards; s++ {
+		for i := 0; i < perShard-cfg.HotSet; i++ {
+			ref, err := pool.Get(ses, cold(s, i))
+			if err != nil {
+				return nil, fail("healthy shard %d miss failed during the fault: %v", s, err)
+			}
+			ref.Release()
+			rep.HealthyMisses++
+		}
+		if h := pool.Stats().PerShard[s].Health; h != buffer.Healthy {
+			return nil, fail("healthy shard %d degraded to %v — blast radius leaked", s, h)
+		}
+	}
+	// (e) Stuck writes: shutdown must be promptly bounded, and give up
+	// without losing anything.
+	if cfg.Scenario == ChaosStuckWrite {
+		start := time.Now()
+		err := pool.CloseWithin(50 * time.Millisecond)
+		rep.CloseBounded = time.Since(start)
+		if err == nil {
+			return nil, fail("CloseWithin succeeded against a hung device")
+		}
+		if rep.CloseBounded > 2*time.Second {
+			return nil, fail("CloseWithin(50ms) took %v against a hung device", rep.CloseBounded)
+		}
+	}
+
+	// Phase 3 — heal and recover. The open timeout lapses, probes close
+	// the circuit, and the shard walks back to Healthy.
+	heal()
+	wait := chaosOpenTimeout + 20*time.Millisecond
+	if cfg.Scenario == ChaosStuckWrite {
+		// Abandoned writes are still sleeping out the injected spike while
+		// holding their per-page stripe locks; let them land (they carry
+		// older content, ordered before any fresh write by the stripe)
+		// before shutdown writes queue behind them under a tight deadline.
+		wait += 10 * chaosWriteDeadline
+	}
+	time.Sleep(wait)
+	if cfg.Scenario == ChaosRecovery {
+		deadline := time.Now().Add(5 * time.Second)
+		for sick.breaker.State() != storage.BreakerClosed {
+			if time.Now().After(deadline) {
+				return nil, fail("breaker never re-closed after healing (state %v)", sick.breaker.State())
+			}
+			if ref, err := pool.Get(ses, cold(0, int(time.Now().UnixNano())%4)); err == nil {
+				ref.Release()
+			}
+		}
+		if h := observe(); h != buffer.Healthy {
+			return nil, fail("sick shard health=%v after breaker re-closed, want Healthy", h)
+		}
+		// Shedding must stop once healthy.
+		shedAt := pool.Stats().Shed
+		for i := 0; i < perShard-cfg.HotSet; i++ {
+			ref, err := pool.Get(ses, cold(0, i))
+			if err != nil {
+				return nil, fail("post-recovery miss failed: %v", err)
+			}
+			ref.Release()
+		}
+		if d := pool.Stats().Shed - shedAt; d != 0 {
+			return nil, fail("%d misses shed after full recovery", d)
+		}
+	}
+
+	// Phase 4 — the zero-lost-dirty-page oracle: Close drains everything
+	// (frames and quarantine) and the raw device must hold the last
+	// version written to every page, fault campaign notwithstanding.
+	if err := pool.Close(); err != nil {
+		return nil, fail("Close after healing: %v", err)
+	}
+	for id, v := range versions {
+		var pg page.Page
+		if err := mem.ReadPage(id, &pg); err != nil {
+			return nil, fail("post-close read of %v: %v", id, err)
+		}
+		if !pg.VerifyStamp(stampID(int(id.Block()), v)) {
+			return nil, fail("page %v: device does not hold last written version %d — dirty page lost", id, v)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,85 @@
+package torture
+
+import (
+	"testing"
+
+	"bpwrapper/internal/buffer"
+)
+
+// runChaos is the shared driver: run the scenario, fail with the full
+// report (which carries the seed and flight dump) on any oracle
+// violation.
+func runChaos(t *testing.T, sc ChaosScenario) *ChaosReport {
+	t.Helper()
+	rep, err := RunChaos(ChaosConfig{Scenario: sc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestChaosBrownout: latency above the SLO — with zero errors — must trip
+// the breaker and degrade the shard.
+func TestChaosBrownout(t *testing.T) {
+	rep := runChaos(t, ChaosBrownout)
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("no breaker trip on sustained SLO violation: %+v", rep)
+	}
+	if rep.PeakHealth == buffer.Healthy {
+		t.Fatalf("shard never degraded under brownout: %+v", rep)
+	}
+	if rep.ResidentReads == 0 || rep.HealthyMisses == 0 {
+		t.Fatalf("degraded-window service assertions never ran: %+v", rep)
+	}
+}
+
+// TestChaosHardDown: a fully dead device must open the breaker, shed the
+// shard's misses fast, and leave resident pages (all shards) serving.
+func TestChaosHardDown(t *testing.T) {
+	rep := runChaos(t, ChaosHardDown)
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("no breaker trip on 100%% error rate: %+v", rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no miss was shed while the shard was down: %+v", rep)
+	}
+	if rep.PeakHealth != buffer.ReadOnly {
+		t.Fatalf("peak health %v, want ReadOnly with the breaker open: %+v", rep.PeakHealth, rep)
+	}
+}
+
+// TestChaosStuckWrite: writes that hang past their deadline must be
+// abandoned (not waited out), park dirty data losslessly, and keep
+// shutdown promptly bounded.
+func TestChaosStuckWrite(t *testing.T) {
+	rep := runChaos(t, ChaosStuckWrite)
+	if rep.DeadlineTimeouts == 0 {
+		t.Fatalf("no write abandoned at its deadline: %+v", rep)
+	}
+	if rep.CloseBounded <= 0 {
+		t.Fatalf("bounded-close phase never ran: %+v", rep)
+	}
+}
+
+// TestChaosRecovery: after the fault lifts, half-open probes must re-close
+// the circuit and the shard must return to Healthy with shedding stopped
+// (asserted inside RunChaos).
+func TestChaosRecovery(t *testing.T) {
+	rep := runChaos(t, ChaosRecovery)
+	if rep.BreakerTrips == 0 || rep.Shed == 0 {
+		t.Fatalf("recovery scenario never saw the outage: %+v", rep)
+	}
+}
+
+// TestChaosSeeds sweeps a few seeds through the sharpest scenario so the
+// assertions do not hinge on one lucky interleaving.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed chaos sweep in -short mode")
+	}
+	for seed := int64(2); seed < 6; seed++ {
+		if _, err := RunChaos(ChaosConfig{Scenario: ChaosHardDown, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

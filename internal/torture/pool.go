@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -39,6 +40,7 @@ type PoolRunReport struct {
 	Reads, Writes  int64 // successful worker operations
 	ReadErrors     int64 // tolerated (retry-exhausted) Get failures
 	WriteErrors    int64
+	Shed           int64 // misses refused by admission control (ErrOverloaded)
 	Flushes        int64
 	Invariantified int // quiescent CheckInvariants passes
 }
@@ -223,6 +225,12 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 				v1 := versions[b].Load()
 				ref, err := pool.Get(s, poolPage(b))
 				if err != nil {
+					if cfg.Faults && errors.Is(err, buffer.ErrOverloaded) {
+						// A degraded shard shed the miss: the load-shedding
+						// contract working as designed under fault pressure.
+						atomic.AddInt64(&rep.Shed, 1)
+						continue
+					}
 					if cfg.Faults && storage.Retryable(err) {
 						atomic.AddInt64(&rep.ReadErrors, 1)
 						continue
@@ -255,6 +263,10 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 				next := int(versions[b].Load()) + 1
 				ref, err := pool.GetWrite(s, poolPage(b))
 				if err != nil {
+					if cfg.Faults && errors.Is(err, buffer.ErrOverloaded) {
+						atomic.AddInt64(&rep.Shed, 1)
+						continue
+					}
 					if cfg.Faults && storage.Retryable(err) {
 						atomic.AddInt64(&rep.WriteErrors, 1)
 						continue
