@@ -46,6 +46,13 @@
 // per-shard breaker/deadline/admission machinery on a deterministic tick
 // clock, and reports each campaign's event ledger (committed as
 // results/BENCH_chaos.json via scripts/bench_chaos.sh).
+//
+// The hitpath experiment (E17) A/Bs the lock-free resident-read path
+// (seqlock bucket probe + pin CAS, DESIGN.md §12) against the locked
+// lookup path: a deterministic single-goroutine counter sweep proving the
+// optimistic path serves 100%-resident reads with zero lock acquisitions
+// (committed as results/BENCH_hitpath.json via scripts/bench_hitpath.sh),
+// plus, with -mode real, a goroutine-scaling sweep up to -procs workers.
 package main
 
 import (
@@ -63,7 +70,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
@@ -242,6 +249,17 @@ func main() {
 				check(bench.CSVShard(os.Stdout, rep))
 			default:
 				bench.PrintShard(os.Stdout, rep)
+			}
+		case "hitpath":
+			rep, err := bench.HitpathExperiment(*procs, opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONHitpath(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVHitpath(os.Stdout, rep))
+			default:
+				bench.PrintHitpath(os.Stdout, rep)
 			}
 		case "chaos":
 			rep, err := bench.ChaosExperiment(opts)

@@ -120,8 +120,8 @@ func render(t, prev tree, dt time.Duration) {
 	if prev == nil {
 		rateHdr = "accesses"
 	}
-	fmt.Printf("%-5s  %10s  %6s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
-		"shard", rateHdr, "hit%", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
+	fmt.Printf("%-5s  %10s  %6s  %6s  %7s  %7s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
+		"shard", rateHdr, "hit%", "fast%", "retries", "fallbk", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
 	for _, sh := range shards {
 		accesses := t.shardVal("bpw_accesses_total", sh)
 		rate := accesses
@@ -134,10 +134,20 @@ func render(t, prev tree, dt time.Duration) {
 		if hits+misses > 0 {
 			hitPct = 100 * hits / (hits + misses)
 		}
+		// Hit-path anatomy: share of hits served with zero locks, plus
+		// the torn-probe retries and locked fallbacks (retry storms show
+		// up here first).
+		fast := t.shardVal("bpw_hitpath_fast_total", sh)
+		fastPct := 0.0
+		if hits > 0 {
+			fastPct = 100 * fast / hits
+		}
 		batch := t.shardDist("bpw_batch_size", sh)
 		comb := t.shardDist("bpw_combine_run_length", sh)
-		fmt.Printf("%-5s  %10.0f  %5.1f%%  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
-			sh, rate, hitPct,
+		fmt.Printf("%-5s  %10.0f  %5.1f%%  %5.1f%%  %7.0f  %7.0f  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
+			sh, rate, hitPct, fastPct,
+			t.shardVal("bpw_hitpath_retries_total", sh),
+			t.shardVal("bpw_hitpath_fallbacks_total", sh),
 			t.shardVal("bpw_lock_acquisitions_total", sh),
 			t.shardVal("bpw_lock_contentions_total", sh),
 			t.shardVal("bpw_lock_try_failures_total", sh),

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHitpathCounters runs the deterministic E17 sweep and checks the
+// acceptance shape directly: the optimistic path serves every hit with
+// zero lock acquisitions, the locked path pays a bucket lock per access
+// (at least), and both arms see the identical fully-resident workload.
+func TestHitpathCounters(t *testing.T) {
+	rep, err := HitpathExperiment(1, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ScaleRows) != 0 {
+		t.Fatalf("sim mode produced %d scale rows, want none", len(rep.ScaleRows))
+	}
+	if len(rep.CounterRows) != 4 {
+		t.Fatalf("got %d counter rows, want 4", len(rep.CounterRows))
+	}
+	for _, r := range rep.CounterRows {
+		if r.Accesses != hitpathAccesses || r.Hits != hitpathAccesses {
+			t.Errorf("%s/shards=%d: accesses=%d hits=%d, want %d fully-resident hits",
+				r.Path, r.Shards, r.Accesses, r.Hits, hitpathAccesses)
+		}
+		switch r.Path {
+		case "optimistic":
+			if r.Fast != r.Hits {
+				t.Errorf("optimistic/shards=%d: fast=%d != hits=%d", r.Shards, r.Fast, r.Hits)
+			}
+			if r.BucketLockAcqs != 0 || r.FrameLockAcqs != 0 {
+				t.Errorf("optimistic/shards=%d: lock acquisitions bucket=%d frame=%d, want 0/0",
+					r.Shards, r.BucketLockAcqs, r.FrameLockAcqs)
+			}
+			if r.Retries != 0 || r.Fallbacks != 0 {
+				t.Errorf("optimistic/shards=%d single-threaded: retries=%d fallbacks=%d, want 0/0",
+					r.Shards, r.Retries, r.Fallbacks)
+			}
+		case "locked":
+			if r.Fast != 0 {
+				t.Errorf("locked/shards=%d: fast=%d, want 0", r.Shards, r.Fast)
+			}
+			if r.BucketLockAcqs < r.Accesses {
+				t.Errorf("locked/shards=%d: bucket locks %d < accesses %d",
+					r.Shards, r.BucketLockAcqs, r.Accesses)
+			}
+		}
+	}
+
+	// The committed document is byte-stable: a second run must be equal.
+	again, err := HitpathExperiment(1, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := JSONHitpath(&a, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := JSONHitpath(&b, again); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("hitpath counter sweep not deterministic across runs")
+	}
+
+	var decoded HitpathReport
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("baseline JSON does not round-trip: %v", err)
+	}
+	var txt, csv bytes.Buffer
+	PrintHitpath(&txt, rep)
+	if !strings.Contains(txt.String(), "Lock-free hit path (E17)") {
+		t.Fatalf("PrintHitpath missing header:\n%s", txt.String())
+	}
+	if err := CSVHitpath(&csv, rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 1+len(rep.CounterRows) {
+		t.Fatalf("CSV row count %d, want %d", got, 1+len(rep.CounterRows))
+	}
+}

@@ -86,6 +86,15 @@ func (p *Pool) collect(emit func(obs.Metric)) {
 		a := sh.counters.Snapshot()
 		c("bpw_hits_total", "buffer hits", l, float64(a.Hits))
 		c("bpw_misses_total", "buffer misses", l, float64(a.Misses))
+
+		// Hit-path anatomy (DESIGN.md §12): a retry storm or a rising
+		// fallback rate means the optimistic seqlock path is degrading
+		// into the locked path, visible live here and in bpstat.
+		c("bpw_hitpath_fast_total", "hits served with zero mutex acquisitions", l, float64(sh.hp.fast.Load()))
+		c("bpw_hitpath_retries_total", "optimistic probes retried after a torn seqlock read", l, float64(sh.hp.retries.Load()))
+		c("bpw_hitpath_fallbacks_total", "lookups that fell back to the bucket mutex", l, float64(sh.hp.fallbacks.Load()))
+		c("bpw_bucket_lock_acquisitions_total", "bucket-mutex acquisitions on access paths", l, float64(sh.hp.bucketLocks.Load()))
+		c("bpw_frame_lock_acquisitions_total", "frame write-mutex acquisitions", l, float64(sh.hp.frameLocks.Load()))
 		g("bpw_frames", "page slots owned by the shard", l, float64(len(sh.frames)))
 		sh.freeMu.Lock()
 		free := len(sh.freeList)

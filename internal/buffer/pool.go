@@ -100,6 +100,13 @@ type Config struct {
 	// in-flight write-backs.
 	QuarantineCap int
 
+	// LockedHitPath forces every table lookup through the bucket mutex,
+	// disabling the optimistic seqlock hit path. The default (false) is
+	// the production configuration; the locked path exists for A/B
+	// measurement (E17) and for the torture differential that checks the
+	// two paths are oracle-identical.
+	LockedHitPath bool
+
 	// RecorderSize enables the per-shard flight recorder: each shard gets
 	// its own lock-free ring of the most recent RecorderSize commit-path
 	// events (commits, TryLock failures, forced locks, publishes, combines,
@@ -126,12 +133,59 @@ type Pool struct {
 // (each shard has its own wrapper, and a batching queue belongs to exactly
 // one wrapper). Sessions must not be shared between goroutines.
 type Session struct {
+	pool *Pool
 	subs []*core.Session
+
+	// stage holds per-shard hit counts not yet folded into the shard's
+	// shared counters: the zero-lock hit path must not write a shared
+	// cacheline per access, so hits accumulate here (session-local, no
+	// contention) and fold in batches of hitFoldInterval, on any miss to
+	// the shard, and on Flush. Pool.AccessStats is therefore exact only
+	// after the sessions flush.
+	stage []hitStage
 }
 
-// Flush commits every shard queue's batched accesses to its policy.
+// hitStage is one shard's staged hit counts within a Session.
+type hitStage struct {
+	hits int64 // hits not yet folded into shard counters
+	fast int64 // of those, hits served with zero mutex acquisitions
+}
+
+// hitFoldInterval bounds how many hits a session stages per shard before
+// folding them into the shard counters, so live Stats lag by at most this
+// much per session.
+const hitFoldInterval = 1024
+
+// stageHit records one hit against shard idx in session-local memory.
+func (s *Session) stageHit(idx int, fast bool) {
+	st := &s.stage[idx]
+	st.hits++
+	if fast {
+		st.fast++
+	}
+	if st.hits >= hitFoldInterval {
+		s.foldHits(idx)
+	}
+}
+
+// foldHits flushes the staged hit counts of shard idx into its shared
+// counters.
+func (s *Session) foldHits(idx int) {
+	st := &s.stage[idx]
+	if st.hits == 0 {
+		return
+	}
+	sh := &s.pool.shards[idx]
+	sh.counters.AddHits(st.hits)
+	sh.hp.fast.Add(st.fast)
+	st.hits, st.fast = 0, 0
+}
+
+// Flush commits every shard queue's batched accesses to its policy and
+// folds the session's staged hit counts into the shard counters.
 func (s *Session) Flush() {
-	for _, sub := range s.subs {
+	for i, sub := range s.subs {
+		s.foldHits(i)
 		sub.Flush()
 	}
 }
@@ -215,7 +269,7 @@ func New(cfg Config) *Pool {
 				panic("buffer: WrapShardDevice returned nil")
 			}
 		}
-		p.shards[i].init(n, pol, wcfg, dev, shardQuar)
+		p.shards[i].init(n, pol, wcfg, dev, shardQuar, cfg.LockedHitPath)
 		p.shards[i].wireHealth(cfg.Health)
 	}
 	return p
@@ -245,7 +299,11 @@ func (p *Pool) shardIndexFor(id page.PageID) int {
 // NewSession returns a per-backend access session spanning all shards.
 // Sessions must not be shared between goroutines.
 func (p *Pool) NewSession() *Session {
-	s := &Session{subs: make([]*core.Session, len(p.shards))}
+	s := &Session{
+		pool:  p,
+		subs:  make([]*core.Session, len(p.shards)),
+		stage: make([]hitStage, len(p.shards)),
+	}
 	for i := range p.shards {
 		s.subs[i] = p.shards[i].wrapper.NewSession()
 	}
@@ -289,7 +347,10 @@ func (p *Pool) WrapperStats() core.Stats {
 // as one consistent snapshot: within each shard hits are read before
 // misses (matching the increment order hit-then-miss is impossible — a
 // counted access increments exactly one of them), so the derived ratio
-// never observes a torn pair.
+// never observes a torn pair. Sessions stage hits locally and fold them in
+// batches (see Session), so the figures are exact only once the sessions
+// have called Flush; mid-run they can lag by up to hitFoldInterval hits
+// per live session.
 func (p *Pool) AccessStats() metrics.AccessSnapshot {
 	var a metrics.AccessSnapshot
 	for i := range p.shards {
@@ -309,7 +370,7 @@ func (p *Pool) Get(s *Session, id page.PageID) (*PageRef, error) {
 		return nil, storage.ErrInvalidPage
 	}
 	idx := p.shardIndexFor(id)
-	return p.shards[idx].get(s.subs[idx], id, false)
+	return p.shards[idx].get(s, idx, id, false)
 }
 
 // GetWrite pins page id for writing: the returned reference holds the
@@ -319,7 +380,7 @@ func (p *Pool) GetWrite(s *Session, id page.PageID) (*PageRef, error) {
 		return nil, storage.ErrInvalidPage
 	}
 	idx := p.shardIndexFor(id)
-	return p.shards[idx].get(s.subs[idx], id, true)
+	return p.shards[idx].get(s, idx, id, true)
 }
 
 // Invalidate drops page id from the pool (e.g. its table was truncated),
@@ -465,11 +526,14 @@ func (p *Pool) Prewarm(ids []page.PageID) error {
 	return nil
 }
 
-// ResetStats zeroes every shard's access counters and wrapper lock and
-// batching statistics; used between warm-up and measurement phases.
+// ResetStats zeroes every shard's access counters, hit-path counters, and
+// wrapper lock and batching statistics; used between warm-up and
+// measurement phases. Like counters.Reset it is quiescent-only — sessions
+// must have flushed their staged hits first.
 func (p *Pool) ResetStats() {
 	for i := range p.shards {
 		p.shards[i].counters.Reset()
+		p.shards[i].hp.reset()
 		p.shards[i].wrapper.ResetStats()
 	}
 }
@@ -484,6 +548,20 @@ type ShardStats struct {
 	Hits              int64 // buffer hits since the last reset
 	Misses            int64 // buffer misses since the last reset
 	WriteBackFailures int64 // failed write-back attempts
+
+	// Hit-path anatomy (see DESIGN.md §12): how resident lookups were
+	// served. HitpathFast counts hits that touched no mutex at all;
+	// HitpathRetries counts torn optimistic probes that retried;
+	// HitpathFallbacks counts lookups that gave up on the seqlock and took
+	// the bucket mutex. BucketLockAcqs and FrameLockAcqs count every
+	// bucket-mutex / frame-wmu acquisition on the access paths — the E17
+	// acceptance figure ("≈ 0 bucket/frame lock acquisitions under a 100%
+	// resident read workload") reads straight off them.
+	HitpathFast      int64
+	HitpathRetries   int64
+	HitpathFallbacks int64
+	BucketLockAcqs   int64
+	FrameLockAcqs    int64
 
 	Health             HealthState // degradation state at snapshot time
 	Shed               int64       // misses refused with ErrOverloaded
@@ -519,6 +597,14 @@ type Stats struct {
 	Quarantined       int
 	WriteBackFailures int64
 
+	// Hit-path anatomy, summed over shards (per-shard breakdown in
+	// PerShard; field meanings on ShardStats).
+	HitpathFast      int64
+	HitpathRetries   int64
+	HitpathFallbacks int64
+	BucketLockAcqs   int64
+	FrameLockAcqs    int64
+
 	// Shed counts misses refused with ErrOverloaded by degraded or
 	// read-only shards; Health is the worst shard health at snapshot
 	// time (Healthy unless some shard is degraded).
@@ -533,8 +619,8 @@ type Stats struct {
 }
 
 // Stats returns an operational snapshot. It takes each shard's policy lock
-// briefly (for the resident count) and each frame's mutex (for the dirty
-// count); intended for monitoring, not hot paths. All pool-level counters
+// briefly (for the resident count) and scans each frame's state word (for
+// the dirty count); intended for monitoring, not hot paths. All pool-level counters
 // are folded from the per-shard snapshots by one aggregation pass, so the
 // totals and PerShard always agree and HitRatio derives from the same
 // hits/misses pair the snapshot reports.
@@ -559,6 +645,11 @@ func (p *Pool) Stats() Stats {
 			Health:             sh.evalHealth(),
 			Shed:               sh.shed.Load(),
 			QuarantineRefusals: sh.quarRefusals.Load(),
+			HitpathFast:        sh.hp.fast.Load(),
+			HitpathRetries:     sh.hp.retries.Load(),
+			HitpathFallbacks:   sh.hp.fallbacks.Load(),
+			BucketLockAcqs:     sh.hp.bucketLocks.Load(),
+			FrameLockAcqs:      sh.hp.frameLocks.Load(),
 		}
 		if sh.breaker != nil {
 			bst := sh.breaker.BreakerStats()
@@ -582,6 +673,11 @@ func (p *Pool) Stats() Stats {
 		s.Quarantined += ss.Quarantined
 		s.WriteBackFailures += ss.WriteBackFailures
 		s.Shed += ss.Shed
+		s.HitpathFast += ss.HitpathFast
+		s.HitpathRetries += ss.HitpathRetries
+		s.HitpathFallbacks += ss.HitpathFallbacks
+		s.BucketLockAcqs += ss.BucketLockAcqs
+		s.FrameLockAcqs += ss.FrameLockAcqs
 		if ss.Health > s.Health {
 			s.Health = ss.Health
 		}

@@ -44,6 +44,9 @@ func TestGetLoadsAndHits(t *testing.T) {
 	}
 	ref.Release()
 
+	// Hits are staged session-locally; Flush folds them into the shard
+	// counters before the exact-count assertion.
+	s.Flush()
 	if h, m := p.AccessStats().Hits, p.AccessStats().Misses; h != 1 || m != 1 {
 		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
 	}

@@ -30,12 +30,24 @@ import (
 // dirty eviction, per-page write-back ordering, quarantine capping) hold
 // per shard unchanged. With Shards: 1 the single shard IS the old
 // monolithic pool, bit for bit.
+//
+// Since the lock-free hit-path rewrite (DESIGN.md §12), a resident-page
+// read acquires no mutex at all: the table lookup is a seqlock-validated
+// probe of open-addressed bucket slots, and the pin is one CAS on the
+// frame's packed state word. The bucket mutex is writer-only (miss
+// install, eviction, invalidation), and the per-frame wmu is taken only
+// by GetWrite.
 type shard struct {
 	frames  []Frame
 	buckets []bucket
 	mask    uint64
 	wrapper *core.Wrapper
 	device  storage.Device
+
+	// lockedHitPath forces every lookup through the bucket mutex (the
+	// pre-rewrite behavior), for A/B benchmarking (E17) and the torture
+	// differential that proves the optimistic path oracle-identical.
+	lockedHitPath bool
 
 	freeMu   sync.Mutex
 	freeList []*Frame
@@ -68,6 +80,12 @@ type shard struct {
 
 	counters metrics.AccessCounters
 
+	// hp counts hit-path outcomes: fast (zero-lock) hits, torn-read
+	// retries, locked fallbacks, and every bucket/frame mutex acquisition
+	// on the access paths — the numbers E17 and the bpw_hitpath_* series
+	// are built from.
+	hp hitpathCounters
+
 	// events is the shard's flight recorder (nil when disabled). The same
 	// ring the shard's wrapper traces its commit protocol into also receives
 	// the buffer-layer events — eviction, quarantine park/flush — so a dump
@@ -75,15 +93,155 @@ type shard struct {
 	events *obs.Recorder
 }
 
+// hitpathCounters tracks how resident-page lookups were served. fast is
+// folded in from per-session staging (see Session.stageHit); the slow-path
+// counters are bumped directly — they are rare by construction, so their
+// cacheline traffic is irrelevant.
+type hitpathCounters struct {
+	fast        atomic.Int64 // hits served with zero mutex acquisitions
+	retries     atomic.Int64 // optimistic probes retried after a torn read
+	fallbacks   atomic.Int64 // lookups that gave up and took the bucket mutex
+	bucketLocks atomic.Int64 // bucket mutex acquisitions (all access paths)
+	frameLocks  atomic.Int64 // frame wmu acquisitions (writer paths)
+}
+
+func (hp *hitpathCounters) reset() {
+	hp.fast.Store(0)
+	hp.retries.Store(0)
+	hp.fallbacks.Store(0)
+	hp.bucketLocks.Store(0)
+	hp.frameLocks.Store(0)
+}
+
 // wbStripes is the number of per-page write-back serialization stripes.
 const wbStripes = 64
 
-// bucket is one hash-table partition: a small map guarded by its own
-// RWMutex, plus the in-flight load registry used to single-flight misses.
+// bucketSlots is the open-addressed capacity of one bucket. The table is
+// sized at four buckets per frame, so the expected occupancy is 0.25
+// entries per bucket and the overflow map is essentially never used.
+const bucketSlots = 8
+
+// maxOptimisticRetries bounds how often a torn optimistic probe is retried
+// before the lookup falls back to the bucket mutex.
+const maxOptimisticRetries = 4
+
+// bucket is one hash-table partition, readable without locks: a seqlock
+// (the same even/odd protocol as the obs recorder) over a small
+// open-addressed array of page-id → frame slots. Readers snapshot seq,
+// probe the slots with atomic loads, and re-validate seq; an odd or
+// changed seq means a writer was mutating and the probe result is torn.
+// Writers — miss install, eviction, invalidation — mutate only under mu,
+// bumping seq to odd before the first store and back to even after the
+// last, so mu is writer-only and never appears on the hit path.
+//
+// The rare overflow beyond bucketSlots spills into a map that readers
+// cannot probe lock-free; overflowN is read inside the seq window so an
+// optimistic probe knows to fall back to the mutex rather than report a
+// (false) definitive miss. The struct is padded to a multiple of the
+// cache-line size so writers on one bucket never invalidate a neighbor
+// bucket's slots under a reader.
 type bucket struct {
-	mu     sync.RWMutex
-	frames map[page.PageID]*Frame
-	loads  map[page.PageID]*loadOp
+	seq       atomic.Uint64
+	ids       [bucketSlots]atomic.Uint64
+	frames    [bucketSlots]atomic.Pointer[Frame]
+	overflowN atomic.Int32
+	_         [4]byte
+
+	mu       sync.Mutex
+	overflow map[page.PageID]*Frame // lazily allocated; guarded by mu
+	loads    map[page.PageID]*loadOp
+	_        [24]byte // pad to 192 bytes: 3 cache lines, no straddling neighbor
+}
+
+// lookupOptimistic probes the bucket without any lock. stable is false
+// when the probe raced a writer (torn seq) or the page might live in the
+// overflow map — in both cases the caller must retry or fall back to the
+// mutex. With stable true, f is the frame caching id, or nil for a
+// definitive miss.
+func (b *bucket) lookupOptimistic(id page.PageID) (f *Frame, stable bool) {
+	s1 := b.seq.Load()
+	if s1&1 != 0 {
+		return nil, false
+	}
+	for i := 0; i < bucketSlots; i++ {
+		if page.PageID(b.ids[i].Load()) == id {
+			f = b.frames[i].Load()
+			break
+		}
+	}
+	ov := b.overflowN.Load()
+	if b.seq.Load() != s1 {
+		return nil, false
+	}
+	if f == nil && ov != 0 {
+		return nil, false
+	}
+	return f, true
+}
+
+// lookupLocked probes the bucket under mu (or at quiescence).
+func (b *bucket) lookupLocked(id page.PageID) *Frame {
+	for i := 0; i < bucketSlots; i++ {
+		if page.PageID(b.ids[i].Load()) == id {
+			return b.frames[i].Load()
+		}
+	}
+	if b.overflow != nil {
+		return b.overflow[id]
+	}
+	return nil
+}
+
+// insertLocked maps id → f. Caller holds mu; the seq bump makes any
+// overlapping optimistic probe retry.
+func (b *bucket) insertLocked(id page.PageID, f *Frame) {
+	b.seq.Add(1)
+	sched.Yield(sched.BufBucketWrite)
+	defer b.seq.Add(1)
+	for i := 0; i < bucketSlots; i++ {
+		if b.ids[i].Load() == 0 {
+			b.frames[i].Store(f)
+			b.ids[i].Store(uint64(id))
+			return
+		}
+	}
+	if b.overflow == nil {
+		b.overflow = make(map[page.PageID]*Frame)
+	}
+	b.overflow[id] = f
+	b.overflowN.Add(1)
+}
+
+// removeLocked unmaps id. Caller holds mu.
+func (b *bucket) removeLocked(id page.PageID) {
+	b.seq.Add(1)
+	sched.Yield(sched.BufBucketWrite)
+	defer b.seq.Add(1)
+	for i := 0; i < bucketSlots; i++ {
+		if page.PageID(b.ids[i].Load()) == id {
+			b.ids[i].Store(0)
+			b.frames[i].Store(nil)
+			return
+		}
+	}
+	if b.overflow != nil {
+		if _, ok := b.overflow[id]; ok {
+			delete(b.overflow, id)
+			b.overflowN.Add(-1)
+		}
+	}
+}
+
+// forEachLocked visits every mapping. Caller holds mu (or is quiescent).
+func (b *bucket) forEachLocked(fn func(page.PageID, *Frame)) {
+	for i := 0; i < bucketSlots; i++ {
+		if id := page.PageID(b.ids[i].Load()); id.Valid() {
+			fn(id, b.frames[i].Load())
+		}
+	}
+	for id, f := range b.overflow {
+		fn(id, f)
+	}
 }
 
 // loadOp coordinates concurrent requests for a page that is being read
@@ -94,7 +252,7 @@ type loadOp struct {
 }
 
 // init sizes and wires one shard for frames page slots.
-func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device storage.Device, quarCap int) {
+func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device storage.Device, quarCap int, lockedHitPath bool) {
 	if pol.Cap() < frames {
 		panic(fmt.Sprintf("buffer: policy capacity %d below shard frame count %d", pol.Cap(), frames))
 	}
@@ -109,14 +267,12 @@ func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device 
 	sh.buckets = make([]bucket, nb)
 	sh.mask = uint64(nb - 1)
 	sh.device = device
+	sh.lockedHitPath = lockedHitPath
 	sh.quarantine = make(map[page.PageID]*page.Page)
 	sh.quarCap = quarCap
-	for i := range sh.buckets {
-		sh.buckets[i].frames = make(map[page.PageID]*Frame)
-		sh.buckets[i].loads = make(map[page.PageID]*loadOp)
-	}
 	sh.freeList = make([]*Frame, frames)
 	for i := range sh.frames {
+		sh.frames[i].initFree()
 		sh.freeList[i] = &sh.frames[i]
 	}
 	wcfg.Validate = sh.validTag
@@ -129,6 +285,13 @@ func (sh *shard) bucketFor(id page.PageID) *bucket {
 	return &sh.buckets[mix64(uint64(id))&sh.mask]
 }
 
+// lockBucket takes a bucket's writer mutex, counting the acquisition so
+// the E17 "zero locks on the hit path" claim is measurable, not asserted.
+func (sh *shard) lockBucket(b *bucket) {
+	b.mu.Lock()
+	sh.hp.bucketLocks.Add(1)
+}
+
 // wbLock returns the write-back serialization stripe for a page id.
 func (sh *shard) wbLock(id page.PageID) *sync.Mutex {
 	return &sh.wbLocks[mix64(uint64(id))%wbStripes]
@@ -137,61 +300,129 @@ func (sh *shard) wbLock(id page.PageID) *sync.Mutex {
 // validTag is installed as the shard wrapper's commit-time validator: a
 // queued access is applied to the policy only if the page is still cached
 // by the same frame generation it was recorded against (Section IV-B).
+// Like the hit path it reads lock-free — an optimistic bucket probe plus a
+// seq-validated tag snapshot — falling back to the bucket mutex only on a
+// torn read, so commits do not reintroduce the lookup locks the hit path
+// shed.
 func (sh *shard) validTag(e core.Entry) bool {
 	b := sh.bucketFor(e.ID)
-	b.mu.RLock()
-	f, ok := b.frames[e.ID]
-	b.mu.RUnlock()
-	if !ok {
+	f := sh.lookupAny(b, e.ID)
+	if f == nil {
 		return false
 	}
-	return f.Tag().Matches(e.Tag)
+	t, ok := f.TagSnapshot()
+	return ok && t.Matches(e.Tag)
 }
 
-func (sh *shard) get(s *core.Session, id page.PageID, writable bool) (*PageRef, error) {
+// lookupAny resolves id to its frame, optimistically when allowed and
+// stable, under the bucket mutex otherwise. Used by the non-hit paths
+// (commit validation, eviction, invalidation) that need a plain answer
+// without the hit path's retry accounting.
+func (sh *shard) lookupAny(b *bucket, id page.PageID) *Frame {
+	if !sh.lockedHitPath {
+		if f, stable := b.lookupOptimistic(id); stable {
+			return f
+		}
+	}
+	sh.lockBucket(b)
+	f := b.lookupLocked(id)
+	b.mu.Unlock()
+	return f
+}
+
+// hitLookup is the Get-path table probe: optimistic with bounded retries,
+// then the mutex. fast reports that the answer came from a zero-lock
+// stable probe.
+func (sh *shard) hitLookup(b *bucket, id page.PageID) (f *Frame, fast bool) {
+	if !sh.lockedHitPath {
+		for attempt := 0; ; attempt++ {
+			f, stable := b.lookupOptimistic(id)
+			if stable {
+				return f, true
+			}
+			if attempt >= maxOptimisticRetries {
+				break
+			}
+			sh.hp.retries.Add(1)
+			sched.Yield(sched.BufHitProbe)
+		}
+		sh.hp.fallbacks.Add(1)
+	}
+	sh.lockBucket(b)
+	f = b.lookupLocked(id)
+	b.mu.Unlock()
+	return f, false
+}
+
+// get serves one page access for session ps (whose core sub-session for
+// this shard is ps.subs[idx]). On a resident read it performs no mutex
+// acquisition and writes no shared cacheline except the pin CAS: seqlock
+// probe → tryPin → done, with the pin CAS itself revalidating the tag
+// generation (DESIGN.md §12). Writable accesses serialize on the frame's
+// wmu and drain readers before returning.
+func (sh *shard) get(ps *Session, idx int, id page.PageID, writable bool) (*PageRef, error) {
+	sub := ps.subs[idx]
+	b := sh.bucketFor(id)
+	spins := 0
 	for {
-		b := sh.bucketFor(id)
-		b.mu.RLock()
-		f := b.frames[id]
-		b.mu.RUnlock()
-		if f != nil {
-			tag, ok := f.tryPin(id)
-			if !ok {
-				// Frame recycled between lookup and pin; retry.
+		f, fast := sh.hitLookup(b, id)
+		if f == nil {
+			ref, retry, err := sh.load(ps, idx, id, writable)
+			if err != nil {
+				return nil, err
+			}
+			if !retry {
+				return ref, nil
+			}
+			continue
+		}
+		if writable {
+			// Writers queue on wmu WITHOUT holding a pin: a pinned waiter
+			// would deadlock the current holder's reader drain. Only after
+			// the mutex is ours do we pin and re-validate that the frame
+			// still caches id.
+			f.wmu.Lock()
+			sh.hp.frameLocks.Add(1)
+			tag, st := f.tryPin(id)
+			if st != pinOK {
+				f.wmu.Unlock()
+				if st == pinBusy {
+					backoff(spins)
+					spins++
+				}
 				continue
 			}
-			sh.counters.Hit()
-			s.Hit(id, tag)
-			return sh.ref(f, id, tag, writable), nil
+			f.lockContent()
+			ps.stageHit(idx, false)
+			sub.Hit(id, tag)
+			return &PageRef{frame: f, id: id, tag: tag, writable: true}, nil
 		}
-		ref, retry, err := sh.load(s, id, writable)
-		if err != nil {
-			return nil, err
-		}
-		if !retry {
-			return ref, nil
+		sched.Yield(sched.BufHitPin)
+		tag, st := f.tryPin(id)
+		switch st {
+		case pinOK:
+			ps.stageHit(idx, fast)
+			sub.Hit(id, tag)
+			return &PageRef{frame: f, id: id, tag: tag}, nil
+		case pinBusy:
+			// A writer holds the frame exclusively; wait it out.
+			backoff(spins)
+			spins++
+		case pinRecycled:
+			// Frame recycled between lookup and pin; retry the lookup.
 		}
 	}
-}
-
-// ref completes a pinned reference by taking the content lock.
-func (sh *shard) ref(f *Frame, id page.PageID, tag page.BufferTag, writable bool) *PageRef {
-	if writable {
-		f.contentMu.Lock()
-	} else {
-		f.contentMu.RLock()
-	}
-	return &PageRef{frame: f, id: id, tag: tag, writable: writable}
 }
 
 // load handles a miss: it single-flights concurrent requests for the same
 // page, obtains a frame (free or evicted), reads the page, and installs the
 // frame in the table. retry is true when the caller lost the race and
 // should restart its lookup.
-func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *PageRef, retry bool, err error) {
+func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref *PageRef, retry bool, err error) {
+	sub := ps.subs[idx]
 	b := sh.bucketFor(id)
-	b.mu.Lock()
-	if _, ok := b.frames[id]; ok {
+	sh.lockBucket(b)
+	if b.lookupLocked(id) != nil {
 		// Installed while we were acquiring the lock.
 		b.mu.Unlock()
 		return nil, true, nil
@@ -205,18 +436,25 @@ func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *Page
 		}
 		return nil, true, nil
 	}
+	if b.loads == nil {
+		b.loads = make(map[page.PageID]*loadOp)
+	}
 	op := &loadOp{done: make(chan struct{})}
 	b.loads[id] = op
 	b.mu.Unlock()
 
 	finish := func(e error) {
 		op.err = e
-		b.mu.Lock()
+		sh.lockBucket(b)
 		delete(b.loads, id)
 		b.mu.Unlock()
 		close(op.done)
 	}
 
+	// Fold this session's staged hits before counting the miss, so the
+	// shard counters never show a miss "ahead of" hits that actually
+	// preceded it.
+	ps.foldHits(idx)
 	sh.counters.Miss()
 	// Admission control: a degraded shard bounds in-flight misses and a
 	// read-only shard sheds them all, before any frame is claimed or
@@ -229,17 +467,17 @@ func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *Page
 		return nil, false, err
 	}
 	defer releaseMiss()
-	f, err := sh.acquireFrame(s, id)
+	f, err := sh.acquireFrame(sub, id)
 	if err != nil {
 		finish(err)
 		return nil, false, err
 	}
-	// The frame is exclusively ours (pinned once, not in any bucket), so
-	// the device read can fill it without the content lock. A quarantined
-	// copy — a dirty page whose eviction write-back has not been confirmed
-	// durable — takes precedence over the device, which may hold a stale
-	// version; adopting it keeps the frame dirty so it is written back
-	// again later.
+	// The frame is exclusively ours — claimed: recycling bit up, gen
+	// bumped, one claim pin — so the device read can fill it with plain
+	// stores. A quarantined copy — a dirty page whose eviction write-back
+	// has not been confirmed durable — takes precedence over the device,
+	// which may hold a stale version; adopting it keeps the frame dirty so
+	// it is written back again later.
 	adopted := false
 	if q := sh.quarantineTake(id); q != nil {
 		f.data = *q
@@ -249,28 +487,32 @@ func (sh *shard) load(s *core.Session, id page.PageID, writable bool) (ref *Page
 		finish(err)
 		return nil, false, err
 	}
-	var tag page.BufferTag
-	f.mu.Lock()
-	f.tag.Page = id
-	f.tag.Gen++
-	f.dirty = adopted
-	tag = f.tag
-	f.mu.Unlock()
+	f.tagPage.Store(uint64(id))
+	if writable {
+		// Take the writer mutex while the frame is still exclusively ours
+		// and install with the wlock bit pre-set: no reader can have
+		// pinned yet, so there is no drain wait — and no deadlock against
+		// a competing writer that finds the frame the instant it is
+		// published.
+		f.wmu.Lock()
+		sh.hp.frameLocks.Add(1)
+	}
+	tag := f.install(adopted, writable)
 
 	sched.Yield(sched.BufLoadInstall)
-	b.mu.Lock()
-	b.frames[id] = f
+	sh.lockBucket(b)
+	b.insertLocked(id, f)
 	b.mu.Unlock()
 
 	// Second phase of the miss protocol: the page has a frame and a table
 	// entry, so it may now become policy-resident. If a concurrent miss
 	// consumed the slot MissBegin freed, Admit evicts again and the spare
 	// victim's frame is recycled onto the free list.
-	if victim, evicted := s.MissAdmit(id); evicted {
+	if victim, evicted := sub.MissAdmit(id); evicted {
 		sh.recycle(victim)
 	}
 	finish(nil)
-	return sh.ref(f, id, tag, writable), false, nil
+	return &PageRef{frame: f, id: id, tag: tag, writable: writable}, false, nil
 }
 
 // recycle reclaims a surplus victim's frame onto the free list, churning
@@ -279,9 +521,7 @@ func (sh *shard) recycle(victim page.PageID) {
 	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
 		if victim.Valid() {
 			if f, ok := sh.reclaim(victim); ok {
-				f.mu.Lock()
-				f.pins = 0
-				f.mu.Unlock()
+				f.toFree()
 				sh.freeMu.Lock()
 				sh.freeList = append(sh.freeList, f)
 				sh.freeMu.Unlock()
@@ -297,13 +537,13 @@ func (sh *shard) recycle(victim page.PageID) {
 	}
 }
 
-// acquireFrame produces an empty, once-pinned frame for page id: from the
+// acquireFrame produces an empty, once-claimed frame for page id: from the
 // free list during warm-up, otherwise by evicting the policy's victim. The
 // access is recorded as a miss through the session (taking the policy lock
 // and committing any batched hits, per Figure 4 of the paper); the page
 // itself is admitted later by MissAdmit, once loaded.
-func (sh *shard) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
-	victim, evicted := s.MissBegin(id, page.BufferTag{})
+func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error) {
+	victim, evicted := sub.MissBegin(id, page.BufferTag{})
 	if !evicted {
 		sh.freeMu.Lock()
 		n := len(sh.freeList)
@@ -317,9 +557,7 @@ func (sh *shard) acquireFrame(s *core.Session, id page.PageID) (*Frame, error) {
 		f := sh.freeList[n-1]
 		sh.freeList = sh.freeList[:n-1]
 		sh.freeMu.Unlock()
-		f.mu.Lock()
-		f.pins = 1
-		f.mu.Unlock()
+		f.claimFree()
 		return f, nil
 	}
 	return sh.reclaimLoop(id, victim)
@@ -396,8 +634,16 @@ func (sh *shard) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
 
 // reclaim tries to take exclusive ownership of the victim's frame: it
 // succeeds only if the frame is unpinned, writing back dirty contents and
-// removing the table entry. On success the frame is returned pinned once
-// with an invalid tag.
+// removing the table entry. On success the frame is returned claimed
+// (recycling, one claim pin, generation bumped) with its old tag still in
+// tagPage — harmless, since the recycling bit makes every tryPin refuse it
+// until install or toFree overwrites the identity.
+//
+// The claim itself is one CAS (tryClaim): it can only succeed against a
+// state with zero pins and no writer, and the generation bump means any
+// reader that probed the table before us and pins after us must fail its
+// pin CAS — the lookup→pin race is settled by the state word alone, no
+// frame mutex (DESIGN.md §12).
 //
 // Dirty victims are evicted losslessly: the page copy is parked in the
 // quarantine *before* the table entry disappears, then written back. While
@@ -410,36 +656,40 @@ func (sh *shard) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
 // another (ideally clean) victim.
 func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 	b := sh.bucketFor(victim)
-	b.mu.RLock()
-	f := b.frames[victim]
-	b.mu.RUnlock()
+	f := sh.lookupAny(b, victim)
 	if f == nil {
 		// Policy said resident but the table has no entry: the page is
-		// mid-load by another backend (its frame is pinned anyway).
+		// mid-load by another backend (its frame is claimed anyway).
 		return nil, false
 	}
-	f.mu.Lock()
-	if f.tag.Page != victim || f.pins > 0 {
-		f.mu.Unlock()
-		return nil, false
+	var s uint64
+	for {
+		s = f.state.Load()
+		if s&(frameRecycling|frameWLock) != 0 || s&framePinMask != 0 {
+			return nil, false
+		}
+		if page.PageID(f.tagPage.Load()) != victim {
+			return nil, false
+		}
+		if s&frameDirty != 0 && sh.quarantineFull() {
+			// No room to guarantee durability for another dirty page; leave
+			// this frame untouched and let the caller try a different victim.
+			sh.quarRefusals.Add(1)
+			return nil, false
+		}
+		if f.tryClaim(s) {
+			break
+		}
+		// Lost a race (a reader pinned, a writer dirtied…); re-evaluate.
 	}
-	needWriteback := f.dirty
-	if needWriteback && sh.quarantineFull() {
-		// No room to guarantee durability for another dirty page; leave
-		// this frame untouched and let the caller try a different victim.
-		sh.quarRefusals.Add(1)
-		f.mu.Unlock()
-		return nil, false
-	}
-	f.pins = 1 // claim
+	needWriteback := s&frameDirty != 0
 	var wb *page.Page
 	if needWriteback {
+		// The claim made the frame exclusively ours: the copy reads
+		// stable bytes.
 		c := f.data
 		wb = &c
-		f.dirty = false
 	}
-	f.tag.Page = page.InvalidPageID
-	f.mu.Unlock()
 
 	var dirtyArg uint64
 	if needWriteback {
@@ -452,8 +702,8 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 		sh.quarantinePut(victim, wb)
 	}
 
-	b.mu.Lock()
-	delete(b.frames, victim)
+	sh.lockBucket(b)
+	b.removeLocked(victim)
 	b.mu.Unlock()
 
 	if needWriteback {
@@ -582,10 +832,7 @@ func (sh *shard) drainQuarantine() (written, failed int, err error) {
 // load. The page was never admitted to the policy (two-phase protocol), so
 // no policy rollback is needed.
 func (sh *shard) abandonFrame(f *Frame) {
-	f.mu.Lock()
-	f.pins = 0
-	f.tag = page.BufferTag{}
-	f.mu.Unlock()
+	f.toFree()
 	sh.freeMu.Lock()
 	sh.freeList = append(sh.freeList, f)
 	sh.freeMu.Unlock()
@@ -610,30 +857,28 @@ func (sh *shard) purgeQuarantine(id page.PageID) {
 // later. It fails with ErrNoUnpinnedBuffers if the page is pinned.
 func (sh *shard) invalidate(id page.PageID) error {
 	b := sh.bucketFor(id)
-	b.mu.RLock()
-	f := b.frames[id]
-	b.mu.RUnlock()
+	f := sh.lookupAny(b, id)
 	if f == nil {
 		sh.purgeQuarantine(id)
 		return nil
 	}
-	f.mu.Lock()
-	if f.tag.Page != id {
-		f.mu.Unlock()
-		sh.purgeQuarantine(id)
-		return nil
+	for {
+		s := f.state.Load()
+		if s&frameRecycling != 0 || page.PageID(f.tagPage.Load()) != id {
+			// Recycled under us: the page is already gone from the table.
+			sh.purgeQuarantine(id)
+			return nil
+		}
+		if s&(framePinMask|frameWLock) != 0 {
+			return ErrNoUnpinnedBuffers
+		}
+		if f.tryClaim(s) {
+			break
+		}
 	}
-	if f.pins > 0 {
-		f.mu.Unlock()
-		return ErrNoUnpinnedBuffers
-	}
-	f.pins = 1
-	f.tag.Page = page.InvalidPageID
-	f.dirty = false
-	f.mu.Unlock()
 
-	b.mu.Lock()
-	delete(b.frames, id)
+	sh.lockBucket(b)
+	b.removeLocked(id)
 	b.mu.Unlock()
 
 	sh.purgeQuarantine(id)
@@ -641,9 +886,7 @@ func (sh *shard) invalidate(id page.PageID) error {
 	sh.wrapper.Locked(func(pol replacer.Policy) {
 		pol.Remove(id)
 	})
-	f.mu.Lock()
-	f.pins = 0
-	f.mu.Unlock()
+	f.toFree()
 	sh.freeMu.Lock()
 	sh.freeList = append(sh.freeList, f)
 	sh.freeMu.Unlock()
@@ -657,16 +900,34 @@ func (sh *shard) invalidate(id page.PageID) error {
 // frame looks clean while its write is still in flight — an eviction in
 // that window would otherwise drop the page with no write-back and no
 // quarantine entry, and a subsequent miss would re-read a stale version
-// from the device. It returns (false, nil) when the frame needs no flush,
-// the quarantine is at capacity (the frame stays dirty for a later
-// round), or the parked copy was adopted/superseded before the write.
+// from the device.
+//
+// Pinning replaces the old frame mutex for copy stability: the flusher
+// CASes a pin onto a zero-pin dirty frame, which excludes eviction (needs
+// pins == 0) and stalls any writer's reader-drain until the copy is taken
+// and the pin dropped. A frame with readers is skipped, preserving the old
+// skip-if-pinned semantics. It returns (false, nil) when the frame needs
+// no flush, the quarantine is at capacity (the frame stays dirty for a
+// later round), or the parked copy was adopted/superseded before the
+// write.
 func (sh *shard) flushFrame(f *Frame) (bool, error) {
-	f.mu.Lock()
-	if !f.dirty || f.pins > 0 || !f.tag.Page.Valid() {
-		f.mu.Unlock()
-		return false, nil
+	var s uint64
+	var id page.PageID
+	for {
+		s = f.state.Load()
+		if s&(frameRecycling|frameWLock) != 0 || s&frameDirty == 0 || s&framePinMask != 0 {
+			return false, nil
+		}
+		id = page.PageID(f.tagPage.Load())
+		if !id.Valid() {
+			return false, nil
+		}
+		if f.state.CompareAndSwap(s, s+1) {
+			// The CAS doubles as validation: any recycle since the loads
+			// above would have bumped the generation and failed it.
+			break
+		}
 	}
-	id := f.tag.Page
 	wb := f.data
 	sh.quarMu.Lock()
 	if len(sh.quarantine) >= sh.quarCap {
@@ -674,14 +935,19 @@ func (sh *shard) flushFrame(f *Frame) (bool, error) {
 		// the frame dirty and let a later round (with the quarantine
 		// drained) retry, so the cap bounds every insertion path.
 		sh.quarMu.Unlock()
-		f.mu.Unlock()
+		f.unpin()
 		sh.quarRefusals.Add(1)
 		return false, nil
 	}
 	sh.quarantine[id] = &wb
 	sh.quarMu.Unlock()
-	f.dirty = false
-	f.mu.Unlock()
+	for {
+		cur := f.state.Load()
+		if f.state.CompareAndSwap(cur, cur&^uint64(frameDirty)) {
+			break
+		}
+	}
+	f.unpin()
 
 	sched.Yield(sched.BufFlushClear)
 	wrote, err := sh.writeQuarantined(id, &wb)
@@ -689,24 +955,24 @@ func (sh *shard) flushFrame(f *Frame) (bool, error) {
 		return wrote, nil
 	}
 	sh.writeBackFailures.Add(1)
-	f.mu.Lock()
-	if f.tag.Page == id {
-		// Frame still resident: retry from the frame. Withdraw our parked
-		// copy (unless superseded) to restore the resident-xor-quarantined
-		// steady state; holding f.mu here makes the withdrawal atomic with
-		// respect to eviction, which cannot proceed until we release it.
-		sh.quarMu.Lock()
-		if sh.quarantine[id] == &wb {
-			delete(sh.quarantine, id)
+	// Re-dirty the frame if it is still this page (same generation), so the
+	// failed bytes are flushed again from the frame later. Setting the bit
+	// BEFORE withdrawing the parked copy means there is no instant where
+	// the frame is clean with no quarantine entry — an eviction in that gap
+	// would silently drop the page. If the re-dirty lands and an eviction
+	// immediately parks its own (byte-identical) copy, our withdrawal
+	// compares pointers and no-ops; if the frame was recycled, the copy
+	// stays quarantined (or was adopted by a re-load) and the bytes remain
+	// safe either way.
+	for {
+		cur := f.state.Load()
+		if stateGen(cur) != stateGen(s) || cur&frameRecycling != 0 {
+			break // recycled while the write was in flight
 		}
-		sh.quarMu.Unlock()
-		f.dirty = true
-		f.mu.Unlock()
-	} else {
-		// Frame recycled while the write was in flight: the copy either
-		// still sits in the quarantine (drained later) or was adopted by a
-		// re-load into a dirty frame. Either way the bytes are safe.
-		f.mu.Unlock()
+		if f.state.CompareAndSwap(cur, cur|frameDirty) {
+			sh.quarantineResolve(id, &wb)
+			break
+		}
 	}
 	return false, fmt.Errorf("page %v: %w", id, err)
 }
@@ -735,31 +1001,27 @@ func (sh *shard) flushDirty() (int, error) {
 	return n, errors.Join(errs...)
 }
 
-// dirtyCount reports the number of dirty frames in the shard right now.
+// dirtyCount reports the number of dirty resident frames in the shard
+// right now.
 func (sh *shard) dirtyCount() int {
 	n := 0
 	for i := range sh.frames {
-		f := &sh.frames[i]
-		f.mu.Lock()
-		if f.dirty && f.tag.Page != page.InvalidPageID {
+		s := sh.frames[i].state.Load()
+		if s&frameDirty != 0 && s&frameRecycling == 0 {
 			n++
 		}
-		f.mu.Unlock()
 	}
 	return n
 }
 
 // pinnedFrames reports the number of frames currently holding at least one
-// pin.
+// pin (including transition claim pins).
 func (sh *shard) pinnedFrames() int {
 	n := 0
 	for i := range sh.frames {
-		f := &sh.frames[i]
-		f.mu.Lock()
-		if f.pins > 0 {
+		if sh.frames[i].state.Load()&framePinMask != 0 {
 			n++
 		}
-		f.mu.Unlock()
 	}
 	return n
 }
@@ -773,12 +1035,16 @@ func (sh *shard) checkInvariants(owns func(page.PageID) bool) error {
 	mapped := make(map[page.PageID]*Frame, len(sh.frames))
 	for i := range sh.buckets {
 		b := &sh.buckets[i]
-		b.mu.RLock()
-		for id, f := range b.frames {
-			mapped[id] = f
+		b.mu.Lock()
+		if b.seq.Load()&1 != 0 {
+			b.mu.Unlock()
+			return errors.New("buffer: bucket seqlock left odd (writer died mid-update)")
 		}
+		b.forEachLocked(func(id page.PageID, f *Frame) {
+			mapped[id] = f
+		})
 		nLoads := len(b.loads)
-		b.mu.RUnlock()
+		b.mu.Unlock()
 		if nLoads != 0 {
 			return fmt.Errorf("buffer: %d loads in flight during invariant check (caller not quiescent)", nLoads)
 		}
@@ -788,21 +1054,23 @@ func (sh *shard) checkInvariants(owns func(page.PageID) bool) error {
 		if !owns(id) {
 			return fmt.Errorf("buffer: page %v resident in a shard that does not own it", id)
 		}
+		if f == nil {
+			return fmt.Errorf("buffer: table entry %v maps to no frame", id)
+		}
 		if prev, dup := byFrame[f]; dup {
 			return fmt.Errorf("buffer: frame mapped twice, as %v and %v", prev, id)
 		}
 		byFrame[f] = id
-		f.mu.Lock()
-		tag, pins := f.tag, f.pins
-		f.mu.Unlock()
-		if tag.Page != id {
-			return fmt.Errorf("buffer: table entry %v points at frame caching %v", id, tag.Page)
+		s := f.state.Load()
+		if s&frameRecycling != 0 {
+			return fmt.Errorf("buffer: page %v mapped to a recycling frame", id)
 		}
-		if pins < 0 {
-			return fmt.Errorf("buffer: page %v: negative pin count %d", id, pins)
+		if got := page.PageID(f.tagPage.Load()); got != id {
+			return fmt.Errorf("buffer: table entry %v points at frame caching %v", id, got)
 		}
 	}
-	// Free-list integrity: unpinned, untagged, unmapped, no duplicates.
+	// Free-list integrity: recycling, unpinned, untagged, unmapped, no
+	// duplicates.
 	sh.freeMu.Lock()
 	free := append([]*Frame(nil), sh.freeList...)
 	sh.freeMu.Unlock()
@@ -815,13 +1083,14 @@ func (sh *shard) checkInvariants(owns func(page.PageID) bool) error {
 		if id, ok := byFrame[f]; ok {
 			return fmt.Errorf("buffer: frame on free list while mapped as %v", id)
 		}
-		f.mu.Lock()
-		tag, pins := f.tag, f.pins
-		f.mu.Unlock()
-		if tag.Page.Valid() {
-			return fmt.Errorf("buffer: free frame still tagged %v", tag.Page)
+		s := f.state.Load()
+		if id := page.PageID(f.tagPage.Load()); id.Valid() {
+			return fmt.Errorf("buffer: free frame still tagged %v", id)
 		}
-		if pins != 0 {
+		if s&frameRecycling == 0 {
+			return errors.New("buffer: free frame not in recycling state")
+		}
+		if pins := s & framePinMask; pins != 0 {
 			return fmt.Errorf("buffer: free frame has %d pins", pins)
 		}
 	}

@@ -26,6 +26,19 @@ func (c *AccessCounters) Hit() {
 	c.hits.Add(1)
 }
 
+// AddHits records n buffer hits at once. The sharded pool's sessions stage
+// hits in session-local memory and fold them in batches, so the hot path
+// does not write this shared cacheline per access.
+func (c *AccessCounters) AddHits(n int64) {
+	if n == 0 {
+		return
+	}
+	if tortureChecks && c.resetting.Load() != 0 {
+		panic("metrics: AccessCounters.AddHits raced Reset — Reset is quiescent-only")
+	}
+	c.hits.Add(n)
+}
+
 // Miss records one buffer miss.
 func (c *AccessCounters) Miss() {
 	if tortureChecks && c.resetting.Load() != 0 {

@@ -52,6 +52,15 @@ const (
 	// BufFlushClear: flushFrame has parked its copy and is about to clear
 	// the dirty bit.
 	BufFlushClear
+	// BufHitProbe: an optimistic bucket probe observed a torn seqlock read
+	// and is about to retry.
+	BufHitProbe
+	// BufHitPin: a hit-path lookup resolved a frame and is about to CAS a
+	// pin onto its state word.
+	BufHitPin
+	// BufBucketWrite: a bucket writer has bumped the seqlock to odd and is
+	// about to mutate the slot array.
+	BufBucketWrite
 
 	// NumPoints is the number of instrumented sites.
 	NumPoints

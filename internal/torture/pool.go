@@ -11,6 +11,7 @@ import (
 	"bpwrapper/internal/buffer"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/sched"
 	"bpwrapper/internal/storage"
 )
 
@@ -28,6 +29,18 @@ type PoolRunConfig struct {
 	Shards   int    // hash partitions of the pool; 0 or 1 is the monolithic pool
 	Faults   bool   // inject transient read/write failures and corruption
 	BGWriter bool   // run a background writer during the bursts
+
+	// LockedHitPath forces every pool lookup through the bucket mutex
+	// instead of the optimistic seqlock path; the hit-path differential
+	// runs the same seed both ways and compares reports.
+	LockedHitPath bool
+
+	// YieldFrac, when positive, installs the seeded yield injector for the
+	// duration of the run, perturbing every sched point — including the
+	// optimistic-retry labels (BufHitProbe, BufHitPin, BufBucketWrite).
+	// The hook is process-wide: runs with YieldFrac set must not execute
+	// concurrently with other hook users.
+	YieldFrac float64
 
 	// RecorderSize sizes the per-shard flight recorder whose dump is
 	// appended to every oracle failure. Zero means 512 events per shard;
@@ -158,11 +171,12 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 	}
 	wcfg := configFor(cfg.Path, 16)
 	bcfg := buffer.Config{
-		Frames:       cfg.Frames,
-		Shards:       cfg.Shards,
-		Wrapper:      wcfg,
-		Device:       dev,
-		RecorderSize: cfg.RecorderSize,
+		Frames:        cfg.Frames,
+		Shards:        cfg.Shards,
+		Wrapper:       wcfg,
+		Device:        dev,
+		RecorderSize:  cfg.RecorderSize,
+		LockedHitPath: cfg.LockedHitPath,
 	}
 	if cfg.Shards > 1 {
 		bcfg.PolicyFactory = factory
@@ -173,6 +187,11 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		bcfg.Policy = factory(cfg.Frames)
 	}
 	pool := buffer.New(bcfg)
+
+	if cfg.YieldFrac > 0 {
+		restore := sched.SetHook(NewYielder(cfg.Seed, cfg.YieldFrac).Hook())
+		defer restore()
+	}
 
 	// oracleFail attaches the shards' flight-recorder history to a failed
 	// oracle: the ring holds the last protocol steps (commits, evictions,

@@ -300,3 +300,91 @@ func TestPoolTortureSharded(t *testing.T) {
 		})
 	}
 }
+
+// TestPoolTortureHitPath is the lock-free hit path's differential oracle:
+// the same seeded run executes twice, once with the optimistic seqlock
+// lookup (production) and once with Config.LockedHitPath forcing every
+// lookup through the bucket mutex. With fault injection off, a successful
+// run's report — reads, writes, flushes, invariant passes — is fully
+// determined by the seed, so the two reports must be identical: any
+// divergence means the optimistic path served an access the locked path
+// would not have (or vice versa), i.e. a lookup→pin race. A final batch of
+// runs turns on the seeded yield injector so the new optimistic-retry
+// labels (BufHitProbe, BufHitPin, BufBucketWrite) get adversarial
+// interleaving pressure. The nightly workflow runs this target by name
+// under -race -tags torture.
+func TestPoolTortureHitPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-layer torture run skipped in -short")
+	}
+	seed := SeedFromEnv(91)
+	type cse struct {
+		name string
+		cfg  PoolRunConfig
+	}
+	cases := []cse{
+		{"direct-lru", PoolRunConfig{Seed: seed, Path: PathDirect, Policy: "lru"}},
+		{"batch-2q-shards4", PoolRunConfig{Seed: seed + 1, Path: PathBatch, Policy: "2q", Shards: 4}},
+		{"fc-clockpro-bg", PoolRunConfig{Seed: seed + 2, Path: PathFC, Policy: "clockpro", BGWriter: true}},
+		{"shared-lru-shards2", PoolRunConfig{Seed: seed + 3, Path: PathShared, Policy: "lru", Shards: 2}},
+	}
+	if LongMode() {
+		for j, path := range Paths() {
+			for _, shards := range []int{1, 4} {
+				cases = append(cases, cse{
+					fmt.Sprintf("long-shards%d-%s", shards, path),
+					PoolRunConfig{
+						Seed: seed + int64(100+j*10+shards), Path: path, Policy: "lru",
+						Shards: shards, BGWriter: j%2 == 0,
+						Ops: 1500, Phases: 4, Workers: 8, Frames: 64,
+					},
+				})
+			}
+		}
+	}
+	// The yield-injected subtest installs the process-wide sched hook, so
+	// it must not overlap other runs: it executes synchronously here,
+	// before the parallel differential subtests are released.
+	t.Run("yield-injected", func(t *testing.T) {
+		paths := []Path{PathDirect, PathFC}
+		if LongMode() {
+			paths = Paths()
+		}
+		for i, path := range paths {
+			cfg := PoolRunConfig{
+				Seed: seed + int64(50+i), Path: path, Policy: "lru",
+				Shards: 2, YieldFrac: 0.2,
+			}
+			rep, err := RunPool(cfg)
+			if err != nil {
+				failSeed(t, cfg.Seed, err)
+			}
+			if rep.Reads == 0 || rep.Writes == 0 {
+				t.Fatalf("seed %d: degenerate yield-injected run: %+v", cfg.Seed, rep)
+			}
+		}
+	})
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			locked := c.cfg
+			locked.LockedHitPath = true
+			lockedRep, err := RunPool(locked)
+			if err != nil {
+				failSeed(t, c.cfg.Seed, fmt.Errorf("locked path: %w", err))
+			}
+			optRep, err := RunPool(c.cfg)
+			if err != nil {
+				failSeed(t, c.cfg.Seed, fmt.Errorf("optimistic path: %w", err))
+			}
+			if *lockedRep != *optRep {
+				t.Fatalf("seed %d: locked and optimistic hit paths diverge:\n  locked     %+v\n  optimistic %+v",
+					c.cfg.Seed, *lockedRep, *optRep)
+			}
+			if optRep.Reads == 0 || optRep.Writes == 0 {
+				t.Fatalf("seed %d: degenerate run: %+v", c.cfg.Seed, optRep)
+			}
+		})
+	}
+}
