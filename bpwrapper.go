@@ -58,6 +58,7 @@ import (
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/server"
 	"bpwrapper/internal/storage"
 	"bpwrapper/internal/trace"
 	"bpwrapper/internal/workload"
@@ -264,6 +265,11 @@ var (
 	// ErrCorruptPage marks a page whose bytes do not match the checksum
 	// recorded at write time (torn write, bit rot).
 	ErrCorruptPage = storage.ErrCorruptPage
+
+	// ErrInvalidPage marks an operation naming the invalid PageID — a
+	// caller bug, not a device failure. The cache client maps the wire
+	// INVALID_PAGE status back onto this same sentinel.
+	ErrInvalidPage = storage.ErrInvalidPage
 )
 
 // RetryableError reports whether a device error is worth retrying:
@@ -499,3 +505,63 @@ func ReplayTrace(p Policy, t *Trace) TraceResult { return trace.Replay(p, t) }
 func ReplayTraceBatched(p Policy, t *Trace, queueSize, threshold int) TraceResult {
 	return trace.ReplayBatched(p, t, queueSize, threshold)
 }
+
+// ---------------------------------------------------------------------------
+// Serving over the network (DESIGN.md §13)
+
+// CacheServer is a TCP front-end over one Pool: a page-cache service
+// speaking a length-prefixed binary protocol (GET/PUT/INVALIDATE/FLUSH/
+// STATS), pipelined with per-request IDs. Each connection maps onto one
+// pool session, so the BP-Wrapper batching protocol sees remote clients
+// exactly as it sees in-process workers. CacheClient is its synchronous
+// client; Do pipelines a batch of CacheOps in one round trip.
+type (
+	CacheServer       = server.Server
+	CacheServerConfig = server.Config
+	CacheServerStats  = server.Stats
+	CacheClient       = server.Client
+	CacheOp           = server.Op
+	CacheOpResult     = server.OpResult
+	RemoteStats       = server.RemoteStats
+)
+
+// Pipelined request opcodes for CacheClient.Do.
+const (
+	CacheOpGet        = server.OpGet
+	CacheOpPut        = server.OpPut
+	CacheOpInvalidate = server.OpInvalidate
+	CacheOpFlush      = server.OpFlush
+	CacheOpStats      = server.OpStats
+)
+
+// ErrServerDraining resolves a request the server refused past its drain
+// grace: the operation was NOT applied (an acknowledged write, by
+// contrast, is durable through the drain).
+var ErrServerDraining = server.ErrDraining
+
+// NewCacheServer binds the configured address and begins serving cfg.Pool.
+// Graceful retirement is CacheServer.Drain: listener closed, pool forced
+// read-only, in-flight tails served, then Pool.CloseWithin flushes every
+// dirty page.
+func NewCacheServer(cfg CacheServerConfig) (*CacheServer, error) { return server.New(cfg) }
+
+// DialCache connects a CacheClient. One client per goroutine: it is
+// deliberately not concurrency-safe, mirroring pool sessions.
+func DialCache(addr string) (*CacheClient, error) { return server.Dial(addr) }
+
+// DialCacheTimeout is DialCache with a connect timeout.
+var DialCacheTimeout = server.DialTimeout
+
+// Remote fleet driving (bpload -remote): RunFleet runs workers of a
+// Workload against a CacheServer and folds exact per-worker counters
+// after every worker joins; FleetLive is the lagging live view for
+// progress tickers.
+type (
+	FleetConfig   = server.FleetConfig
+	FleetCounters = server.FleetCounters
+	FleetResult   = server.FleetResult
+	FleetLive     = server.FleetLive
+)
+
+// RunFleet drives a remote CacheServer with a fleet of client workers.
+var RunFleet = server.RunFleet

@@ -41,6 +41,12 @@
 // pgBatFC} measures whether batching still pays as sharding divides the
 // policy lock.
 //
+// The server experiment (E18) drives a loopback bpserver through the
+// binary wire protocol: a deterministic byte/op ledger per (shards ×
+// pipeline) arm — committed as results/BENCH_server.json via
+// scripts/bench_server.sh — plus, with -mode real, a remote-fleet
+// throughput sweep over worker counts.
+//
 // The chaos experiment (E16) scripts four device-fault campaigns —
 // brownout, harddown, quarantine pressure, recovery — against the
 // per-shard breaker/deadline/admission machinery on a deterministic tick
@@ -70,7 +76,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, server, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
@@ -260,6 +266,17 @@ func main() {
 				check(bench.CSVHitpath(os.Stdout, rep))
 			default:
 				bench.PrintHitpath(os.Stdout, rep)
+			}
+		case "server":
+			rep, err := bench.ServerExperiment(*procs, opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONServer(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVServer(os.Stdout, rep))
+			default:
+				bench.PrintServer(os.Stdout, rep)
 			}
 		case "chaos":
 			rep, err := bench.ChaosExperiment(opts)

@@ -8,6 +8,7 @@
 //	bpload -workload tpcc -frames 4096 -policy lirs -duration 10s
 //	bpload -workload ycsb-a -policy 2q -batching=false       # feel the lock
 //	bpload -workload zipf -frames 512 -disk 250µs            # I/O bound
+//	bpload -remote 127.0.0.1:7071 -workers 16                # drive a bpserver
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"bpwrapper"
+	"bpwrapper/internal/server"
 	"bpwrapper/internal/txn"
 )
 
@@ -36,12 +38,19 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		obsAddr     = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/events and pprof on this address (e.g. :6060)")
 		recorder    = flag.Int("recorder", 4096, "per-shard flight-recorder ring size (0 disables)")
+		remote      = flag.String("remote", "", "drive a bpserver at this address instead of an in-process pool")
+		txns        = flag.Int("txns", 0, "with -remote: stop after this many txns per worker (0 = run out -duration)")
+		pipeline    = flag.Int("pipeline", 8, "with -remote: page accesses pipelined per burst")
 	)
 	flag.Parse()
 
 	wl, err := bpwrapper.WorkloadByName(*wlName)
 	if err != nil {
 		fatal(err)
+	}
+	if *remote != "" {
+		runRemote(wl, *remote, *workers, *duration, *txns, *seed, *pipeline, *statsEvery)
+		return
 	}
 	nFrames := *frames
 	if nFrames <= 0 {
@@ -103,8 +112,10 @@ func main() {
 				if dh+dm > 0 {
 					hr = float64(dh) / float64(dh+dm)
 				}
-				fmt.Printf("  %8d acc/s  hit %5.1f%%  dirty %4d  free %4d  lock acq %d  contended %d\n",
-					(dh+dm)*int64(time.Second / *statsEvery), 100*hr,
+				// Rate from the elapsed interval, not time.Second/interval:
+				// that integer division is 0 for any interval over a second.
+				fmt.Printf("  %8.0f acc/s  hit %5.1f%%  dirty %4d  free %4d  lock acq %d  contended %d\n",
+					float64(dh+dm)/statsEvery.Seconds(), 100*hr,
 					st.Dirty, st.Free, st.Wrapper.Lock.Acquisitions, st.Wrapper.Lock.Contentions)
 			case <-stop:
 				return
@@ -137,6 +148,71 @@ func main() {
 		res.Wrapper.Commits, res.Wrapper.TryCommits, res.Wrapper.ForcedLocks, res.Wrapper.Dropped)
 	if n, err := pool.FlushDirty(); err == nil && n > 0 {
 		fmt.Printf("flushed     %d dirty pages on shutdown\n", n)
+	}
+}
+
+// runRemote drives a bpserver with a fleet of remote clients. The live
+// ticker reads the lagging FleetLive view; the final summary comes from
+// FleetResult's post-join fold, which is exact regardless of how the run
+// ended (clock, -txns, or a server drain cutting the fleet off).
+func runRemote(wl bpwrapper.Workload, addr string, workers int, duration time.Duration, txnsPerWorker int, seed int64, pipeline int, statsEvery time.Duration) {
+	fmt.Printf("bpload: %s against bpserver %s, %d workers, pipeline %d\n",
+		wl.Name(), addr, workers, pipeline)
+
+	live := &server.FleetLive{}
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		var lastTxns, lastReads, lastWrites int64
+		for {
+			select {
+			case <-ticker.C:
+				t, r, w := live.Txns.Load(), live.Reads.Load(), live.Writes.Load()
+				fmt.Printf("  %8.0f txn/s  %8.0f reads/s  %8.0f writes/s  shed %d  errors %d\n",
+					float64(t-lastTxns)/statsEvery.Seconds(),
+					float64(r-lastReads)/statsEvery.Seconds(),
+					float64(w-lastWrites)/statsEvery.Seconds(),
+					live.Overloaded.Load(), live.Errors.Load())
+				lastTxns, lastReads, lastWrites = t, r, w
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	res, err := server.RunFleet(server.FleetConfig{
+		Addr:          addr,
+		Workload:      wl,
+		Workers:       workers,
+		Duration:      duration,
+		TxnsPerWorker: txnsPerWorker,
+		Seed:          seed,
+		PipelineDepth: pipeline,
+		Live:          live,
+	})
+	close(stop)
+	if err != nil {
+		fatal(err)
+	}
+
+	c := res.Counters
+	tps := 0.0
+	if res.Elapsed > 0 {
+		tps = float64(c.Txns) / res.Elapsed.Seconds()
+	}
+	fmt.Printf("\ncompleted %d txns in %v (%.0f tps)\n", c.Txns, res.Elapsed.Round(time.Millisecond), tps)
+	fmt.Printf("operations  %d reads, %d writes\n", c.Reads, c.Writes)
+	fmt.Printf("refusals    %d overloaded (shed), %d draining\n", c.Overloaded, c.Draining)
+	fmt.Printf("errors      %d\n", c.Errors)
+	if res.Latency.Count() > 0 {
+		fmt.Printf("burst rtt   mean %v  p50 %v  p99 %v\n",
+			res.Latency.Mean().Round(time.Microsecond),
+			res.Latency.Quantile(0.50).Round(time.Microsecond),
+			res.Latency.Quantile(0.99).Round(time.Microsecond))
+	}
+	if c.Errors > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -54,6 +54,24 @@ func (t tree) shardDist(name, shard string) series {
 	return series{}
 }
 
+// val returns the named unlabelled metric's value (0 when absent).
+func (t tree) val(name string) float64 {
+	for _, s := range t[name] {
+		return s.Value
+	}
+	return 0
+}
+
+// sum folds every labelled series of one name — e.g. requests_total
+// across its per-op labels.
+func (t tree) sum(name string) float64 {
+	var n float64
+	for _, s := range t[name] {
+		n += s.Value
+	}
+	return n
+}
+
 // shards lists the shard labels present, in numeric order.
 func (t tree) shards() []string {
 	seen := map[string]bool{}
@@ -160,6 +178,36 @@ func render(t, prev tree, dt time.Duration) {
 	}
 }
 
+// renderServer prints a one-line network section when the endpoint
+// belongs to a bpserver (bpw_server_* series present). Rates are deltas
+// like the shard table; totals on the first poll.
+func renderServer(t, prev tree, dt time.Duration) {
+	if len(t["bpw_server_conns_accepted_total"]) == 0 {
+		return
+	}
+	reqs := t.sum("bpw_server_requests_total")
+	in := t.val("bpw_server_bytes_in_total")
+	out := t.val("bpw_server_bytes_out_total")
+	reqRate, inRate, outRate := reqs, in, out
+	if prev != nil && dt > 0 {
+		reqRate = (reqs - prev.sum("bpw_server_requests_total")) / dt.Seconds()
+		inRate = (in - prev.val("bpw_server_bytes_in_total")) / dt.Seconds()
+		outRate = (out - prev.val("bpw_server_bytes_out_total")) / dt.Seconds()
+	}
+	state := "serving"
+	if t.val("bpw_server_draining") > 0 {
+		state = "DRAINING"
+	}
+	fmt.Printf("server  %s  conns %.0f/%.0f  req/s %.0f  in %.1f MB/s  out %.1f MB/s  inflight %.0f  badframes %.0f  wtimeouts %.0f  drained %.0f\n",
+		state,
+		t.val("bpw_server_conns_active"), t.val("bpw_server_max_conns"),
+		reqRate, inRate/1e6, outRate/1e6,
+		t.val("bpw_server_inflight"),
+		t.val("bpw_server_bad_frames_total"),
+		t.val("bpw_server_write_timeouts_total"),
+		t.val("bpw_server_drained_conns_total"))
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:6060", "obs endpoint address (host:port)")
@@ -178,6 +226,7 @@ func main() {
 		}
 		now := time.Now()
 		render(t, prev, now.Sub(last))
+		renderServer(t, prev, now.Sub(last))
 		if *once {
 			return
 		}

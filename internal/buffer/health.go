@@ -98,6 +98,13 @@ type healthState struct {
 	maxInflight  int          // Degraded-mode bound (0 = disabled)
 	disabled     bool
 
+	// forced pins the shard at ReadOnly regardless of breaker or
+	// quarantine state (Pool.SetReadOnly): the graceful-drain floor a
+	// network front-end lowers before flushing, so misses shed with
+	// ErrOverloaded while resident pages keep serving. An operator
+	// action, not a health verdict — it overrides Disable too.
+	forced atomic.Bool
+
 	breaker  *storage.BreakerDevice  // nil when the shard's stack has none
 	deadline *storage.DeadlineDevice // nil when the shard's stack has none
 
@@ -127,6 +134,9 @@ func (sh *shard) wireHealth(cfg HealthConfig) {
 // mutex hop and an atomic breaker load — is noise next to the device
 // read it gates) and at metrics scrapes.
 func (sh *shard) evalHealth() HealthState {
+	if sh.forced.Load() {
+		return sh.latchHealth(ReadOnly)
+	}
 	if sh.disabled {
 		return Healthy
 	}
@@ -146,6 +156,12 @@ func (sh *shard) evalHealth() HealthState {
 			st = Degraded
 		}
 	}
+	return sh.latchHealth(st)
+}
+
+// latchHealth publishes a freshly evaluated health state, recording a
+// flight-recorder event on change.
+func (sh *shard) latchHealth(st HealthState) HealthState {
 	for {
 		old := sh.health.Load()
 		if old == int32(st) {
@@ -174,7 +190,7 @@ func (sh *shard) lastHealth() HealthState {
 // maintained in every state so a transition into Degraded sees the true
 // load immediately.
 func (sh *shard) admitMiss(id page.PageID) (release func(), err error) {
-	if sh.disabled {
+	if sh.disabled && !sh.forced.Load() {
 		return func() {}, nil
 	}
 	st := sh.evalHealth()

@@ -460,3 +460,60 @@ func TestCloseWithinBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestSetReadOnlyForcesShedding pins the pool at the forced ReadOnly
+// floor: misses shed with ErrOverloaded immediately, resident pages keep
+// serving (reads and writes), and releasing the floor re-admits misses.
+// The forced floor must also override HealthConfig.Disable — it is the
+// drain hook, not a health verdict.
+func TestSetReadOnlyForcesShedding(t *testing.T) {
+	for _, disabled := range []bool{false, true} {
+		p := New(Config{
+			Frames: 4,
+			Policy: replacer.NewLRU(4),
+			Device: storage.NewMemDevice(),
+			Health: HealthConfig{Disable: disabled},
+		})
+		s := p.NewSession()
+		ref, err := p.Get(s, pid(1))
+		if err != nil {
+			t.Fatalf("disabled=%v: warm Get: %v", disabled, err)
+		}
+		ref.Release()
+
+		p.SetReadOnly(true)
+		if st := p.ShardHealth(0); st != ReadOnly {
+			t.Fatalf("disabled=%v: health=%v after SetReadOnly, want ReadOnly", disabled, st)
+		}
+		if _, err := p.Get(s, pid(2)); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("disabled=%v: miss under forced read-only: err=%v, want ErrOverloaded", disabled, err)
+		}
+		ref, err = p.Get(s, pid(1))
+		if err != nil {
+			t.Fatalf("disabled=%v: resident read under forced read-only: %v", disabled, err)
+		}
+		ref.Release()
+		ref, err = p.GetWrite(s, pid(1))
+		if err != nil {
+			t.Fatalf("disabled=%v: resident write under forced read-only: %v", disabled, err)
+		}
+		ref.Data()[0]++
+		ref.MarkDirty()
+		ref.Release()
+		shed := p.Stats().Shed
+		if shed == 0 {
+			t.Fatalf("disabled=%v: forced read-only shed nothing", disabled)
+		}
+
+		p.SetReadOnly(false)
+		ref, err = p.Get(s, pid(2))
+		if err != nil {
+			t.Fatalf("disabled=%v: miss after releasing read-only: %v", disabled, err)
+		}
+		ref.Release()
+		s.Flush()
+		if err := p.Close(); err != nil {
+			t.Fatalf("disabled=%v: Close: %v", disabled, err)
+		}
+	}
+}

@@ -321,6 +321,22 @@ func (p *Pool) ShardOf(id page.PageID) int { return p.shardIndexFor(id) }
 // shard (the miss path and metric scrapes keep it fresh).
 func (p *Pool) ShardHealth(i int) HealthState { return p.shards[i].lastHealth() }
 
+// SetReadOnly pins (or releases) every shard at the ReadOnly floor of the
+// health ladder, independent of breaker and quarantine state. While set,
+// misses are shed with ErrOverloaded but resident pages keep serving —
+// including writes to them, which the quarantine protocol still evicts
+// losslessly. It is the graceful-drain hook for network front-ends: lower
+// the floor, let in-flight clients finish against resident pages, then
+// CloseWithin flushes what is dirty. Unlike the health machinery it also
+// applies when HealthConfig.Disable is set — it is an operator action, not
+// a health verdict. Releasing returns shards to their evaluated state.
+func (p *Pool) SetReadOnly(on bool) {
+	for i := range p.shards {
+		p.shards[i].forced.Store(on)
+		p.shards[i].evalHealth()
+	}
+}
+
 // ShardDevice returns the device stack shard i issues its I/O through
 // (the shared Device unless Config.WrapShardDevice built a per-shard
 // stack).

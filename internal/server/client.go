@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"bpwrapper/internal/page"
+)
+
+// Client is one connection to a bpserver. It mirrors the pool's session
+// contract: not safe for concurrent use — one client per worker — so the
+// pipelining machinery needs no locks and the server can map the
+// connection onto a single buffer.Session.
+type Client struct {
+	nc   net.Conn
+	bw   *bufio.Writer
+	fr   frameReader
+	next uint64 // next request ID
+	wbuf []byte // reused request-encoding buffer
+}
+
+// Dial connects to a bpserver at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		nc: nc,
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+	c.fr.r = bufio.NewReaderSize(nc, 32<<10)
+	return c, nil
+}
+
+// Close hangs up. In-flight pipelined requests are abandoned.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// roundTrip sends one request and reads its response, verifying the
+// echoed ID. The returned payload aliases the reader's buffer: valid
+// until the next call.
+func (c *Client) roundTrip(code byte, payload ...[]byte) (status byte, resp []byte, err error) {
+	id := c.next
+	c.next++
+	c.wbuf = appendFrame(c.wbuf[:0], code, id, payload...)
+	if _, err = c.bw.Write(c.wbuf); err != nil {
+		return 0, nil, err
+	}
+	if err = c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	status, gotID, resp, err := c.fr.next()
+	if err != nil {
+		return 0, nil, err
+	}
+	if gotID != id {
+		return 0, nil, fmt.Errorf("client: response ID %d for request %d (stream desynced)", gotID, id)
+	}
+	return status, resp, nil
+}
+
+// Get fetches page id. The returned bytes alias the client's read buffer
+// and are valid only until the next call; copy to retain.
+func (c *Client) Get(id page.PageID) ([]byte, error) {
+	var pid [8]byte
+	be.PutUint64(pid[:], uint64(id))
+	status, resp, err := c.roundTrip(OpGet, pid[:])
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, errForStatus(status, resp)
+	}
+	if len(resp) != page.Size {
+		return nil, fmt.Errorf("client: GET returned %d bytes, want %d", len(resp), page.Size)
+	}
+	return resp, nil
+}
+
+// Put overwrites page id with data (exactly page.Size bytes) and marks
+// it dirty. A nil return means the server applied and acknowledged the
+// write: it is resident-dirty there and a graceful drain will flush it.
+func (c *Client) Put(id page.PageID, data []byte) error {
+	if len(data) != page.Size {
+		return fmt.Errorf("client: PUT data must be %d bytes, got %d", page.Size, len(data))
+	}
+	var pid [8]byte
+	be.PutUint64(pid[:], uint64(id))
+	status, resp, err := c.roundTrip(OpPut, pid[:], data)
+	if err != nil {
+		return err
+	}
+	return errForStatus(status, resp)
+}
+
+// Invalidate drops page id server-side, discarding dirty contents.
+func (c *Client) Invalidate(id page.PageID) error {
+	var pid [8]byte
+	be.PutUint64(pid[:], uint64(id))
+	status, resp, err := c.roundTrip(OpInvalidate, pid[:])
+	if err != nil {
+		return err
+	}
+	return errForStatus(status, resp)
+}
+
+// Flush asks the server to write every dirty page back, returning the
+// number made durable.
+func (c *Client) Flush() (int, error) {
+	status, resp, err := c.roundTrip(OpFlush)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, errForStatus(status, resp)
+	}
+	if len(resp) != 8 {
+		return 0, fmt.Errorf("client: FLUSH returned %d bytes, want 8", len(resp))
+	}
+	return int(be.Uint64(resp)), nil
+}
+
+// Stats fetches the server's operational snapshot.
+func (c *Client) Stats() (RemoteStats, error) {
+	var rs RemoteStats
+	status, resp, err := c.roundTrip(OpStats)
+	if err != nil {
+		return rs, err
+	}
+	if status != StatusOK {
+		return rs, errForStatus(status, resp)
+	}
+	if err := json.Unmarshal(resp, &rs); err != nil {
+		return rs, fmt.Errorf("client: STATS payload: %w", err)
+	}
+	return rs, nil
+}
+
+// Op is one operation in a pipelined batch.
+type Op struct {
+	Code byte
+	Page page.PageID
+	Data []byte // PUT page bytes; ignored for other ops
+}
+
+// OpResult is one pipelined operation's outcome. Data is an owned copy
+// of a successful GET's page (batch results outlive the read buffer).
+type OpResult struct {
+	Status byte
+	Err    error
+	Data   []byte
+}
+
+// Do sends a batch of operations in one write — the client half of the
+// server's batched decode: the whole burst lands in one (or few) kernel
+// reads, is served as one batch through the connection's session, and
+// comes back under one response flush. Results are positional. A
+// transport error fails the whole batch; per-op failures (shed misses,
+// invalid pages) land in their slot's Err.
+func (c *Client) Do(ops []Op) ([]OpResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	base := c.next
+	c.next += uint64(len(ops))
+	buf := c.wbuf[:0]
+	var pid [8]byte
+	for i, op := range ops {
+		be.PutUint64(pid[:], uint64(op.Page))
+		switch op.Code {
+		case OpPut:
+			if len(op.Data) != page.Size {
+				return nil, fmt.Errorf("client: Do[%d]: PUT data must be %d bytes", i, page.Size)
+			}
+			buf = appendFrame(buf, OpPut, base+uint64(i), pid[:], op.Data)
+		case OpFlush, OpStats:
+			buf = appendFrame(buf, op.Code, base+uint64(i))
+		default:
+			buf = appendFrame(buf, op.Code, base+uint64(i), pid[:])
+		}
+	}
+	c.wbuf = buf
+	if _, err := c.bw.Write(buf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]OpResult, len(ops))
+	for i := range ops {
+		status, gotID, resp, err := c.fr.next()
+		if err != nil {
+			return nil, fmt.Errorf("client: Do[%d]: %w", i, err)
+		}
+		if gotID != base+uint64(i) {
+			return nil, fmt.Errorf("client: Do[%d]: response ID %d, want %d (stream desynced)", i, gotID, base+uint64(i))
+		}
+		out[i].Status = status
+		if status != StatusOK {
+			out[i].Err = errForStatus(status, resp)
+			continue
+		}
+		if ops[i].Code == OpGet {
+			out[i].Data = append([]byte(nil), resp...)
+		}
+	}
+	return out, nil
+}

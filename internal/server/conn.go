@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/storage"
+)
+
+// conn is one served connection: a socket, its buffered reader/writer,
+// and the buffer.Session that makes this client a first-class BP-Wrapper
+// backend — its accesses batch through the session's per-shard queues
+// exactly like an in-process worker's.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	fr   frameReader
+	sess *buffer.Session
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		br:   bufio.NewReaderSize(&countingReader{nc: nc, n: &s.c.bytesIn}, s.cfg.ReadBufSize),
+		bw:   bufio.NewWriterSize(&countingWriter{nc: nc, n: &s.c.bytesOut}, s.cfg.WriteBufSize),
+		sess: s.pool.NewSession(),
+	}
+	c.fr.r = c.br
+	return c
+}
+
+// countingReader/countingWriter fold socket byte counts into the server
+// counters without another wrapper layer in the hot loop.
+type countingReader struct {
+	nc net.Conn
+	n  *atomic.Int64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.nc.Read(p)
+	r.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	nc net.Conn
+	n  *atomic.Int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.nc.Write(p)
+	w.n.Add(int64(n))
+	return n, err
+}
+
+// serve is the connection's request loop. The batching contract: decode
+// and answer every request already buffered before flushing responses or
+// blocking for more bytes, so a pipelined burst that arrived in one
+// kernel read is served as one batch through one session — and produces
+// one response flush.
+func (c *conn) serve() {
+	s := c.srv
+	defer func() {
+		// Fold the session's batched accesses into its shard queues so a
+		// vanished client's recorded history still reaches the policy.
+		c.sess.Flush()
+		c.flushBestEffort()
+		c.nc.Close()
+		s.unregister(c)
+		s.wg.Done()
+	}()
+	for {
+		code, reqID, payload, err := c.fr.next()
+		if err != nil {
+			// Clean EOF is a client hanging up between frames; anything
+			// else — malformed frame, mid-frame cut, drain poke — retires
+			// the connection too. Responses already produced are flushed
+			// by the deferred path either way.
+			if isFrameError(err) {
+				s.c.badFrames.Add(1)
+			}
+			if s.state.Load() >= stateClosing {
+				s.c.drainedConns.Add(1)
+			}
+			return
+		}
+		s.c.inflight.Add(1)
+		start := time.Now()
+		ok := c.handle(code, reqID, payload)
+		if op := code; op > 0 && op < opMax && s.c.lat[op] != nil {
+			s.c.lat[op].Record(time.Since(start))
+		}
+		s.c.inflight.Add(-1)
+		if !ok {
+			return // unknown opcode after BadRequest response: resync is impossible
+		}
+		if c.br.Buffered() == 0 {
+			if !c.flush() {
+				return
+			}
+		}
+	}
+}
+
+// handle dispatches one request and writes its response into the write
+// buffer. It returns false when the connection cannot continue (the
+// opcode was unknown, so frame alignment is unprovable).
+func (c *conn) handle(code byte, reqID uint64, payload []byte) bool {
+	s := c.srv
+	if code > 0 && code < opMax {
+		s.c.reqs[code].Add(1)
+	}
+	// Past the drain grace nothing is applied: buffered requests get a
+	// typed DRAINING answer so pipelining clients can tell "refused" from
+	// "vanished" — an acknowledged write is durable, a DRAINING one never
+	// happened.
+	if s.state.Load() >= stateClosing {
+		c.respond(StatusDraining, reqID, []byte("server draining"))
+		return true
+	}
+	switch code {
+	case OpGet:
+		if len(payload) != 8 {
+			c.respondBad(reqID, "GET payload must be 8 bytes")
+			return true
+		}
+		id := page.PageID(be.Uint64(payload))
+		ref, err := s.pool.Get(c.sess, id)
+		if err != nil {
+			c.respondErr(reqID, err)
+			return true
+		}
+		c.respond(StatusOK, reqID, ref.Data())
+		ref.Release()
+	case OpPut:
+		if len(payload) != putPayloadLen {
+			c.respondBad(reqID, "PUT payload must be PageID + one page")
+			return true
+		}
+		id := page.PageID(be.Uint64(payload))
+		ref, err := s.pool.GetWrite(c.sess, id)
+		if err != nil {
+			c.respondErr(reqID, err)
+			return true
+		}
+		copy(ref.Data(), payload[8:])
+		ref.MarkDirty()
+		ref.Release()
+		c.respond(StatusOK, reqID, nil)
+	case OpInvalidate:
+		if len(payload) != 8 {
+			c.respondBad(reqID, "INVALIDATE payload must be 8 bytes")
+			return true
+		}
+		id := page.PageID(be.Uint64(payload))
+		if !id.Valid() {
+			c.respondErr(reqID, storage.ErrInvalidPage)
+			return true
+		}
+		if err := s.pool.Invalidate(id); err != nil {
+			c.respondErr(reqID, err)
+			return true
+		}
+		c.respond(StatusOK, reqID, nil)
+	case OpFlush:
+		c.sess.Flush()
+		n, err := s.pool.FlushDirty()
+		if err != nil {
+			c.respondErr(reqID, err)
+			return true
+		}
+		var cnt [8]byte
+		be.PutUint64(cnt[:], uint64(n))
+		c.respond(StatusOK, reqID, cnt[:])
+	case OpStats:
+		c.respond(StatusOK, reqID, s.remoteStatsPayload())
+	default:
+		c.respondBad(reqID, "unknown opcode")
+		c.flush()
+		return false
+	}
+	return true
+}
+
+// respond appends one response frame to the write buffer. A write
+// deadline covers the append because bufio flushes implicitly when the
+// buffer fills — the slow-reader backpressure bound must hold there too,
+// not only on the explicit batch flush.
+func (c *conn) respond(status byte, reqID uint64, payload []byte) {
+	if status < statusMax {
+		c.srv.c.resps[status].Add(1)
+	}
+	c.armWriteDeadline()
+	var hdr [4 + frameHeaderLen]byte
+	be.PutUint32(hdr[:4], uint32(frameHeaderLen+len(payload)))
+	hdr[4] = status
+	be.PutUint64(hdr[5:], reqID)
+	c.bw.Write(hdr[:])  //nolint:errcheck // bufio errors are sticky; flush reports them
+	c.bw.Write(payload) //nolint:errcheck
+}
+
+func (c *conn) respondErr(reqID uint64, err error) {
+	c.respond(statusForErr(err), reqID, []byte(err.Error()))
+}
+
+func (c *conn) respondBad(reqID uint64, msg string) {
+	c.srv.c.badFrames.Add(1)
+	c.respond(StatusBadRequest, reqID, []byte(msg))
+}
+
+// flush pushes buffered responses to the socket under the write
+// deadline. It reports false — and retires the connection — when the
+// client is not draining its receive window fast enough.
+func (c *conn) flush() bool {
+	c.armWriteDeadline()
+	if err := c.bw.Flush(); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			c.srv.c.writeTimeouts.Add(1)
+		}
+		return false
+	}
+	return true
+}
+
+// flushBestEffort is the deferred exit flush: bounded by a short
+// deadline so a vanished client cannot hold the handler in its exit
+// path.
+func (c *conn) flushBestEffort() {
+	c.nc.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	c.bw.Flush()                                                  //nolint:errcheck
+}
+
+func (c *conn) armWriteDeadline() {
+	if t := c.srv.cfg.WriteTimeout; t > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(t)) //nolint:errcheck
+	}
+}
+
+// isFrameError reports whether a read-loop error indicates a framing
+// violation rather than a closed/poked connection.
+func isFrameError(err error) bool {
+	return err != nil && (errors.Is(err, ErrMalformedFrame) || errors.Is(err, ErrFrameTooLarge))
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/metrics"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/workload"
+)
+
+// FleetConfig drives a fleet of remote clients against one bpserver:
+// Workers connections, each replaying its deterministic workload stream
+// (the same generators the in-process drivers use), optionally batching
+// accesses into pipelined frames.
+type FleetConfig struct {
+	Addr     string
+	Workload workload.Workload
+	Workers  int
+
+	// Duration bounds the run in wall time; TxnsPerWorker in work. At
+	// least one must be set; whichever ends first wins.
+	Duration      time.Duration
+	TxnsPerWorker int
+
+	Seed int64
+
+	// PipelineDepth batches up to this many page accesses into one
+	// pipelined Do burst (one write, one flush, one response batch).
+	// Zero or one means synchronous request/response.
+	PipelineDepth int
+
+	// Live, when non-nil, receives periodic counter publications for a
+	// progress ticker. It is NOT the result: a worker publishes every
+	// livePublishEvery transactions, so Live lags and may miss the tail
+	// of a fast run. FleetResult folds the per-worker counters exactly.
+	Live *FleetLive
+}
+
+// livePublishEvery is how many transactions a worker completes between
+// publications into FleetConfig.Live.
+const livePublishEvery = 32
+
+// FleetCounters is one worker's (or the folded) operation tally. Plain
+// ints: each instance is owned by one goroutine until the final fold.
+type FleetCounters struct {
+	Txns       int64
+	Reads      int64 // GETs answered OK
+	Writes     int64 // PUTs answered OK
+	Overloaded int64 // shed by admission control (typed OVERLOADED)
+	Draining   int64 // refused past the drain grace
+	Errors     int64 // transport or unexpected server errors
+}
+
+// add folds o into c.
+func (c *FleetCounters) add(o FleetCounters) {
+	c.Txns += o.Txns
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Overloaded += o.Overloaded
+	c.Draining += o.Draining
+	c.Errors += o.Errors
+}
+
+// FleetLive is the shared live view workers publish into for progress
+// tickers. All fields are atomics; readers see a consistent-enough lagging
+// snapshot, never the exact totals (those come from the final fold).
+type FleetLive struct {
+	Txns       atomic.Int64
+	Reads      atomic.Int64
+	Writes     atomic.Int64
+	Overloaded atomic.Int64
+	Errors     atomic.Int64
+}
+
+// publish adds the delta since the last publication to the live view.
+func (l *FleetLive) publish(cur, last FleetCounters) {
+	l.Txns.Add(cur.Txns - last.Txns)
+	l.Reads.Add(cur.Reads - last.Reads)
+	l.Writes.Add(cur.Writes - last.Writes)
+	l.Overloaded.Add(cur.Overloaded - last.Overloaded)
+	l.Errors.Add(cur.Errors - last.Errors)
+}
+
+// FleetResult is a completed fleet run. Counters is folded from
+// PerWorker after every worker has joined — the summary can never drop a
+// partial publication interval, however fast the run exited.
+type FleetResult struct {
+	Counters  FleetCounters
+	PerWorker []FleetCounters
+	Elapsed   time.Duration
+	Latency   *metrics.Histogram // per-burst round-trip latency, merged
+}
+
+// RunFleet executes the fleet and blocks until every worker has joined
+// and its counters are folded. Workers stop early — without error — when
+// the server sheds into DRAINING or hangs up mid-run (that is the drain
+// contract working); transport errors before any response are counted,
+// not fatal, so a mid-run server drain never turns into a test failure
+// here. The returned error is reserved for setup problems (bad config,
+// nobody could connect).
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if cfg.Workload == nil {
+		return nil, errors.New("fleet: Workload is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Duration <= 0 && cfg.TxnsPerWorker <= 0 {
+		return nil, errors.New("fleet: set Duration or TxnsPerWorker")
+	}
+	depth := cfg.PipelineDepth
+	if depth <= 0 {
+		depth = 1
+	}
+
+	// Connect everybody up front so a dead address fails fast instead of
+	// producing a zero-work "success".
+	clients := make([]*Client, cfg.Workers)
+	for w := range clients {
+		c, err := Dial(cfg.Addr)
+		if err != nil {
+			for _, cc := range clients[:w] {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("fleet: worker %d: %w", w, err)
+		}
+		clients[w] = c
+	}
+
+	var (
+		wg        sync.WaitGroup
+		perWorker = make([]FleetCounters, cfg.Workers)
+		hists     = make([]*metrics.Histogram, cfg.Workers)
+		stop      = make(chan struct{})
+	)
+	if cfg.Duration > 0 {
+		t := time.AfterFunc(cfg.Duration, func() { close(stop) })
+		defer t.Stop()
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer clients[w].Close()
+			hists[w] = metrics.NewLatencyHistogram()
+			runFleetWorker(cfg, clients[w], w, depth, stop, &perWorker[w], hists[w])
+		}(w)
+	}
+	wg.Wait()
+
+	// The fold: totals come from the per-worker counters, summed only
+	// after the owning goroutines have exited. Live publications are a
+	// lagging view and play no part here.
+	res := &FleetResult{
+		PerWorker: perWorker,
+		Elapsed:   time.Since(start),
+		Latency:   metrics.NewLatencyHistogram(),
+	}
+	for w := range perWorker {
+		res.Counters.add(perWorker[w])
+		res.Latency.Merge(hists[w])
+	}
+	return res, nil
+}
+
+// runFleetWorker replays worker w's stream until its transaction budget,
+// the duration stop, or the server's drain ends it.
+func runFleetWorker(cfg FleetConfig, c *Client, w, depth int, stop <-chan struct{}, out *FleetCounters, lat *metrics.Histogram) {
+	stream := cfg.Workload.NewStream(w, cfg.Seed)
+	var (
+		cur, last FleetCounters
+		accBuf    []workload.Access
+		ops       = make([]Op, 0, depth)
+		// One page image per pipeline slot: every PUT queued in a batch
+		// owns its bytes until the batch is encoded (a single shared
+		// buffer would make all PUTs in one burst carry the last stamp).
+		pages = make([]page.Page, depth)
+	)
+	defer func() {
+		// Publish-then-own: the final counters land in *out regardless of
+		// how the run ended; RunFleet folds them after the join.
+		if cfg.Live != nil {
+			cfg.Live.publish(cur, last)
+		}
+		*out = cur
+	}()
+	flushOps := func() bool {
+		if len(ops) == 0 {
+			return true
+		}
+		t0 := time.Now()
+		results, err := c.Do(ops)
+		lat.Record(time.Since(t0))
+		ops = ops[:0]
+		if err != nil {
+			// Transport cut: a drain poke or vanished server. Count it
+			// once and end the worker; the fold still sees everything
+			// acknowledged before the cut.
+			cur.Errors++
+			return false
+		}
+		for i := range results {
+			r := &results[i]
+			switch {
+			case r.Err == nil:
+				if r.Data != nil {
+					cur.Reads++
+				} else {
+					cur.Writes++
+				}
+			case errors.Is(r.Err, ErrDraining):
+				cur.Draining++
+			case isOverloaded(r.Err):
+				cur.Overloaded++
+			default:
+				cur.Errors++
+			}
+		}
+		// A drained server refuses everything from here on; stop cleanly.
+		return cur.Draining == 0
+	}
+	for txn := 0; cfg.TxnsPerWorker <= 0 || txn < cfg.TxnsPerWorker; txn++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		accBuf = stream.NextTxn(accBuf[:0])
+		for _, a := range accBuf {
+			op := Op{Code: OpGet, Page: a.Page}
+			if a.Write {
+				pg := &pages[len(ops)]
+				pg.Stamp(a.Page)
+				op = Op{Code: OpPut, Page: a.Page, Data: pg.Data[:]}
+			}
+			ops = append(ops, op)
+			if len(ops) >= depth {
+				if !flushOps() {
+					return
+				}
+			}
+		}
+		if !flushOps() {
+			return
+		}
+		cur.Txns++
+		if cfg.Live != nil && cur.Txns%livePublishEvery == 0 {
+			cfg.Live.publish(cur, last)
+			last = cur
+		}
+	}
+}
+
+// isOverloaded reports whether a per-op error is the typed shed.
+func isOverloaded(err error) bool {
+	return err != nil && errors.Is(err, buffer.ErrOverloaded)
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/workload"
+)
+
+// countingWorkload is a tiny deterministic workload: every transaction
+// touches txnLen pages of a 64-page table, the last access of each
+// transaction a write, so a run's exact operation totals are computable
+// in closed form — which is what lets the fold test pin exact numbers.
+type countingWorkload struct{ txnLen int }
+
+func (w countingWorkload) Name() string   { return "counting" }
+func (w countingWorkload) DataPages() int { return 64 }
+func (w countingWorkload) Pages() []page.PageID {
+	ids := make([]page.PageID, 64)
+	for i := range ids {
+		ids[i] = page.NewPageID(1, uint64(i))
+	}
+	return ids
+}
+
+func (w countingWorkload) NewStream(worker int, seed int64) workload.Stream {
+	return &countingStream{w: w, worker: worker}
+}
+
+type countingStream struct {
+	w      countingWorkload
+	worker int
+	n      uint64
+}
+
+func (s *countingStream) NextTxn(buf []workload.Access) []workload.Access {
+	for i := 0; i < s.w.txnLen; i++ {
+		buf = append(buf, workload.Access{
+			Page:  page.NewPageID(1, (s.n+uint64(i)+uint64(s.worker)*7)%64),
+			Write: i == s.w.txnLen-1,
+		})
+		s.n++
+	}
+	return buf
+}
+
+// TestFleetFoldRegression is the counter-fold regression: a run whose
+// per-worker transaction count (3) is far below the live publication
+// interval (32) must still report exact totals in FleetResult — the
+// summary comes from the post-join fold of per-worker counters, never
+// from the lagging live view a fast exit leaves partial.
+func TestFleetFoldRegression(t *testing.T) {
+	srv, _, done := newTestServer(t, 128, 1, Config{})
+	defer done()
+
+	const (
+		workers = 4
+		txns    = 3 // < livePublishEvery: the live view never fires
+		txnLen  = 5
+	)
+	live := &FleetLive{}
+	res, err := RunFleet(FleetConfig{
+		Addr:          srv.Addr(),
+		Workload:      countingWorkload{txnLen: txnLen},
+		Workers:       workers,
+		TxnsPerWorker: txns,
+		Seed:          1,
+		PipelineDepth: 4,
+		Live:          live,
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+
+	wantTxns := int64(workers * txns)
+	wantWrites := int64(workers * txns) // one write per txn
+	wantReads := int64(workers * txns * (txnLen - 1))
+	c := res.Counters
+	if c.Txns != wantTxns || c.Writes != wantWrites || c.Reads != wantReads {
+		t.Fatalf("folded counters txns=%d reads=%d writes=%d, want %d/%d/%d",
+			c.Txns, c.Reads, c.Writes, wantTxns, wantReads, wantWrites)
+	}
+	if c.Errors != 0 || c.Overloaded != 0 || c.Draining != 0 {
+		t.Fatalf("unexpected failures in counters: %+v", c)
+	}
+	if len(res.PerWorker) != workers {
+		t.Fatalf("PerWorker has %d entries, want %d", len(res.PerWorker), workers)
+	}
+	var sum FleetCounters
+	for _, pw := range res.PerWorker {
+		if pw.Txns != txns {
+			t.Fatalf("per-worker txns %d, want %d", pw.Txns, txns)
+		}
+		sum.add(pw)
+	}
+	if sum != c {
+		t.Fatalf("folded counters %+v != per-worker sum %+v", c, sum)
+	}
+	// The workers' deferred publish also lands the tail in the live view
+	// (it lags during the run but must converge at exit).
+	if got := live.Txns.Load(); got != wantTxns {
+		t.Fatalf("live view txns %d after join, want %d", got, wantTxns)
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("latency histogram empty after a completed run")
+	}
+}
+
+// TestFleetAgainstDrain verifies a mid-run graceful drain ends the fleet
+// cleanly: workers stop on DRAINING/transport cut without reporting run
+// failure, and everything acknowledged OK before the drain is counted.
+func TestFleetAgainstDrain(t *testing.T) {
+	srv, _, done := newTestServer(t, 128, 2, Config{DrainGrace: 20 * time.Millisecond})
+	defer done()
+
+	fleetDone := make(chan *FleetResult, 1)
+	go func() {
+		res, err := RunFleet(FleetConfig{
+			Addr:          srv.Addr(),
+			Workload:      countingWorkload{txnLen: 4},
+			Workers:       4,
+			Duration:      5 * time.Second, // the drain, not the clock, ends it
+			Seed:          2,
+			PipelineDepth: 8,
+		})
+		if err != nil {
+			t.Errorf("RunFleet: %v", err)
+		}
+		fleetDone <- res
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let traffic flow
+	if err := srv.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain under load: %v", err)
+	}
+	res := <-fleetDone
+	if res == nil {
+		t.Fatal("fleet returned no result")
+	}
+	if res.Counters.Txns == 0 {
+		t.Fatal("fleet did no work before the drain")
+	}
+	if res.Elapsed >= 5*time.Second {
+		t.Fatalf("fleet ran out the clock (%v); the drain should have ended it", res.Elapsed)
+	}
+}

@@ -1,0 +1,245 @@
+// Package server exposes a buffer.Pool as a network page-cache service:
+// a TCP front-end speaking a length-prefixed binary protocol, with one
+// buffer.Session per connection so the BP-Wrapper batching machinery sees
+// remote clients exactly the way it sees in-process backends.
+//
+// The protocol is deliberately minimal — five operations, pipelined by
+// request ID — because the interesting part is not the wire format but
+// what it feeds: a batched read loop decodes every request the kernel
+// delivered in one syscall and pushes them through a single shard session
+// before flushing responses, mirroring at the network layer the
+// batching-of-operations idea BP-Wrapper applies at the lock layer.
+//
+// # Wire format
+//
+// Every frame, in both directions, is:
+//
+//	uint32  length   — big endian; counts code + id + payload (≥ 9)
+//	uint8   code     — request opcode or response status
+//	uint64  id       — request ID, echoed verbatim in the response
+//	[]byte  payload  — op-specific; length-9 bytes
+//
+// Responses to one connection's requests are returned in request order,
+// so a pipelining client matches responses to requests positionally and
+// the echoed ID is a cross-check, not a reordering mechanism.
+//
+// Request payloads: GET/INVALIDATE carry an 8-byte big-endian PageID;
+// PUT carries the PageID followed by exactly page.Size bytes; FLUSH and
+// STATS carry nothing. Response payloads: a GET that succeeds returns the
+// page bytes, FLUSH returns a uint64 count of pages made durable, STATS
+// returns a JSON document (RemoteStats); any non-OK status carries a
+// human-readable message.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/storage"
+)
+
+// Request opcodes.
+const (
+	OpGet        byte = 1 // pin + read one page
+	OpPut        byte = 2 // overwrite one page and mark it dirty
+	OpInvalidate byte = 3 // drop one page, discarding dirty contents
+	OpFlush      byte = 4 // write every dirty page back to the device
+	OpStats      byte = 5 // operational snapshot (JSON)
+
+	opMax = 6 // one past the last opcode, for counter arrays
+)
+
+// Response statuses. The non-OK statuses are a wire encoding of the
+// buffer/storage error taxonomy: the client maps them back onto the same
+// sentinel errors (buffer.ErrOverloaded, storage.ErrInvalidPage, …) so
+// remote callers branch with errors.Is exactly like in-process callers.
+const (
+	StatusOK          byte = 0
+	StatusOverloaded  byte = 1 // miss shed by a degraded/read-only shard
+	StatusInvalidPage byte = 2
+	StatusNoBuffers   byte = 3 // every victim pinned, or quarantine full
+	StatusDraining    byte = 4 // server past its drain grace; reconnect elsewhere
+	StatusIOError     byte = 5 // device error that is none of the above
+	StatusBadRequest  byte = 6 // malformed opcode or payload
+
+	statusMax = 7
+)
+
+// frameHeaderLen is the fixed prefix every frame carries after the length
+// word: code (1) + request ID (8).
+const frameHeaderLen = 9
+
+// MaxPayload bounds a frame's payload in both directions. It admits the
+// largest legitimate frame — a PUT (8-byte PageID + one 8 KB page) — with
+// headroom for the STATS JSON, while keeping the decoder's worst-case
+// allocation fixed: a malicious length word can make it allocate at most
+// this much, never the 4 GB a raw uint32 could demand.
+const MaxPayload = 16 << 10
+
+// ErrFrameTooLarge is returned by the decoder for a length word exceeding
+// MaxPayload; the connection is no longer in sync and must be closed.
+var ErrFrameTooLarge = errors.New("server: frame exceeds MaxPayload")
+
+// ErrMalformedFrame is returned for a length word too small to hold the
+// code and request ID.
+var ErrMalformedFrame = errors.New("server: malformed frame (length < header)")
+
+// ErrDraining is what a client's request resolves to when the server has
+// passed its drain grace window: the request was not applied.
+var ErrDraining = errors.New("server: draining")
+
+var be = binary.BigEndian
+
+// appendFrame appends one encoded frame to dst and returns the extended
+// slice. The payload may be supplied in parts (a PUT passes the PageID
+// prefix and the page bytes separately, avoiding an assembly copy).
+func appendFrame(dst []byte, code byte, reqID uint64, payload ...[]byte) []byte {
+	n := 0
+	for _, p := range payload {
+		n += len(p)
+	}
+	dst = be.AppendUint32(dst, uint32(frameHeaderLen+n))
+	dst = append(dst, code)
+	dst = be.AppendUint64(dst, reqID)
+	for _, p := range payload {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// frameReader decodes frames from a buffered stream, reusing one payload
+// buffer across calls so a pipelined burst decodes without per-frame
+// allocation. It is not safe for concurrent use.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte // reused payload storage; cap never exceeds MaxPayload
+}
+
+// next reads one frame. The returned payload aliases the reader's
+// internal buffer and is valid only until the next call. Malformed
+// length words fail without allocating: the length is validated before
+// any payload storage is grown.
+func (fr *frameReader) next() (code byte, reqID uint64, payload []byte, err error) {
+	var hdr [4 + frameHeaderLen]byte
+	if _, err = io.ReadFull(fr.r, hdr[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := be.Uint32(hdr[:4])
+	if length < frameHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: length %d", ErrMalformedFrame, length)
+	}
+	if length > frameHeaderLen+MaxPayload {
+		return 0, 0, nil, fmt.Errorf("%w: length %d", ErrFrameTooLarge, length)
+	}
+	if _, err = io.ReadFull(fr.r, hdr[4:]); err != nil {
+		return 0, 0, nil, eofIsUnexpected(err)
+	}
+	code = hdr[4]
+	reqID = be.Uint64(hdr[5:])
+	n := int(length) - frameHeaderLen
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err = io.ReadFull(fr.r, payload); err != nil {
+		return 0, 0, nil, eofIsUnexpected(err)
+	}
+	return code, reqID, payload, nil
+}
+
+// eofIsUnexpected upgrades a mid-frame EOF: a clean EOF is only legal on
+// a frame boundary.
+func eofIsUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// opName names an opcode for metrics labels and error messages.
+func opName(code byte) string {
+	switch code {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpInvalidate:
+		return "invalidate"
+	case OpFlush:
+		return "flush"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", code)
+	}
+}
+
+// statusName names a status for metrics labels and error messages.
+func statusName(status byte) string {
+	switch status {
+	case StatusOK:
+		return "ok"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusInvalidPage:
+		return "invalid_page"
+	case StatusNoBuffers:
+		return "no_buffers"
+	case StatusDraining:
+		return "draining"
+	case StatusIOError:
+		return "io_error"
+	case StatusBadRequest:
+		return "bad_request"
+	default:
+		return fmt.Sprintf("status(%d)", status)
+	}
+}
+
+// statusForErr maps a pool/storage error onto its wire status. The
+// mapping is ordered from most to least specific: ErrQuarantineFull
+// wraps ErrNoUnpinnedBuffers, so the shared NoBuffers status covers both
+// the over-pinned pool and the saturated quarantine.
+func statusForErr(err error) byte {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, buffer.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, storage.ErrInvalidPage):
+		return StatusInvalidPage
+	case errors.Is(err, buffer.ErrNoUnpinnedBuffers):
+		return StatusNoBuffers
+	default:
+		return StatusIOError
+	}
+}
+
+// errForStatus is the client-side inverse of statusForErr: it rebuilds an
+// error wrapping the same sentinel the server-side error would satisfy,
+// so errors.Is-based handling (shed detection, invalid-page checks) is
+// identical for remote and in-process callers.
+func errForStatus(status byte, msg []byte) error {
+	m := string(msg)
+	if m == "" {
+		m = statusName(status)
+	}
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusOverloaded:
+		return fmt.Errorf("remote: %s: %w", m, buffer.ErrOverloaded)
+	case StatusInvalidPage:
+		return fmt.Errorf("remote: %s: %w", m, storage.ErrInvalidPage)
+	case StatusNoBuffers:
+		return fmt.Errorf("remote: %s: %w", m, buffer.ErrNoUnpinnedBuffers)
+	case StatusDraining:
+		return fmt.Errorf("remote: %s: %w", m, ErrDraining)
+	default:
+		return fmt.Errorf("remote: %s (%s)", m, statusName(status))
+	}
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/storage"
+)
+
+// TestFrameGoldenEncoding pins the wire format byte for byte: if any of
+// these fail, the protocol changed incompatibly and every deployed client
+// would desync. New fields mean a new opcode, not a reshaped frame.
+func TestFrameGoldenEncoding(t *testing.T) {
+	cases := []struct {
+		name    string
+		code    byte
+		reqID   uint64
+		payload [][]byte
+		want    []byte
+	}{
+		{
+			name:  "flush-empty-payload",
+			code:  OpFlush,
+			reqID: 0x0102030405060708,
+			want: []byte{
+				0x00, 0x00, 0x00, 0x09, // length = 9: header only
+				0x04,                                           // OpFlush
+				0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // reqID
+			},
+		},
+		{
+			name:    "get-pageid",
+			code:    OpGet,
+			reqID:   1,
+			payload: [][]byte{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33}},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x11, // length = 9 + 8
+				0x01,                                           // OpGet
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // reqID
+				0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33, // PageID
+			},
+		},
+		{
+			name:    "response-overloaded",
+			code:    StatusOverloaded,
+			reqID:   7,
+			payload: [][]byte{[]byte("shed")},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x0d, // length = 9 + 4
+				0x01,                                           // StatusOverloaded
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // reqID
+				's', 'h', 'e', 'd',
+			},
+		},
+		{
+			name:    "split-payload-concatenates",
+			code:    OpPut,
+			reqID:   2,
+			payload: [][]byte{{0xaa}, {0xbb, 0xcc}},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x0c,
+				0x02,
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02,
+				0xaa, 0xbb, 0xcc,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := appendFrame(nil, tc.code, tc.reqID, tc.payload...)
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("encoded frame\n got %#v\nwant %#v", got, tc.want)
+			}
+			// And the decoder inverts it.
+			fr := frameReader{r: bufio.NewReader(bytes.NewReader(got))}
+			code, id, payload, err := fr.next()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			var flat []byte
+			for _, p := range tc.payload {
+				flat = append(flat, p...)
+			}
+			if code != tc.code || id != tc.reqID || !bytes.Equal(payload, flat) {
+				t.Fatalf("decode: code=%d id=%d payload=%#v, want %d/%d/%#v",
+					code, id, payload, tc.code, tc.reqID, flat)
+			}
+		})
+	}
+}
+
+// TestFrameDecodeMalformed pins the decoder's failure taxonomy: length
+// words below the header size and above the payload bound are typed
+// errors, truncation mid-frame is ErrUnexpectedEOF, and a clean EOF is
+// only legal on a frame boundary.
+func TestFrameDecodeMalformed(t *testing.T) {
+	frame := func(raw ...byte) *frameReader {
+		return &frameReader{r: bufio.NewReader(bytes.NewReader(raw))}
+	}
+	t.Run("length-below-header", func(t *testing.T) {
+		_, _, _, err := frame(0x00, 0x00, 0x00, 0x08).next()
+		if !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("err = %v, want ErrMalformedFrame", err)
+		}
+	})
+	t.Run("length-zero", func(t *testing.T) {
+		_, _, _, err := frame(0x00, 0x00, 0x00, 0x00).next()
+		if !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("err = %v, want ErrMalformedFrame", err)
+		}
+	})
+	t.Run("length-over-bound", func(t *testing.T) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], frameHeaderLen+MaxPayload+1)
+		_, _, _, err := frame(hdr[:]...).next()
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("length-maximum-uint32", func(t *testing.T) {
+		_, _, _, err := frame(0xff, 0xff, 0xff, 0xff).next()
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		_, _, _, err := frame(0x00, 0x00, 0x00, 0x09, 0x01).next()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		raw := appendFrame(nil, OpGet, 1, make([]byte, 8))
+		_, _, _, err := frame(raw[:len(raw)-3]...).next()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("clean-eof-on-boundary", func(t *testing.T) {
+		_, _, _, err := frame().next()
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	})
+	t.Run("truncated-length-word", func(t *testing.T) {
+		_, _, _, err := frame(0x00, 0x00).next()
+		// io.ReadFull on the length word itself: an UnexpectedEOF from
+		// the stdlib, not our wrapper — both are acceptable cut signals.
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+}
+
+// TestFrameDecoderReusesBuffer verifies the zero-alloc contract: decoding
+// a pipelined burst grows the payload buffer once and never beyond
+// MaxPayload, and each payload aliases that buffer.
+func TestFrameDecoderReusesBuffer(t *testing.T) {
+	var raw []byte
+	big := make([]byte, page.Size)
+	for i := 0; i < 64; i++ {
+		raw = appendFrame(raw, OpPut, uint64(i), make([]byte, 8), big)
+	}
+	fr := frameReader{r: bufio.NewReader(bytes.NewReader(raw))}
+	var capAfterFirst int
+	for i := 0; i < 64; i++ {
+		_, id, payload, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if id != uint64(i) {
+			t.Fatalf("frame %d: id %d", i, id)
+		}
+		if len(payload) != 8+page.Size {
+			t.Fatalf("frame %d: payload %d bytes", i, len(payload))
+		}
+		if i == 0 {
+			capAfterFirst = cap(fr.buf)
+		} else if cap(fr.buf) != capAfterFirst {
+			t.Fatalf("frame %d: buffer reallocated (cap %d → %d)", i, capAfterFirst, cap(fr.buf))
+		}
+	}
+	if cap(fr.buf) > MaxPayload {
+		t.Fatalf("decoder buffer cap %d exceeds MaxPayload %d", cap(fr.buf), MaxPayload)
+	}
+}
+
+// TestStatusErrorRoundTrip verifies the error taxonomy survives the wire:
+// server-side statusForErr and client-side errForStatus compose to an
+// error satisfying the same errors.Is checks as the original.
+func TestStatusErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		status   byte
+		sentinel error
+	}{
+		{"overloaded", buffer.ErrOverloaded, StatusOverloaded, buffer.ErrOverloaded},
+		{"invalid-page", storage.ErrInvalidPage, StatusInvalidPage, storage.ErrInvalidPage},
+		{"no-buffers", buffer.ErrNoUnpinnedBuffers, StatusNoBuffers, buffer.ErrNoUnpinnedBuffers},
+		{"quarantine-full-collapses-to-no-buffers", buffer.ErrQuarantineFull, StatusNoBuffers, buffer.ErrNoUnpinnedBuffers},
+		{"wrapped-overloaded", errors.Join(errors.New("ctx"), buffer.ErrOverloaded), StatusOverloaded, buffer.ErrOverloaded},
+		{"io-error", errors.New("disk on fire"), StatusIOError, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := statusForErr(tc.err)
+			if st != tc.status {
+				t.Fatalf("statusForErr = %s, want %s", statusName(st), statusName(tc.status))
+			}
+			back := errForStatus(st, []byte(tc.err.Error()))
+			if back == nil {
+				t.Fatal("errForStatus returned nil for a failure status")
+			}
+			if tc.sentinel != nil && !errors.Is(back, tc.sentinel) {
+				t.Fatalf("round-tripped error %v does not satisfy %v", back, tc.sentinel)
+			}
+		})
+	}
+	if statusForErr(nil) != StatusOK {
+		t.Fatal("statusForErr(nil) != StatusOK")
+	}
+	if errForStatus(StatusOK, nil) != nil {
+		t.Fatal("errForStatus(StatusOK) != nil")
+	}
+	if !errors.Is(errForStatus(StatusDraining, nil), ErrDraining) {
+		t.Fatal("StatusDraining does not map to ErrDraining")
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams — including mutated valid
+// frames with duplicate request IDs — through the decoder. The decoder
+// must never panic and never allocate beyond MaxPayload, whatever the
+// length words claim.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x09, 0x04, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	// A valid GET, a duplicate-ID GET, then a truncated PUT.
+	dup := appendFrame(nil, OpGet, 42, make([]byte, 8))
+	dup = appendFrame(dup, OpGet, 42, make([]byte, 8))
+	dup = append(dup, appendFrame(nil, OpPut, 43, make([]byte, 100))[:20]...)
+	f.Add(dup)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fr := frameReader{r: bufio.NewReader(bytes.NewReader(raw))}
+		seen := make(map[uint64]int)
+		for {
+			code, id, payload, err := fr.next()
+			if err != nil {
+				break // any error ends the stream; it must just not panic
+			}
+			if len(payload) > MaxPayload {
+				t.Fatalf("payload %d bytes exceeds MaxPayload", len(payload))
+			}
+			_ = code
+			seen[id]++
+		}
+		if cap(fr.buf) > MaxPayload {
+			t.Fatalf("decoder retained %d-byte buffer, bound is %d", cap(fr.buf), MaxPayload)
+		}
+		// Duplicate IDs are legal at the framing layer (positional
+		// matching); the decoder must simply deliver them all.
+		_ = seen
+	})
+}
