@@ -53,6 +53,7 @@ package bpwrapper
 
 import (
 	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/control"
 	"bpwrapper/internal/core"
 	"bpwrapper/internal/metrics"
 	"bpwrapper/internal/obs"
@@ -223,6 +224,29 @@ var ErrNoUnpinnedBuffers = buffer.ErrNoUnpinnedBuffers
 
 // NewPool builds a buffer pool.
 func NewPool(cfg PoolConfig) *Pool { return buffer.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Self-tuning controller
+
+// Controller closes the observation→actuation loop over a Pool: a
+// background goroutine consumes the pool's sampled access stream and
+// windowed stats deltas, and actuates batch-threshold retuning,
+// background write-back rate, replacement-policy hot-swap (scored by
+// shadow ghost caches), and online resharding. See DESIGN.md §14 and the
+// bpbench "tuner" experiment (E19).
+type Controller = control.Controller
+
+// ControllerConfig tunes a Controller; the zero value of every optional
+// field picks the documented default. Pool is required.
+type ControllerConfig = control.Config
+
+// ControllerAction is one actuation taken by a controller step.
+type ControllerAction = control.Action
+
+// NewController builds a Controller over a pool. Call Start to run it on
+// its interval ticker and Stop to halt it; Step may instead be driven
+// manually for deterministic replay.
+func NewController(cfg ControllerConfig) *Controller { return control.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Storage devices

@@ -59,6 +59,15 @@
 // optimistic path serves 100%-resident reads with zero lock acquisitions
 // (committed as results/BENCH_hitpath.json via scripts/bench_hitpath.sh),
 // plus, with -mode real, a goroutine-scaling sweep up to -procs workers.
+//
+// The tuner experiment (E19) closes the observation→control loop
+// (internal/control, DESIGN.md §14) end to end: phase A replays E14's
+// scan-mix trace against a deliberately over-sharded SEQ pool and lets the
+// controller reshard down until the fragmentation gap closes, reporting
+// what fraction of the sharding-induced hit-ratio loss it recovered;
+// phase B replays a loop trace against a misconfigured 2Q pool and lets
+// the ghost scorer hot-swap the policy. Deterministic, committed as
+// results/BENCH_tuner.json via scripts/bench_tuner.sh.
 package main
 
 import (
@@ -76,7 +85,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, server, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, server, tuner, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
@@ -277,6 +286,17 @@ func main() {
 				check(bench.CSVServer(os.Stdout, rep))
 			default:
 				bench.PrintServer(os.Stdout, rep)
+			}
+		case "tuner":
+			rep, err := bench.TunerExperiment(opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONTuner(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVTuner(os.Stdout, rep))
+			default:
+				bench.PrintTuner(os.Stdout, rep)
 			}
 		case "chaos":
 			rep, err := bench.ChaosExperiment(opts)

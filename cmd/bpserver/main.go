@@ -14,6 +14,8 @@
 //
 //	bpserver -addr :7071 -frames 4096 -policy lirs
 //	bpserver -addr :7071 -obs :6060        # /metrics for bpstat
+//	bpserver -addr :7071 -controller       # self-tuning obs→control loop
+//	bpserver -addr :7071 -reshard 4,2      # online reshard under live traffic
 //	bpload -remote 127.0.0.1:7071 -workload tpcc -workers 16
 package main
 
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,8 +50,16 @@ func main() {
 		drainBudget = flag.Duration("drain-budget", 30*time.Second, "total graceful-drain budget (incl. dirty flush)")
 		obsAddr     = flag.String("obs", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
 		recorder    = flag.Int("recorder", 4096, "per-shard flight-recorder ring size (0 disables)")
+		controller  = flag.Bool("controller", false, "run the self-tuning controller (policy hot-swap, resharding, threshold and bgwriter steering)")
+		reshard     = flag.String("reshard", "", "comma-separated shard-count schedule applied online under live traffic (e.g. 4,2)")
+		reshardIvl  = flag.Duration("reshard-interval", 2*time.Second, "delay before each -reshard step")
 	)
 	flag.Parse()
+
+	schedule, err := parseShardSchedule(*reshard)
+	if err != nil {
+		fatal(err)
+	}
 
 	factory, ok := bpwrapper.PolicyFactories()[*policyName]
 	if !ok {
@@ -74,6 +86,13 @@ func main() {
 		bw = pool.StartBackgroundWriter(bpwrapper.BackgroundWriterConfig{})
 	}
 
+	var ctl *bpwrapper.Controller
+	if *controller {
+		ctl = bpwrapper.NewController(bpwrapper.ControllerConfig{Pool: pool, Writer: bw})
+		ctl.Start()
+		fmt.Println("bpserver: self-tuning controller running")
+	}
+
 	srv, err := server.New(server.Config{
 		Pool:         pool,
 		Addr:         *addr,
@@ -91,6 +110,9 @@ func main() {
 		if bw != nil {
 			bw.RegisterObs(reg)
 		}
+		if ctl != nil {
+			ctl.RegisterObs(reg)
+		}
 		srv.RegisterObs(reg)
 		osrv, err := bpwrapper.NewObsServer(*obsAddr, reg)
 		if err != nil {
@@ -103,10 +125,30 @@ func main() {
 	fmt.Printf("bpserver: serving %d frames (%s, %d shard(s), batching=%v) on %s\n",
 		*frames, *policyName, *shards, *batching, srv.Addr())
 
+	// Walk the -reshard schedule under whatever traffic is live: each step
+	// is a full online migration (seal, publish, migrate, finalize) with
+	// clients still being served. A refused step (degraded shard) is
+	// reported and skipped, not fatal.
+	if len(schedule) > 0 {
+		go func() {
+			for _, n := range schedule {
+				time.Sleep(*reshardIvl)
+				if err := pool.Reshard(n); err != nil {
+					fmt.Fprintf(os.Stderr, "bpserver: reshard to %d: %v\n", n, err)
+					continue
+				}
+				fmt.Printf("bpserver: resharded to %d shard(s)\n", n)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("bpserver: draining (grace %v, budget %v)\n", *drainGrace, *drainBudget)
+	if ctl != nil {
+		ctl.Stop()
+	}
 	if bw != nil {
 		bw.Stop()
 	}
@@ -123,6 +165,24 @@ func main() {
 		srv.Close()
 		os.Exit(1)
 	}
+}
+
+// parseShardSchedule turns "4,2" into []int{4, 2}. Empty input is an
+// empty schedule, not an error.
+func parseShardSchedule(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -reshard step %q: want a positive shard count", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,7 +1,13 @@
 // Command bpstat polls a running pool's observability endpoint (bpload or
 // bpbench started with -obs) and renders a per-shard live table — the
 // iostat of the BP-Wrapper stack. Rates are deltas between polls; the
-// first sample prints totals.
+// first sample prints totals, and an online reshard between polls rebases
+// the rates (new-topology counters restart at zero).
+//
+// Against a bpserver running the self-tuning controller (-controller) an
+// extra panel renders the bpw_control_* series: steps, actuations, the
+// batch-threshold override, reshard state, ghost scores per candidate
+// policy, and the last action taken.
 //
 // Usage:
 //
@@ -92,6 +98,17 @@ func (t tree) shards() []string {
 	return out
 }
 
+// shardPolicy returns the replacement policy installed in one shard, read
+// from the bpw_policy_in_use info gauge ("?" when absent).
+func (t tree) shardPolicy(shard string) string {
+	for _, s := range t["bpw_policy_in_use"] {
+		if s.Labels["shard"] == shard {
+			return s.Labels["policy"]
+		}
+	}
+	return "?"
+}
+
 func fetch(addr string) (tree, error) {
 	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
@@ -138,8 +155,17 @@ func render(t, prev tree, dt time.Duration) {
 	if prev == nil {
 		rateHdr = "accesses"
 	}
-	fmt.Printf("%-5s  %10s  %6s  %6s  %7s  %7s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
-		"shard", rateHdr, "hit%", "fast%", "retries", "fallbk", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
+	// The policy column sizes itself to the longest name present: a
+	// hot-swap mid-session ("2q" -> "clockpro") must widen the column, not
+	// shear every column after it out of alignment.
+	polW := len("policy")
+	for _, sh := range shards {
+		if n := len(t.shardPolicy(sh)); n > polW {
+			polW = n
+		}
+	}
+	fmt.Printf("%-5s  %-*s  %10s  %6s  %6s  %7s  %7s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
+		"shard", polW, "policy", rateHdr, "hit%", "fast%", "retries", "fallbk", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
 	for _, sh := range shards {
 		accesses := t.shardVal("bpw_accesses_total", sh)
 		rate := accesses
@@ -162,8 +188,8 @@ func render(t, prev tree, dt time.Duration) {
 		}
 		batch := t.shardDist("bpw_batch_size", sh)
 		comb := t.shardDist("bpw_combine_run_length", sh)
-		fmt.Printf("%-5s  %10.0f  %5.1f%%  %5.1f%%  %7.0f  %7.0f  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
-			sh, rate, hitPct, fastPct,
+		fmt.Printf("%-5s  %-*s  %10.0f  %5.1f%%  %5.1f%%  %7.0f  %7.0f  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
+			sh, polW, t.shardPolicy(sh), rate, hitPct, fastPct,
 			t.shardVal("bpw_hitpath_retries_total", sh),
 			t.shardVal("bpw_hitpath_fallbacks_total", sh),
 			t.shardVal("bpw_lock_acquisitions_total", sh),
@@ -208,6 +234,40 @@ func renderServer(t, prev tree, dt time.Duration) {
 		t.val("bpw_server_drained_conns_total"))
 }
 
+// renderControl prints the self-tuning controller's panel when the
+// endpoint exposes bpw_control_* (bpserver -controller): step/actuation
+// counts, the live ghost score per candidate policy, the reshard state,
+// and the last action taken.
+func renderControl(t tree) {
+	if len(t["bpw_control_steps_total"]) == 0 {
+		return
+	}
+	topo := fmt.Sprintf("shards %.0f epoch %.0f", t.val("bpw_shards"), t.val("bpw_pool_epoch"))
+	if t.val("bpw_resharding") > 0 {
+		topo += " MIGRATING"
+	}
+	last := "none yet"
+	for _, s := range t["bpw_control_last_action"] {
+		last = s.Labels["kind"]
+		if d := s.Labels["detail"]; d != "" {
+			last += " " + d
+		}
+	}
+	scores := t["bpw_control_policy_score"]
+	sort.Slice(scores, func(i, j int) bool { return scores[i].Labels["policy"] < scores[j].Labels["policy"] })
+	scoreStr := ""
+	for _, s := range scores {
+		scoreStr += fmt.Sprintf("  %s=%.3f", s.Labels["policy"], s.Value)
+	}
+	if scoreStr == "" {
+		scoreStr = "  (no samples yet)"
+	}
+	fmt.Printf("control steps %.0f  acts %.0f  threshold %.0f  %s  last: %s\n",
+		t.val("bpw_control_steps_total"), t.sum("bpw_control_actions_total"),
+		t.val("bpw_control_batch_threshold"), topo, last)
+	fmt.Printf("ghost scores%s\n", scoreStr)
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:6060", "obs endpoint address (host:port)")
@@ -224,8 +284,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bpstat:", err)
 			os.Exit(1)
 		}
+		// An online reshard restarts every per-shard counter at zero in the
+		// new topology, so deltas against the previous poll would go absurdly
+		// negative and shear the table. Rebase on any epoch or shard-count
+		// change: print totals for this poll, rates resume on the next.
+		if prev != nil && (t.val("bpw_pool_epoch") != prev.val("bpw_pool_epoch") ||
+			len(t.shards()) != len(prev.shards())) {
+			fmt.Printf("topology changed (epoch %.0f -> %.0f, %d shard(s)): rates rebased\n",
+				prev.val("bpw_pool_epoch"), t.val("bpw_pool_epoch"), len(t.shards()))
+			prev = nil
+		}
 		now := time.Now()
 		render(t, prev, now.Sub(last))
+		renderControl(t)
 		renderServer(t, prev, now.Sub(last))
 		if *once {
 			return

@@ -19,11 +19,15 @@ import (
 // writer backs off exponentially up to MaxInterval instead of hammering a
 // device that is clearly down; the first successful round resets the
 // cadence.
+//
+// The cadence and burst size are retunable at runtime (SetRate): the
+// controller raises the write-back rate when quarantine depth climbs and
+// relaxes it when the pool is clean.
 type BackgroundWriter struct {
 	pool        *Pool
-	interval    time.Duration
+	interval    atomic.Int64 // nanoseconds between rounds
 	maxInterval time.Duration
-	maxPages    int
+	maxPages    atomic.Int64
 
 	mu    sync.Mutex
 	stats BackgroundWriterStats
@@ -73,21 +77,40 @@ func (p *Pool) StartBackgroundWriter(cfg BackgroundWriterConfig) *BackgroundWrit
 	}
 	w := &BackgroundWriter{
 		pool:        p,
-		interval:    cfg.Interval,
 		maxInterval: cfg.MaxInterval,
-		maxPages:    cfg.MaxPagesPerRound,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	w.interval.Store(int64(cfg.Interval))
+	w.maxPages.Store(int64(cfg.MaxPagesPerRound))
 	go w.run()
 	return w
 }
 
+// SetRate retunes the writer live: interval is the new round cadence,
+// maxPages the new per-round burst bound. Non-positive values leave the
+// respective knob unchanged. The new cadence takes effect after the round
+// currently being awaited (at most one old interval of lag).
+func (w *BackgroundWriter) SetRate(interval time.Duration, maxPages int) {
+	if interval > 0 {
+		w.interval.Store(int64(interval))
+	}
+	if maxPages > 0 {
+		w.maxPages.Store(int64(maxPages))
+	}
+}
+
+// Rate reports the writer's current cadence and burst bound.
+func (w *BackgroundWriter) Rate() (time.Duration, int) {
+	return time.Duration(w.interval.Load()), int(w.maxPages.Load())
+}
+
 func (w *BackgroundWriter) run() {
 	defer close(w.done)
-	interval := w.interval
+	interval := time.Duration(w.interval.Load())
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
+	backingOff := false
 	for {
 		select {
 		case <-timer.C:
@@ -95,15 +118,20 @@ func (w *BackgroundWriter) run() {
 			if failed > 0 && written == 0 {
 				// The device refused everything: retrying at full cadence
 				// only adds load to a struggling device. Back off.
+				if !backingOff {
+					interval = time.Duration(w.interval.Load())
+				}
+				backingOff = true
 				interval *= 2
-				if interval > w.maxInterval {
-					interval = w.maxInterval
+				if cap := w.backoffCap(); interval > cap {
+					interval = cap
 				}
 				w.mu.Lock()
 				w.stats.BackoffRounds++
 				w.mu.Unlock()
 			} else {
-				interval = w.interval
+				backingOff = false
+				interval = time.Duration(w.interval.Load())
 			}
 			timer.Reset(interval)
 		case <-w.stop:
@@ -111,6 +139,16 @@ func (w *BackgroundWriter) run() {
 			return
 		}
 	}
+}
+
+// backoffCap bounds the failure backoff: the configured MaxInterval, but
+// never below the current (possibly retuned) base interval.
+func (w *BackgroundWriter) backoffCap() time.Duration {
+	cap := w.maxInterval
+	if base := time.Duration(w.interval.Load()); base > cap {
+		cap = base
+	}
+	return cap
 }
 
 // safeRound runs one round with panic containment: a panic anywhere in
@@ -127,8 +165,8 @@ func (w *BackgroundWriter) safeRound() (written, failed int64) {
 			w.mu.Lock()
 			w.stats.PanicRecoveries++
 			w.mu.Unlock()
-			for si := range w.pool.shards {
-				w.pool.shards[si].events.Record(obs.EvPanic, 1, 0)
+			for _, sh := range w.pool.liveShards() {
+				sh.events.Record(obs.EvPanic, 1, 0)
 			}
 			msg := fmt.Sprintf("bgwriter: recovered round panic: %v\n%s\n%s",
 				r, debug.Stack(), w.pool.FlightDump())
@@ -148,7 +186,9 @@ func (w *BackgroundWriter) LastPanic() string {
 	return ""
 }
 
-// round walks the shards: for each shard it retries the quarantine, then
+// round walks the live shards — the current topology plus, during a
+// reshard, the draining one, so a dirty page is retried whichever side of
+// the migration holds it: for each shard it retries the quarantine, then
 // writes back dirty, unpinned frames through shard.flushFrame (park in
 // quarantine, clear the dirty bit, write, resolve — so no frame ever looks
 // clean while its write-back is still in flight). Draining first frees
@@ -158,14 +198,13 @@ func (w *BackgroundWriter) LastPanic() string {
 // old monolithic round verbatim). It reports pages made durable and
 // failed attempts.
 func (w *BackgroundWriter) round() (written, failed int64) {
-	p := w.pool
-	for si := range p.shards {
-		sh := &p.shards[si]
+	maxPages := w.maxPages.Load()
+	for _, sh := range w.pool.liveShards() {
 		qn, qfailed, _ := sh.drainQuarantine()
 		written += int64(qn)
 		failed += int64(qfailed)
 		for i := range sh.frames {
-			if written+failed >= int64(w.maxPages) {
+			if written+failed >= maxPages {
 				break
 			}
 			wrote, err := sh.flushFrame(&sh.frames[i])
@@ -177,7 +216,7 @@ func (w *BackgroundWriter) round() (written, failed int64) {
 				written++
 			}
 		}
-		if written+failed >= int64(w.maxPages) {
+		if written+failed >= maxPages {
 			break
 		}
 	}

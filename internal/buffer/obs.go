@@ -22,9 +22,41 @@ import (
 // free-list mutex) — fine at scrape cadence, not meant for hot paths.
 func (p *Pool) RegisterObs(reg *obs.Registry) {
 	reg.Register(p.collect)
-	for i := range p.shards {
-		if rec := p.shards[i].events; rec != nil {
-			reg.RegisterRecorder(fmt.Sprintf("shard %d", i), rec)
+	set := p.cur.Load()
+	for i, sh := range set.shards {
+		if rec := sh.events; rec != nil {
+			reg.RegisterRecorder(recorderName(set.epoch, i), rec)
+		}
+	}
+	// Remember the registry so shards built by later reshards get their
+	// recorders registered too (registerRecorders).
+	p.obsMu.Lock()
+	p.obsRegs = append(p.obsRegs, reg)
+	p.obsMu.Unlock()
+}
+
+// recorderName labels a shard's flight recorder. Epoch 0 keeps the
+// historical "shard N" names; later topologies are suffixed so a registry
+// that outlives a reshard exposes both histories unambiguously.
+func recorderName(epoch uint64, i int) string {
+	if epoch == 0 {
+		return fmt.Sprintf("shard %d", i)
+	}
+	return fmt.Sprintf("shard %d @e%d", i, epoch)
+}
+
+// registerRecorders wires a freshly built topology's flight recorders into
+// every registry the pool was registered with (called by Reshard after
+// publishing the new set).
+func (p *Pool) registerRecorders(set *shardSet) {
+	p.obsMu.Lock()
+	regs := append([]*obs.Registry(nil), p.obsRegs...)
+	p.obsMu.Unlock()
+	for _, reg := range regs {
+		for i, sh := range set.shards {
+			if rec := sh.events; rec != nil {
+				reg.RegisterRecorder(recorderName(set.epoch, i), rec)
+			}
 		}
 	}
 }
@@ -39,11 +71,31 @@ func (p *Pool) collect(emit func(obs.Metric)) {
 		emit(obs.Metric{Name: name, Help: help, Type: obs.Gauge, Labels: labels, Value: v})
 	}
 
-	g("bpw_shards", "hash partitions in the pool", nil, float64(len(p.shards)))
+	set := p.cur.Load()
+	g("bpw_shards", "hash partitions in the pool", nil, float64(len(set.shards)))
+	g("bpw_pool_epoch", "current shard-topology epoch (bumped by each reshard)", nil, float64(set.epoch))
+	resharding := 0.0
+	if set.prev.Load() != nil {
+		resharding = 1
+	}
+	g("bpw_resharding", "1 while a previous topology is still draining", nil, resharding)
+	c("bpw_reshards_total", "completed online reshards", nil, float64(p.reshards.Load()))
+	migrated := int64(0)
+	_, _, retired := p.topologySnapshot()
+	for _, sh := range p.liveShards() {
+		migrated += sh.migratedOut.Load()
+	}
+	for _, sh := range retired {
+		migrated += sh.migratedOut.Load()
+	}
+	c("bpw_pages_migrated_total", "pages carried across topologies by reshards", nil, float64(migrated))
 
-	for i := range p.shards {
-		sh := &p.shards[i]
+	for i, sh := range set.shards {
 		l := [][2]string{{"shard", strconv.Itoa(i)}}
+		sh.wrapper.Locked(func(pol replacer.Policy) {
+			g("bpw_policy_in_use", "replacement policy installed in the shard (value always 1)",
+				append(l[:1:1], [2]string{"policy", pol.Name()}), 1)
+		})
 		ws := sh.wrapper.Stats()
 
 		// Lock contention: scalar totals plus the sampled distributions.
@@ -173,9 +225,17 @@ func (w *BackgroundWriter) RegisterObs(reg *obs.Registry) {
 // when recording is disabled, so callers can append it unconditionally.
 func (p *Pool) FlightDump() string {
 	var sb strings.Builder
-	for i := range p.shards {
-		if rec := p.shards[i].events; rec != nil {
-			sb.WriteString(rec.DumpString(fmt.Sprintf("shard %d", i)))
+	set := p.cur.Load()
+	for i, sh := range set.shards {
+		if rec := sh.events; rec != nil {
+			sb.WriteString(rec.DumpString(recorderName(set.epoch, i)))
+		}
+	}
+	if prev := set.prev.Load(); prev != nil {
+		for i, sh := range prev.shards {
+			if rec := sh.events; rec != nil {
+				sb.WriteString(rec.DumpString(recorderName(prev.epoch, i) + " (draining)"))
+			}
 		}
 	}
 	return sb.String()

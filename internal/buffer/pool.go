@@ -14,11 +14,19 @@
 // policy locks dissolve contention, per-shard ghost history costs hit
 // ratio. Shards: 1 (the default) is the paper's configuration and is
 // byte-for-byte the old monolithic pool.
+//
+// Since PR 9 the shard topology is no longer fixed at construction: the
+// shards live behind an atomically-swappable shardSet and Pool.Reshard
+// grows or shrinks the count under live traffic (see reshard.go and
+// DESIGN.md §14), so shard count can follow the workload instead of a
+// config file — the E14 trade becomes a runtime decision.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bpwrapper/internal/core"
@@ -43,14 +51,16 @@ type Config struct {
 	// shard owns its own frames, page table, free list, quarantine, and —
 	// critically — its own BP-Wrapper + policy instance, so the policy
 	// lock and batching queues are per shard. Zero or one means the
-	// classic single-shard pool. Must not exceed Frames.
+	// classic single-shard pool. Must not exceed Frames. This is only the
+	// *initial* topology: Reshard changes it at runtime.
 	Shards int
 
 	// Policy is the replacement algorithm instance, sized to Frames. Only
 	// valid for single-shard pools (the history of one policy instance
 	// cannot be split); the pool takes ownership. Exactly one of Policy
 	// and PolicyFactory must be set when Shards <= 1; PolicyFactory is
-	// required when Shards > 1.
+	// required when Shards > 1 — and for Reshard, which must build policy
+	// instances for arbitrary shard counts.
 	Policy replacer.Policy
 
 	// PolicyFactory constructs one policy instance per shard, each sized
@@ -74,7 +84,8 @@ type Config struct {
 	// another shard's breaker. The pool probes each stack with
 	// storage.FindBreaker/FindDeadline and wires what it finds into that
 	// shard's health state machine. Pool.Stats().Device still reports the
-	// shared base device's counters.
+	// shared base device's counters. After a Reshard the function is
+	// called again with the indices of the new topology.
 	WrapShardDevice func(shard int, base storage.Device) storage.Device
 
 	// Health tunes the per-shard health state machine and miss admission
@@ -123,17 +134,81 @@ type Config struct {
 // Pool is the buffer-pool manager: a router over one or more shards, keyed
 // by a PageID hash. All methods are safe for concurrent use; per-backend
 // access records flow through Sessions obtained from NewSession.
+//
+// The shard topology is one atomic pointer load away (cur); Reshard swaps
+// it wholesale and migrates pages from the old topology to the new one
+// under live traffic. Everything needed to *build* a topology — the frame
+// budget, policy factory, wrapper config, device wrapping, health tuning —
+// is remembered from Config so new shard sets can be constructed at any
+// count.
 type Pool struct {
-	shards       []shard
+	cur          atomic.Pointer[shardSet]
 	device       storage.Device
 	closeTimeout time.Duration
+
+	// Construction recipe for newShardSet.
+	frames        int
+	wrapperCfg    core.Config
+	wrapDevice    func(int, storage.Device) storage.Device
+	health        HealthConfig
+	quarCap       int
+	lockedHitPath bool
+	recorderSize  int
+
+	// factory builds per-shard policy instances for reshards; nil for
+	// single-shard pools constructed with a bare Policy instance (Reshard
+	// then refuses until SwapPolicy installs a factory). Guarded by
+	// policyMu because SwapPolicy replaces it at runtime.
+	policyMu sync.Mutex
+	factory  replacer.Factory
+
+	// dynThreshold is the controller's live batch-threshold override
+	// (0 = use the configured value); applied to current shards by
+	// SetBatchThreshold and inherited by shards built later.
+	dynThreshold atomic.Int32
+
+	// forcedRO mirrors SetReadOnly so shards built by a reshard inherit
+	// the operator's read-only floor.
+	forcedRO atomic.Bool
+
+	// reshardMu serializes topology and policy swaps; reshards counts
+	// completed topology changes.
+	reshardMu sync.Mutex
+	reshards  atomic.Int64
+
+	// retired holds the shards of fully-drained previous topologies:
+	// their frames are empty, but their counters still receive late folds
+	// from sessions that stayed idle across the migration, so Stats keeps
+	// reading them. retireMu orders the retire-append/prev-clear pair
+	// against Stats snapshots (exactly-once counting; see Stats).
+	retireMu sync.Mutex
+	retired  []*shard
+
+	// obsRegs remembers every registry handed to RegisterObs so the
+	// flight recorders of shards built by later reshards can be
+	// registered too.
+	obsMu   sync.Mutex
+	obsRegs []*obs.Registry
+
+	// sampler, when enabled, spatially samples the access stream into a
+	// lock-free ring for the controller's shadow ghost caches.
+	sampler atomic.Pointer[sampleRing]
 }
 
 // Session is a per-backend handle carrying one core.Session per shard
 // (each shard has its own wrapper, and a batching queue belongs to exactly
 // one wrapper). Sessions must not be shared between goroutines.
+//
+// A session is bound to one shardSet; when the pool resharded since the
+// session's last access, the access path re-binds it: staged hits are
+// folded and queued accesses flushed into the old topology's wrappers
+// (whose counters remain reachable after retirement), then fresh
+// sub-sessions are built for the new topology. Callers never see any of
+// this — pins taken before a reshard stay valid (PageRef holds the frame,
+// not a route) and the typed errResharded retry is internal.
 type Session struct {
 	pool *Pool
+	set  *shardSet
 	subs []*core.Session
 
 	// stage holds per-shard hit counts not yet folded into the shard's
@@ -175,10 +250,27 @@ func (s *Session) foldHits(idx int) {
 	if st.hits == 0 {
 		return
 	}
-	sh := &s.pool.shards[idx]
+	sh := s.set.shards[idx]
 	sh.counters.AddHits(st.hits)
 	sh.hp.fast.Add(st.fast)
 	st.hits, st.fast = 0, 0
+}
+
+// rebind moves the session onto set: staged hits and queued accesses are
+// folded into the topology they were recorded against (late folds into
+// retired shards are safe — their wrappers and tables stay alive), then
+// per-shard sub-sessions are rebuilt for the new topology.
+func (s *Session) rebind(set *shardSet) {
+	for i, sub := range s.subs {
+		s.foldHits(i)
+		sub.Flush()
+	}
+	s.set = set
+	s.subs = make([]*core.Session, len(set.shards))
+	s.stage = make([]hitStage, len(set.shards))
+	for i, sh := range set.shards {
+		s.subs[i] = sh.wrapper.NewSession()
+	}
 }
 
 // Flush commits every shard queue's batched accesses to its policy and
@@ -228,90 +320,116 @@ func New(cfg Config) *Pool {
 	if cfg.QuarantineCap <= 0 {
 		cfg.QuarantineCap = 64
 	}
-	// Split the quarantine budget across shards, rounding up so every
-	// shard can park at least one page (a zero-cap shard could never evict
-	// a dirty page).
-	shardQuar := (cfg.QuarantineCap + nshards - 1) / nshards
+
+	p := &Pool{
+		device:        cfg.Device,
+		closeTimeout:  cfg.CloseTimeout,
+		frames:        cfg.Frames,
+		wrapperCfg:    cfg.Wrapper,
+		wrapDevice:    cfg.WrapShardDevice,
+		health:        cfg.Health,
+		quarCap:       cfg.QuarantineCap,
+		lockedHitPath: cfg.LockedHitPath,
+		recorderSize:  cfg.RecorderSize,
+		factory:       cfg.PolicyFactory,
+	}
+	initFactory := cfg.PolicyFactory
+	if initFactory == nil {
+		// Single-shard pool with a bare Policy instance: build epoch 0
+		// around it (nshards is 1 here, so the closure runs exactly once).
+		// p.factory stays nil, making Reshard refuse until SwapPolicy
+		// installs a real factory.
+		initFactory = func(int) replacer.Policy { return cfg.Policy }
+	}
+	p.cur.Store(p.newShardSet(nshards, 0, initFactory))
+	return p
+}
+
+// newShardSet builds one topology of n shards from the pool's remembered
+// construction recipe, splitting the frame and quarantine budgets the same
+// way New always has (the first Frames%n shards get one extra frame).
+func (p *Pool) newShardSet(n int, epoch uint64, factory replacer.Factory) *shardSet {
+	set := &shardSet{epoch: epoch, shards: make([]*shard, n)}
+	shardQuar := (p.quarCap + n - 1) / n
 	if shardQuar < 1 {
 		shardQuar = 1
 	}
-
-	p := &Pool{
-		shards:       make([]shard, nshards),
-		device:       cfg.Device,
-		closeTimeout: cfg.CloseTimeout,
-	}
-	// Distribute frames like replacer.Partitioned splits capacity: the
-	// first (Frames % Shards) shards get one extra frame.
-	base := cfg.Frames / nshards
-	extra := cfg.Frames % nshards
-	for i := range p.shards {
-		n := base
+	base := p.frames / n
+	extra := p.frames % n
+	for i := range set.shards {
+		fn := base
 		if i < extra {
-			n++
+			fn++
 		}
-		var pol replacer.Policy
-		if cfg.PolicyFactory != nil {
-			pol = cfg.PolicyFactory(n)
-		} else {
-			pol = cfg.Policy
-		}
-		wcfg := cfg.Wrapper
+		pol := factory(fn)
+		wcfg := p.wrapperCfg
 		if wcfg.Events == nil {
 			// One ring per shard: recorders are single-writer-friendly but
 			// fully concurrent, and per-shard rings keep a hot shard from
 			// scrolling a quiet shard's history out of the ring.
-			wcfg.Events = obs.NewRecorder(cfg.RecorderSize)
+			wcfg.Events = obs.NewRecorder(p.recorderSize)
 		}
-		dev := cfg.Device
-		if cfg.WrapShardDevice != nil {
-			if dev = cfg.WrapShardDevice(i, cfg.Device); dev == nil {
+		dev := p.device
+		if p.wrapDevice != nil {
+			if dev = p.wrapDevice(i, p.device); dev == nil {
 				panic("buffer: WrapShardDevice returned nil")
 			}
 		}
-		p.shards[i].init(n, pol, wcfg, dev, shardQuar, cfg.LockedHitPath)
-		p.shards[i].wireHealth(cfg.Health)
+		sh := &shard{set: set}
+		sh.init(fn, pol, wcfg, dev, shardQuar, p.lockedHitPath)
+		sh.wireHealth(p.health)
+		if p.forcedRO.Load() {
+			sh.forced.Store(true)
+			sh.evalHealth()
+		}
+		if t := p.dynThreshold.Load(); t > 0 {
+			sh.wrapper.SetBatchThreshold(int(t))
+		}
+		set.shards[i] = sh
 	}
-	return p
+	return set
 }
 
-// shardFor routes a page id to its owning shard. The shard index comes
-// from the HIGH bits of the mixed hash while bucket selection inside the
-// shard uses the low bits, so the two partitionings stay independent (with
-// correlated bits, a shard's buckets would collapse to 1/nshards
-// utilization). Single-shard pools skip the hash entirely.
-func (p *Pool) shardFor(id page.PageID) *shard {
-	if len(p.shards) == 1 {
-		return &p.shards[0]
+// liveShards returns the shards of the current topology plus, while a
+// migration is draining, the previous one — the order every pool-wide
+// sweep (flush, background writer, gauges) must walk so no dirty or
+// quarantined page is invisible mid-reshard.
+func (p *Pool) liveShards() []*shard {
+	set := p.cur.Load()
+	prev := set.prev.Load()
+	if prev == nil {
+		return set.shards
 	}
-	h := mix64(uint64(id))
-	return &p.shards[(h>>32)%uint64(len(p.shards))]
+	all := make([]*shard, 0, len(set.shards)+len(prev.shards))
+	all = append(all, set.shards...)
+	return append(all, prev.shards...)
+}
+
+// shardFor routes a page id to its owning shard in the current topology.
+// The shard index comes from the HIGH bits of the mixed hash while bucket
+// selection inside the shard uses the low bits, so the two partitionings
+// stay independent (with correlated bits, a shard's buckets would collapse
+// to 1/nshards utilization). Single-shard topologies skip the hash
+// entirely.
+func (p *Pool) shardFor(id page.PageID) *shard {
+	return p.cur.Load().shardFor(id)
 }
 
 // shardIndexFor is shardFor returning the index; used by invariant checks.
 func (p *Pool) shardIndexFor(id page.PageID) int {
-	if len(p.shards) == 1 {
-		return 0
-	}
-	return int((mix64(uint64(id)) >> 32) % uint64(len(p.shards)))
+	return p.cur.Load().indexFor(id)
 }
 
 // NewSession returns a per-backend access session spanning all shards.
 // Sessions must not be shared between goroutines.
 func (p *Pool) NewSession() *Session {
-	s := &Session{
-		pool:  p,
-		subs:  make([]*core.Session, len(p.shards)),
-		stage: make([]hitStage, len(p.shards)),
-	}
-	for i := range p.shards {
-		s.subs[i] = p.shards[i].wrapper.NewSession()
-	}
+	s := &Session{pool: p}
+	s.rebind(p.cur.Load())
 	return s
 }
 
-// Shards reports the number of hash partitions in the pool.
-func (p *Pool) Shards() int { return len(p.shards) }
+// Shards reports the number of hash partitions in the current topology.
+func (p *Pool) Shards() int { return len(p.cur.Load().shards) }
 
 // ShardOf reports which shard owns page id; useful for tests, chaos
 // harnesses, and diagnostics that need to target one shard's traffic.
@@ -319,7 +437,7 @@ func (p *Pool) ShardOf(id page.PageID) int { return p.shardIndexFor(id) }
 
 // ShardHealth reports the most recently evaluated health state of one
 // shard (the miss path and metric scrapes keep it fresh).
-func (p *Pool) ShardHealth(i int) HealthState { return p.shards[i].lastHealth() }
+func (p *Pool) ShardHealth(i int) HealthState { return p.cur.Load().shards[i].lastHealth() }
 
 // SetReadOnly pins (or releases) every shard at the ReadOnly floor of the
 // health ladder, independent of breaker and quarantine state. While set,
@@ -330,49 +448,89 @@ func (p *Pool) ShardHealth(i int) HealthState { return p.shards[i].lastHealth() 
 // CloseWithin flushes what is dirty. Unlike the health machinery it also
 // applies when HealthConfig.Disable is set — it is an operator action, not
 // a health verdict. Releasing returns shards to their evaluated state.
+// Shards built by a later Reshard inherit the current setting.
 func (p *Pool) SetReadOnly(on bool) {
-	for i := range p.shards {
-		p.shards[i].forced.Store(on)
-		p.shards[i].evalHealth()
+	p.forcedRO.Store(on)
+	for _, sh := range p.liveShards() {
+		sh.forced.Store(on)
+		sh.evalHealth()
 	}
 }
 
 // ShardDevice returns the device stack shard i issues its I/O through
 // (the shared Device unless Config.WrapShardDevice built a per-shard
 // stack).
-func (p *Pool) ShardDevice(i int) storage.Device { return p.shards[i].device }
+func (p *Pool) ShardDevice(i int) storage.Device { return p.cur.Load().shards[i].device }
 
 // Wrapper exposes the BP-Wrapper core of shard 0. It is a diagnostic
 // accessor for single-shard pools (where shard 0 IS the pool); with
 // Shards > 1 use WrapperStats for aggregated figures.
-func (p *Pool) Wrapper() *core.Wrapper { return p.shards[0].wrapper }
+func (p *Pool) Wrapper() *core.Wrapper { return p.cur.Load().shards[0].wrapper }
 
 // WrapperStats returns the BP-Wrapper statistics summed over every
-// shard's wrapper. Each shard snapshot is internally consistent
-// (hits+misses never exceed accesses — see core.Wrapper.Stats), and
-// sums of consistent snapshots preserve that bound.
+// shard's wrapper — including retired topologies, whose wrappers keep
+// receiving late flushes from sessions that re-bound after a reshard.
+// Each shard snapshot is internally consistent (hits+misses never exceed
+// accesses — see core.Wrapper.Stats), and sums of consistent snapshots
+// preserve that bound.
 func (p *Pool) WrapperStats() core.Stats {
+	cur, prev, retired := p.topologySnapshot()
 	var ws core.Stats
-	for i := range p.shards {
-		ws = ws.Plus(p.shards[i].wrapper.Stats())
+	for _, sh := range cur.shards {
+		ws = ws.Plus(sh.wrapper.Stats())
+	}
+	for _, sh := range prevShards(prev) {
+		ws = ws.Plus(sh.wrapper.Stats())
+	}
+	for _, sh := range retired {
+		ws = ws.Plus(sh.wrapper.Stats())
 	}
 	return ws
 }
 
 // AccessStats returns the pool's hit/miss counters summed over all shards
-// as one consistent snapshot: within each shard hits are read before
-// misses (matching the increment order hit-then-miss is impossible — a
-// counted access increments exactly one of them), so the derived ratio
-// never observes a torn pair. Sessions stage hits locally and fold them in
-// batches (see Session), so the figures are exact only once the sessions
-// have called Flush; mid-run they can lag by up to hitFoldInterval hits
-// per live session.
+// — current, draining, and retired — as one consistent snapshot: within
+// each shard hits are read before misses (matching the increment order
+// hit-then-miss is impossible — a counted access increments exactly one of
+// them), so the derived ratio never observes a torn pair. Sessions stage
+// hits locally and fold them in batches (see Session), so the figures are
+// exact only once the sessions have called Flush; mid-run they can lag by
+// up to hitFoldInterval hits per live session.
 func (p *Pool) AccessStats() metrics.AccessSnapshot {
+	cur, prev, retired := p.topologySnapshot()
 	var a metrics.AccessSnapshot
-	for i := range p.shards {
-		a = a.Plus(p.shards[i].counters.Snapshot())
+	for _, sh := range cur.shards {
+		a = a.Plus(sh.counters.Snapshot())
+	}
+	for _, sh := range prevShards(prev) {
+		a = a.Plus(sh.counters.Snapshot())
+	}
+	for _, sh := range retired {
+		a = a.Plus(sh.counters.Snapshot())
 	}
 	return a
+}
+
+// topologySnapshot reads the current set, the draining previous set, and
+// the retired-shard list as one exactly-once snapshot: retireMu orders it
+// against Reshard's finalize step (which appends to retired and clears
+// prev under the same mutex), so an old shard is never observed both as
+// "draining" and as "retired", and never missed.
+func (p *Pool) topologySnapshot() (cur, prev *shardSet, retired []*shard) {
+	p.retireMu.Lock()
+	cur = p.cur.Load()
+	prev = cur.prev.Load()
+	retired = append([]*shard(nil), p.retired...)
+	p.retireMu.Unlock()
+	return cur, prev, retired
+}
+
+// prevShards unwraps an optional draining set into its shard list.
+func prevShards(prev *shardSet) []*shard {
+	if prev == nil {
+		return nil
+	}
+	return prev.shards
 }
 
 // Device returns the backing device.
@@ -382,57 +540,97 @@ func (p *Pool) Device() storage.Device { return p.device }
 // access is recorded through the session per the BP-Wrapper protocol,
 // against the wrapper of the shard that owns the page.
 func (p *Pool) Get(s *Session, id page.PageID) (*PageRef, error) {
-	if !id.Valid() {
-		return nil, storage.ErrInvalidPage
-	}
-	idx := p.shardIndexFor(id)
-	return p.shards[idx].get(s, idx, id, false)
+	return p.access(s, id, false)
 }
 
 // GetWrite pins page id for writing: the returned reference holds the
 // content lock exclusively and permits MarkDirty.
 func (p *Pool) GetWrite(s *Session, id page.PageID) (*PageRef, error) {
+	return p.access(s, id, true)
+}
+
+// access routes one page access through the current topology, re-binding
+// the session when the topology moved since its last access and absorbing
+// the one reshard race: a shard can be sealed between our cur load and the
+// shard operation (the swap is a plain pointer store, deliberately not
+// synchronized with readers), in which case the shard's miss path refuses
+// with errResharded and we retry against the freshly published set. Hits
+// on sealed shards still serve — only loads bounce — so the retry is rare
+// and bounded by the reshard rate, not the access rate.
+func (p *Pool) access(s *Session, id page.PageID, writable bool) (*PageRef, error) {
 	if !id.Valid() {
 		return nil, storage.ErrInvalidPage
 	}
-	idx := p.shardIndexFor(id)
-	return p.shards[idx].get(s, idx, id, true)
+	p.sampleAccess(id)
+	for spins := 0; ; spins++ {
+		set := p.cur.Load()
+		if s.set != set {
+			s.rebind(set)
+		}
+		idx := set.indexFor(id)
+		ref, err := set.shards[idx].get(s, idx, id, writable)
+		if err == errResharded {
+			backoff(spins)
+			continue
+		}
+		return ref, err
+	}
 }
 
 // Invalidate drops page id from the pool (e.g. its table was truncated),
 // discarding dirty contents — including any quarantined copy from an
 // earlier failed write-back, which must not be drained back to the device
 // later. It fails with ErrNoUnpinnedBuffers if the page is pinned.
+// During an active reshard both the draining and the current owner shard
+// are purged; a copy in mid-migration flight (claimed out of the old
+// shard, not yet installed in the new) can escape the purge, so callers
+// that invalidate during a reshard should re-invalidate after it
+// completes (CheckInvariants-grade exactness needs quiescence anyway).
 func (p *Pool) Invalidate(id page.PageID) error {
-	return p.shardFor(id).invalidate(id)
+	for {
+		set := p.cur.Load()
+		if prev := set.prev.Load(); prev != nil {
+			if err := prev.shardFor(id).invalidate(id); err != nil {
+				return err
+			}
+		}
+		if err := set.shardFor(id).invalidate(id); err != nil {
+			return err
+		}
+		if p.cur.Load() == set {
+			return nil
+		}
+		// The topology moved while we were purging; redo against the new
+		// routing so the page cannot survive in a shard we never visited.
+	}
 }
 
 // QuarantineLen reports the number of pages currently parked in the dirty
-// quarantines of all shards.
+// quarantines of all live shards.
 func (p *Pool) QuarantineLen() int {
 	n := 0
-	for i := range p.shards {
-		n += p.shards[i].quarantineLen()
+	for _, sh := range p.liveShards() {
+		n += sh.quarantineLen()
 	}
 	return n
 }
 
-// DirtyCount reports the number of dirty resident pages across all shards
-// right now; the figure is advisory under concurrency.
+// DirtyCount reports the number of dirty resident pages across all live
+// shards right now; the figure is advisory under concurrency.
 func (p *Pool) DirtyCount() int {
 	n := 0
-	for i := range p.shards {
-		n += p.shards[i].dirtyCount()
+	for _, sh := range p.liveShards() {
+		n += sh.dirtyCount()
 	}
 	return n
 }
 
 // drainQuarantine retries the write-back of every quarantined page across
-// all shards; see shard.drainQuarantine for the per-shard semantics.
+// all live shards; see shard.drainQuarantine for the per-shard semantics.
 func (p *Pool) drainQuarantine() (written, failed int, err error) {
 	var errs []error
-	for i := range p.shards {
-		w, f, e := p.shards[i].drainQuarantine()
+	for _, sh := range p.liveShards() {
+		w, f, e := sh.drainQuarantine()
 		written += w
 		failed += f
 		if e != nil {
@@ -449,12 +647,14 @@ func (p *Pool) drainQuarantine() (written, failed int, err error) {
 // shards are still flushed, and the failures are returned joined so the
 // caller sees every page that is not yet durable. Each shard drains its
 // quarantine before its frame sweep so the sweep's transient parking has
-// capacity to work with.
+// capacity to work with. During a reshard the draining topology is swept
+// too — a dirty page is never invisible to flush, whichever side of the
+// migration it is on.
 func (p *Pool) FlushDirty() (int, error) {
 	n := 0
 	var errs []error
-	for i := range p.shards {
-		sn, err := p.shards[i].flushDirty()
+	for _, sh := range p.liveShards() {
+		sn, err := sh.flushDirty()
 		n += sn
 		if err != nil {
 			errs = append(errs, err)
@@ -543,14 +743,26 @@ func (p *Pool) Prewarm(ids []page.PageID) error {
 }
 
 // ResetStats zeroes every shard's access counters, hit-path counters, and
-// wrapper lock and batching statistics; used between warm-up and
-// measurement phases. Like counters.Reset it is quiescent-only — sessions
-// must have flushed their staged hits first.
+// wrapper lock and batching statistics — including draining and retired
+// shards, so post-reset totals don't resurrect pre-reset history; used
+// between warm-up and measurement phases. Like counters.Reset it is
+// quiescent-only — sessions must have flushed their staged hits first.
 func (p *Pool) ResetStats() {
-	for i := range p.shards {
-		p.shards[i].counters.Reset()
-		p.shards[i].hp.reset()
-		p.shards[i].wrapper.ResetStats()
+	cur, prev, retired := p.topologySnapshot()
+	reset := func(sh *shard) {
+		sh.counters.Reset()
+		sh.hp.reset()
+		sh.wrapper.ResetStats()
+		sh.migratedOut.Store(0)
+	}
+	for _, sh := range cur.shards {
+		reset(sh)
+	}
+	for _, sh := range prevShards(prev) {
+		reset(sh)
+	}
+	for _, sh := range retired {
+		reset(sh)
 	}
 }
 
@@ -564,6 +776,11 @@ type ShardStats struct {
 	Hits              int64 // buffer hits since the last reset
 	Misses            int64 // buffer misses since the last reset
 	WriteBackFailures int64 // failed write-back attempts
+
+	// Policy is the replacement algorithm currently installed in this
+	// shard's wrapper — live information once SwapPolicy can change it at
+	// runtime.
+	Policy string
 
 	// Hit-path anatomy (see DESIGN.md §12): how resident lookups were
 	// served. HitpathFast counts hits that touched no mutex at all;
@@ -588,6 +805,32 @@ type ShardStats struct {
 	DeadlineTimeouts   int64 // 0 when the shard's stack has no deadline layer
 }
 
+// add folds another shard's snapshot into this one (used for the Retired
+// aggregate; gauge-like fields sum, Health takes the worst).
+func (ss *ShardStats) add(o ShardStats) {
+	ss.Frames += o.Frames
+	ss.Free += o.Free
+	ss.Dirty += o.Dirty
+	ss.Resident += o.Resident
+	ss.Quarantined += o.Quarantined
+	ss.Hits += o.Hits
+	ss.Misses += o.Misses
+	ss.WriteBackFailures += o.WriteBackFailures
+	ss.HitpathFast += o.HitpathFast
+	ss.HitpathRetries += o.HitpathRetries
+	ss.HitpathFallbacks += o.HitpathFallbacks
+	ss.BucketLockAcqs += o.BucketLockAcqs
+	ss.FrameLockAcqs += o.FrameLockAcqs
+	ss.Shed += o.Shed
+	ss.QuarantineRefusals += o.QuarantineRefusals
+	ss.BreakerTrips += o.BreakerTrips
+	ss.BreakerRejections += o.BreakerRejections
+	ss.DeadlineTimeouts += o.DeadlineTimeouts
+	if o.Health > ss.Health {
+		ss.Health = o.Health
+	}
+}
+
 // Stats is a point-in-time operational snapshot of the pool.
 //
 // Snapshot semantics are relaxed: each counter group is read atomically
@@ -598,19 +841,31 @@ type ShardStats struct {
 // (e.g. Misses vs Device.Reads) can be off by in-flight operations.
 // Collect at quiescence for exact figures.
 type Stats struct {
-	Frames   int     // total page slots, summed over shards
-	Shards   int     // number of hash partitions
-	Free     int     // slots on the free lists
-	Dirty    int     // dirty resident pages
-	Resident int     // pages tracked by the replacement policies
-	Hits     int64   // buffer hits since the last reset
-	Misses   int64   // buffer misses since the last reset
+	Frames   int     // page slots in the current topology, summed over shards
+	Shards   int     // number of hash partitions in the current topology
+	Free     int     // slots on the current topology's free lists
+	Dirty    int     // dirty resident pages (including a draining topology's)
+	Resident int     // pages tracked by the current replacement policies
+	Hits     int64   // buffer hits since the last reset (all topologies)
+	Misses   int64   // buffer misses since the last reset (all topologies)
 	HitRatio float64 // hits / (hits + misses), from one consistent snapshot
 
+	// Epoch stamps the current topology (0 until the first reshard);
+	// Resharding is true while a previous topology is still draining;
+	// Reshards counts completed topology changes; PagesMigrated counts
+	// pages carried old→new across all reshards since the last reset.
+	Epoch         uint64
+	Resharding    bool
+	Reshards      int64
+	PagesMigrated int64
+
 	// Quarantined is the number of evicted dirty pages whose write-back
-	// is unconfirmed; WriteBackFailures counts failed write-back attempts
-	// (eviction, flush, and quarantine-drain retries).
+	// is unconfirmed (including a draining topology's); WriteBackFailures
+	// counts failed write-back attempts (eviction, flush, and
+	// quarantine-drain retries). QuarantineCap is the configured pool-wide
+	// bound.
 	Quarantined       int
+	QuarantineCap     int
 	WriteBackFailures int64
 
 	// Hit-path anatomy, summed over shards (per-shard breakdown in
@@ -623,64 +878,87 @@ type Stats struct {
 
 	// Shed counts misses refused with ErrOverloaded by degraded or
 	// read-only shards; Health is the worst shard health at snapshot
-	// time (Healthy unless some shard is degraded).
+	// time (Healthy unless some current shard is degraded — retired
+	// shards' health is reported only inside Retired).
 	Shed   int64
 	Health HealthState
 
 	// Wrapper is the BP-Wrapper statistics summed over all shards;
-	// PerShard carries the per-shard breakdown of the pool-level figures.
+	// PerShard carries the per-shard breakdown of the pool-level figures
+	// for the CURRENT topology only. Retired aggregates every shard of
+	// previous topologies (draining or fully retired): their counters
+	// still grow (late session folds), and mid-migration their frames
+	// still hold real dirty pages, so the pool totals above fold Retired
+	// in — except Frames/Free/Resident, which describe the current
+	// topology.
 	Wrapper  core.Stats
 	PerShard []ShardStats
+	Retired  ShardStats
 	Device   storage.DeviceStats
+}
+
+// shardStatsOf snapshots one shard. acc receives the shard's
+// hits-before-misses consistent access snapshot.
+func shardStatsOf(sh *shard) (ShardStats, metrics.AccessSnapshot) {
+	a := sh.counters.Snapshot()
+	ss := ShardStats{
+		Frames:             len(sh.frames),
+		Dirty:              sh.dirtyCount(),
+		Quarantined:        sh.quarantineLen(),
+		Hits:               a.Hits,
+		Misses:             a.Misses,
+		WriteBackFailures:  sh.writeBackFailures.Load(),
+		Health:             sh.evalHealth(),
+		Shed:               sh.shed.Load(),
+		QuarantineRefusals: sh.quarRefusals.Load(),
+		HitpathFast:        sh.hp.fast.Load(),
+		HitpathRetries:     sh.hp.retries.Load(),
+		HitpathFallbacks:   sh.hp.fallbacks.Load(),
+		BucketLockAcqs:     sh.hp.bucketLocks.Load(),
+		FrameLockAcqs:      sh.hp.frameLocks.Load(),
+	}
+	if sh.breaker != nil {
+		bst := sh.breaker.BreakerStats()
+		ss.BreakerState = bst.State.String()
+		ss.BreakerTrips = bst.Trips
+		ss.BreakerRejections = bst.Rejections
+	}
+	if sh.deadline != nil {
+		ss.DeadlineTimeouts = sh.deadline.Timeouts()
+	}
+	sh.freeMu.Lock()
+	ss.Free = len(sh.freeList)
+	sh.freeMu.Unlock()
+	sh.wrapper.Locked(func(pol replacer.Policy) {
+		ss.Resident = pol.Len()
+		ss.Policy = pol.Name()
+	})
+	return ss, a
 }
 
 // Stats returns an operational snapshot. It takes each shard's policy lock
 // briefly (for the resident count) and scans each frame's state word (for
-// the dirty count); intended for monitoring, not hot paths. All pool-level counters
-// are folded from the per-shard snapshots by one aggregation pass, so the
-// totals and PerShard always agree and HitRatio derives from the same
-// hits/misses pair the snapshot reports.
+// the dirty count); intended for monitoring, not hot paths. All pool-level
+// counters are folded from the per-shard snapshots by one aggregation
+// pass, so the totals and PerShard + Retired always agree and HitRatio
+// derives from the same hits/misses pair the snapshot reports. The
+// topology is snapshotted through the shard-set epoch (one retireMu-
+// ordered read of current/draining/retired), so a concurrent reshard can
+// neither double-count a shard nor skip one.
 func (p *Pool) Stats() Stats {
+	cur, prev, retired := p.topologySnapshot()
 	s := Stats{
-		Frames:   0,
-		Shards:   len(p.shards),
-		PerShard: make([]ShardStats, len(p.shards)),
-		Device:   p.device.Stats(),
+		Shards:        len(cur.shards),
+		Epoch:         cur.epoch,
+		Resharding:    prev != nil,
+		Reshards:      p.reshards.Load(),
+		QuarantineCap: p.quarCap,
+		PerShard:      make([]ShardStats, len(cur.shards)),
+		Device:        p.device.Stats(),
 	}
 	var acc metrics.AccessSnapshot
-	for i := range p.shards {
-		sh := &p.shards[i]
-		a := sh.counters.Snapshot()
-		ss := ShardStats{
-			Frames:             len(sh.frames),
-			Dirty:              sh.dirtyCount(),
-			Quarantined:        sh.quarantineLen(),
-			Hits:               a.Hits,
-			Misses:             a.Misses,
-			WriteBackFailures:  sh.writeBackFailures.Load(),
-			Health:             sh.evalHealth(),
-			Shed:               sh.shed.Load(),
-			QuarantineRefusals: sh.quarRefusals.Load(),
-			HitpathFast:        sh.hp.fast.Load(),
-			HitpathRetries:     sh.hp.retries.Load(),
-			HitpathFallbacks:   sh.hp.fallbacks.Load(),
-			BucketLockAcqs:     sh.hp.bucketLocks.Load(),
-			FrameLockAcqs:      sh.hp.frameLocks.Load(),
-		}
-		if sh.breaker != nil {
-			bst := sh.breaker.BreakerStats()
-			ss.BreakerState = bst.State.String()
-			ss.BreakerTrips = bst.Trips
-			ss.BreakerRejections = bst.Rejections
-		}
-		if sh.deadline != nil {
-			ss.DeadlineTimeouts = sh.deadline.Timeouts()
-		}
-		sh.freeMu.Lock()
-		ss.Free = len(sh.freeList)
-		sh.freeMu.Unlock()
-		sh.wrapper.Locked(func(pol replacer.Policy) { ss.Resident = pol.Len() })
-
+	for i, sh := range cur.shards {
+		ss, a := shardStatsOf(sh)
 		s.PerShard[i] = ss
 		s.Frames += ss.Frames
 		s.Free += ss.Free
@@ -697,6 +975,30 @@ func (p *Pool) Stats() Stats {
 		if ss.Health > s.Health {
 			s.Health = ss.Health
 		}
+		s.PagesMigrated += sh.migratedOut.Load()
+		acc = acc.Plus(a)
+		s.Wrapper = s.Wrapper.Plus(sh.wrapper.Stats())
+	}
+	// Previous-topology shards (still draining) and retired shards fold
+	// into the Retired aggregate and the pool counter totals: their hits
+	// and misses happened to THIS pool, and mid-migration their dirty and
+	// quarantined pages are real pages the flush paths still see. Frames/
+	// Free/Resident stay current-topology-only (the frame budget would
+	// double-count during the drain window).
+	old := append(append([]*shard(nil), prevShards(prev)...), retired...)
+	for _, sh := range old {
+		ss, a := shardStatsOf(sh)
+		s.Retired.add(ss)
+		s.Dirty += ss.Dirty
+		s.Quarantined += ss.Quarantined
+		s.WriteBackFailures += ss.WriteBackFailures
+		s.Shed += ss.Shed
+		s.HitpathFast += ss.HitpathFast
+		s.HitpathRetries += ss.HitpathRetries
+		s.HitpathFallbacks += ss.HitpathFallbacks
+		s.BucketLockAcqs += ss.BucketLockAcqs
+		s.FrameLockAcqs += ss.FrameLockAcqs
+		s.PagesMigrated += sh.migratedOut.Load()
 		acc = acc.Plus(a)
 		s.Wrapper = s.Wrapper.Plus(sh.wrapper.Stats())
 	}
@@ -711,8 +1013,8 @@ func (p *Pool) Stats() Stats {
 // outstanding PageRefs, no in-flight operations — it must be zero).
 func (p *Pool) PinnedFrames() int {
 	n := 0
-	for i := range p.shards {
-		n += p.shards[i].pinnedFrames()
+	for _, sh := range p.liveShards() {
+		n += sh.pinnedFrames()
 	}
 	return n
 }
@@ -721,21 +1023,32 @@ func (p *Pool) PinnedFrames() int {
 // shard: pin-count sanity, frame/hash-table consistency, free-list
 // integrity, the resident-xor-quarantined steady state, policy/table
 // agreement, and — across shards — that every resident or quarantined
-// page lives in the shard its hash routes to. It is O(frames + buckets)
-// and takes each lock briefly.
+// page lives in the shard its hash routes to. Retired topologies must be
+// fully drained (empty tables, empty quarantines, all frames free). It is
+// O(frames + buckets) and takes each lock briefly.
 //
 // The contract is quiescence: callers must ensure no pool operations are in
 // flight (the torture harness calls it after workers join and again after
-// Close). Called concurrently it cannot corrupt anything, but it may report
-// perfectly legal in-flight transitions — a claimed frame between table
-// removal and the free list, a flush window's sanctioned resident+
-// quarantined overlap — as violations.
+// Close) — which includes reshards: an in-progress migration is reported
+// as a violation rather than checked around. Called concurrently it cannot
+// corrupt anything, but it may report perfectly legal in-flight
+// transitions — a claimed frame between table removal and the free list, a
+// flush window's sanctioned resident+quarantined overlap — as violations.
 func (p *Pool) CheckInvariants() error {
-	for i := range p.shards {
+	cur, prev, retired := p.topologySnapshot()
+	if prev != nil {
+		return errors.New("buffer: reshard migration in flight (caller not quiescent)")
+	}
+	for i, sh := range cur.shards {
 		i := i
-		owns := func(id page.PageID) bool { return p.shardIndexFor(id) == i }
-		if err := p.shards[i].checkInvariants(owns); err != nil {
-			return fmt.Errorf("shard %d/%d: %w", i, len(p.shards), err)
+		owns := func(id page.PageID) bool { return cur.indexFor(id) == i }
+		if err := sh.checkInvariants(owns); err != nil {
+			return fmt.Errorf("shard %d/%d: %w", i, len(cur.shards), err)
+		}
+	}
+	for i, sh := range retired {
+		if !sh.drained() {
+			return fmt.Errorf("buffer: retired shard %d not drained (page or frame leaked by migration)", i)
 		}
 	}
 	return nil

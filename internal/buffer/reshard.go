@@ -1,0 +1,379 @@
+// Online resharding: the pool's shard topology is an atomically-swappable
+// shardSet, and Reshard grows or shrinks the shard count under live traffic
+// with incremental page migration — no stop-the-world.
+//
+// The protocol (DESIGN.md §14):
+//
+//  1. Build the new topology: a fresh shardSet of n shards splitting the
+//     same total frame budget, each with its own policy instance (from the
+//     pool's PolicyFactory), wrapper, page table, free list and quarantine.
+//  2. Seal the old shards: their miss path refuses new loads with
+//     errResharded (hits on still-resident pages keep serving).
+//  3. Publish: one atomic pointer swap makes every subsequent access route
+//     through the new set. The new set's prev pointer keeps the old set
+//     reachable for the double-lookup window.
+//  4. Migrate: a driver session faults every old resident through the new
+//     topology. The new set's miss path, before touching the device, steals
+//     the page from the old owner shard (stealPage): it waits out in-flight
+//     old loads and pins, claims the frame, and carries the bytes AND the
+//     dirty bit across, so an unflushed write is never lost and never read
+//     stale from the device. Quarantined-only pages (parked copies whose
+//     write-back has not been confirmed) are handed over map-to-map under
+//     the old write-back stripe, which also serializes against any
+//     in-flight write of the same page.
+//  5. Finalize: once the old set holds no residents, no quarantined copies,
+//     and every frame is back on its free list, the prev pointer is
+//     cleared. The old shard structs are retired — kept reachable so
+//     counters staged by sessions that were idle across the whole
+//     migration still fold into totals (Stats folds retired shards into
+//     its Retired aggregate).
+//
+// Pinned pages never block traffic, only the migration of that one page:
+// stealPage waits for the pin to drain while every other page moves on.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+	"sync/atomic"
+)
+
+// errResharded is the internal retry signal: the operation routed to a
+// shard that was sealed by a topology swap between the routing decision and
+// the shard operation. Pool.Get/GetWrite retry against the freshly loaded
+// set, so callers never observe it.
+var errResharded = errors.New("buffer: shard sealed by reshard, retry against the new topology")
+
+// shardSet is one immutable shard topology: the epoch stamps it, shards is
+// fixed at construction, and only prev mutates (cleared exactly once when
+// the migration out of the previous topology completes).
+type shardSet struct {
+	epoch  uint64
+	shards []*shard
+
+	// prev points at the still-draining previous topology while a
+	// migration is in flight, nil otherwise. The miss path consults it for
+	// the double-lookup window; pool-wide sweeps (flush, bgwriter, stats)
+	// walk both sets so no dirty page is invisible mid-migration.
+	prev atomic.Pointer[shardSet]
+}
+
+// indexFor routes a page id to its owning shard within this set — the same
+// mix64 high-bits keying the fixed topology used, so a one-shard set skips
+// the hash entirely and epoch 0 routes bit-for-bit like the old []shard.
+func (ss *shardSet) indexFor(id page.PageID) int {
+	if len(ss.shards) == 1 {
+		return 0
+	}
+	return int((mix64(uint64(id)) >> 32) % uint64(len(ss.shards)))
+}
+
+// shardFor returns the shard owning id in this set.
+func (ss *shardSet) shardFor(id page.PageID) *shard { return ss.shards[ss.indexFor(id)] }
+
+// Reshard changes the pool's shard count to n under live traffic,
+// returning once the migration is complete and the old topology fully
+// drained. It requires a PolicyFactory (per-shard policy instances must be
+// constructible at any count); pools built with a single Policy instance
+// gain one via SwapPolicy. Reshard serializes with itself and with
+// SwapPolicy; concurrent traffic keeps flowing throughout — the only waits
+// are per-page (a pinned page delays its own migration until unpinned).
+func (p *Pool) Reshard(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("buffer: Reshard(%d): shard count must be positive", n)
+	}
+	if n > p.frames {
+		return fmt.Errorf("buffer: Reshard(%d) exceeds Frames %d", n, p.frames)
+	}
+	p.reshardMu.Lock()
+	defer p.reshardMu.Unlock()
+	old := p.cur.Load()
+	if len(old.shards) == n {
+		return nil
+	}
+	factory := p.policyFactory()
+	if factory == nil {
+		return errors.New("buffer: resharding requires Config.PolicyFactory (or a prior SwapPolicy)")
+	}
+	if p.forcedRO.Load() {
+		// Migration loads pages through the new set's miss path, which a
+		// read-only floor sheds; resharding a drained pool is pointless
+		// anyway.
+		return errors.New("buffer: cannot reshard a pool forced read-only")
+	}
+
+	next := p.newShardSet(n, old.epoch+1, factory)
+	next.prev.Store(old)
+	for _, sh := range old.shards {
+		sh.sealed.Store(true)
+	}
+	p.cur.Store(next)
+	p.registerRecorders(next)
+
+	// Migrate until the old topology is empty. Each pass faults the old
+	// residents through the new set (whose miss path steals bytes + dirty
+	// bit from the old owner), then hands over quarantined-only copies.
+	// Passes repeat because in-flight pre-seal loads can still install
+	// into old shards, evictions can park new quarantine entries, and a
+	// degraded new shard can transiently shed a migration miss.
+	ms := p.NewSession()
+	for pass := 0; ; pass++ {
+		for _, osh := range old.shards {
+			for _, id := range osh.residentIDs() {
+				if ref, err := p.Get(ms, id); err == nil {
+					ref.Release()
+				}
+			}
+			for _, id := range osh.quarantineIDs() {
+				osh.handOverQuarantine(id, next.shardFor(id))
+			}
+		}
+		done := true
+		for _, osh := range old.shards {
+			if !osh.drained() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		backoff(pass)
+	}
+	ms.Flush()
+
+	// Finalize: retire the old shards (their counters stay reachable for
+	// Stats — late hit folds from long-idle sessions still land) and close
+	// the double-lookup window. Both under retireMu so a Stats snapshot
+	// can never count an old shard both as "draining" and as "retired".
+	p.retireMu.Lock()
+	p.retired = append(p.retired, old.shards...)
+	next.prev.Store(nil)
+	p.retireMu.Unlock()
+	p.reshards.Add(1)
+	return nil
+}
+
+// SwapPolicy hot-swaps every current shard's replacement policy to
+// instances built by factory, migrating each policy's resident set into
+// the new instance (in eviction order, so the pages the old policy valued
+// most are the ones the new policy saw admitted last). The factory also
+// becomes the pool's policy recipe: later reshards build the new policy.
+// It serializes with Reshard, so a swap never races a topology change.
+func (p *Pool) SwapPolicy(factory replacer.Factory) (from, to string, err error) {
+	if factory == nil {
+		return "", "", errors.New("buffer: SwapPolicy requires a factory")
+	}
+	p.reshardMu.Lock()
+	defer p.reshardMu.Unlock()
+	p.policyMu.Lock()
+	p.factory = factory
+	p.policyMu.Unlock()
+	set := p.cur.Load()
+	for _, sh := range set.shards {
+		var residue []page.PageID
+		from, to, residue = sh.wrapper.SwapPolicy(factory)
+		// Seeding the new policy can evict below capacity (queue-local
+		// bounds, 2Q's A1in say); those pages fell out of policy tracking
+		// while their frames stayed resident. Reclaim them through the
+		// shard's normal victim path so no frame is stranded unevictable.
+		for _, v := range residue {
+			sh.recycle(v)
+		}
+	}
+	return from, to, nil
+}
+
+// policyFactory reads the pool's current policy recipe (nil until a
+// factory exists — see Config.PolicyFactory and SwapPolicy).
+func (p *Pool) policyFactory() replacer.Factory {
+	p.policyMu.Lock()
+	defer p.policyMu.Unlock()
+	return p.factory
+}
+
+// SetBatchThreshold retunes the batch threshold of every current shard's
+// wrapper live (see core.Wrapper.SetBatchThreshold), and remembers the
+// value so shards built by later reshards inherit it. Zero restores the
+// configured threshold.
+func (p *Pool) SetBatchThreshold(t int) {
+	p.dynThreshold.Store(int32(t))
+	for _, sh := range p.cur.Load().shards {
+		sh.wrapper.SetBatchThreshold(t)
+	}
+}
+
+// Epoch reports the current topology's epoch (0 until the first reshard)
+// and whether a migration out of the previous topology is still draining.
+func (p *Pool) Epoch() (epoch uint64, resharding bool) {
+	set := p.cur.Load()
+	return set.epoch, set.prev.Load() != nil
+}
+
+// ---------------------------------------------------------------------------
+// Old-shard migration primitives (called only on sealed shards).
+
+// stealPage extracts page id from a sealed shard for installation in the
+// new topology: it waits out an in-flight load, claims the frame (waiting
+// out pins and writers), copies the bytes into dst, and reports whether
+// the page was dirty — an unconfirmed quarantined copy counts as dirty, so
+// the new shard re-writes rather than trusting a possibly-stale device.
+// The final write-back-stripe lock/unlock waits out any in-flight old
+// write of this page, so a later write from the new topology can never be
+// overtaken (and silently reverted) by an old one.
+func (sh *shard) stealPage(id page.PageID, dst *page.Page) (dirty, found bool) {
+	b := sh.bucketFor(id)
+	spins := 0
+	for {
+		b.mu.Lock()
+		if op, ok := b.loads[id]; ok {
+			// A pre-seal load is still in flight: wait for it to install
+			// (or fail), then re-probe.
+			b.mu.Unlock()
+			<-op.done
+			continue
+		}
+		f := b.lookupLocked(id)
+		b.mu.Unlock()
+		if f == nil {
+			break
+		}
+		s := f.state.Load()
+		if s&frameRecycling != 0 || page.PageID(f.tagPage.Load()) != id {
+			continue // recycled under us; re-probe the table
+		}
+		if s&(framePinMask|frameWLock) != 0 {
+			// Pinned or writer-held: wait it out. Only this page's
+			// migration stalls; the reshard keeps draining other pages.
+			backoff(spins)
+			spins++
+			continue
+		}
+		if !f.tryClaim(s) {
+			continue
+		}
+		dirty = s&frameDirty != 0
+		*dst = f.data
+		b.mu.Lock()
+		b.removeLocked(id)
+		b.mu.Unlock()
+		sh.wrapper.Locked(func(pol replacer.Policy) { pol.Remove(id) })
+		f.toFree()
+		sh.freeMu.Lock()
+		sh.freeList = append(sh.freeList, f)
+		sh.freeMu.Unlock()
+		// A parked flush copy of this page (the sanctioned
+		// resident+quarantined overlap) is superseded by the frame bytes
+		// we just took — but its write-back was not confirmed, so the page
+		// must leave here dirty even if the frame looked clean.
+		if q := sh.quarantineTake(id); q != nil {
+			dirty = true
+		}
+		found = true
+		break
+	}
+	if !found {
+		// Not resident: an evicted-dirty page may still be parked in the
+		// quarantine with its write-back unconfirmed. Adopt it as dirty.
+		if q := sh.quarantineTake(id); q != nil {
+			*dst = *q
+			dirty, found = true, true
+		}
+	}
+	// Serialize with any in-flight old write-back of this page: after this
+	// lock/unlock, no old write of id is still in the air, so the new
+	// topology's future write of id cannot be reverted by a stale one.
+	l := sh.wbLock(id)
+	l.Lock()
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	l.Unlock()
+	if found {
+		sh.migratedOut.Add(1)
+	}
+	return dirty, found
+}
+
+// residentIDs snapshots the ids currently mapped by the shard's page
+// table. Taken bucket by bucket under the bucket mutex (a migration sweep,
+// not an access path — it deliberately bypasses the hit-path lock
+// accounting).
+func (sh *shard) residentIDs() []page.PageID {
+	var ids []page.PageID
+	for i := range sh.buckets {
+		b := &sh.buckets[i]
+		b.mu.Lock()
+		b.forEachLocked(func(id page.PageID, _ *Frame) { ids = append(ids, id) })
+		b.mu.Unlock()
+	}
+	return ids
+}
+
+// quarantineIDs snapshots the ids currently parked in the quarantine.
+func (sh *shard) quarantineIDs() []page.PageID {
+	sh.quarMu.Lock()
+	ids := make([]page.PageID, 0, len(sh.quarantine))
+	for id := range sh.quarantine {
+		ids = append(ids, id)
+	}
+	sh.quarMu.Unlock()
+	return ids
+}
+
+// handOverQuarantine moves a quarantined-only copy of id from this sealed
+// shard into dst's quarantine, losslessly: the old write-back stripe is
+// held across the whole handover, so an in-flight old write either
+// completes first (resolving the entry — nothing to move) or, arriving
+// later, revalidates against the now-empty map and skips. Pages that still
+// have a resident frame are skipped — the frame is the newer copy and
+// stealPage migrates it (withdrawing the parked copy) instead.
+func (sh *shard) handOverQuarantine(id page.PageID, dst *shard) {
+	l := sh.wbLock(id)
+	l.Lock()
+	defer l.Unlock()
+	b := sh.bucketFor(id)
+	b.mu.Lock()
+	resident := b.lookupLocked(id) != nil
+	b.mu.Unlock()
+	if resident {
+		return
+	}
+	sh.quarMu.Lock()
+	c := sh.quarantine[id]
+	delete(sh.quarantine, id)
+	sh.quarMu.Unlock()
+	if c != nil {
+		// The destination cap is a soft bound (same as concurrent
+		// evictions): durability wins over the bound during a handover.
+		dst.quarantinePut(id, c)
+	}
+}
+
+// drained reports whether this sealed shard is fully migrated: nothing
+// resident, nothing quarantined, no load in flight, and every frame back
+// on the free list (a frame mid-claim or still pinned keeps it false).
+func (sh *shard) drained() bool {
+	sh.freeMu.Lock()
+	free := len(sh.freeList)
+	sh.freeMu.Unlock()
+	if free != len(sh.frames) {
+		return false
+	}
+	if sh.quarantineLen() != 0 {
+		return false
+	}
+	for i := range sh.buckets {
+		b := &sh.buckets[i]
+		b.mu.Lock()
+		n := 0
+		b.forEachLocked(func(page.PageID, *Frame) { n++ })
+		inflight := len(b.loads)
+		b.mu.Unlock()
+		if n != 0 || inflight != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -44,6 +44,20 @@ type shard struct {
 	wrapper *core.Wrapper
 	device  storage.Device
 
+	// set points back at the topology this shard belongs to; the miss
+	// path follows set.prev during a reshard to steal still-resident
+	// pages from the draining topology (reshard.go).
+	set *shardSet
+
+	// sealed is raised by Reshard just before the new topology is
+	// published: a sealed shard refuses new loads with errResharded
+	// (resident hits keep serving) so its population can only shrink.
+	sealed atomic.Bool
+
+	// migratedOut counts pages carried out of this shard by stealPage
+	// during a reshard.
+	migratedOut atomic.Int64
+
 	// lockedHitPath forces every lookup through the bucket mutex (the
 	// pre-rewrite behavior), for A/B benchmarking (E17) and the torture
 	// differential that proves the optimistic path oracle-identical.
@@ -427,6 +441,15 @@ func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref 
 		b.mu.Unlock()
 		return nil, true, nil
 	}
+	if sh.sealed.Load() {
+		// The topology swapped between the caller's routing decision and
+		// this load: refuse under the bucket mutex — after the seal, no
+		// NEW loadOp can ever register here, which is what lets a reshard's
+		// stealPage treat a load-free, frame-free bucket as definitively
+		// not holding the page. The caller retries against the new set.
+		b.mu.Unlock()
+		return nil, false, errResharded
+	}
 	if op, ok := b.loads[id]; ok {
 		// Another backend is loading this page: wait and retry.
 		b.mu.Unlock()
@@ -473,19 +496,41 @@ func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref 
 		return nil, false, err
 	}
 	// The frame is exclusively ours — claimed: recycling bit up, gen
-	// bumped, one claim pin — so the device read can fill it with plain
-	// stores. A quarantined copy — a dirty page whose eviction write-back
-	// has not been confirmed durable — takes precedence over the device,
-	// which may hold a stale version; adopting it keeps the frame dirty so
-	// it is written back again later.
+	// bumped, one claim pin — so the fill below can use plain stores.
+	// Source precedence, newest copy first:
+	//
+	//  1. During a reshard, the draining topology: stealPage carries the
+	//     bytes AND the dirty bit across from the old owner shard, so an
+	//     unflushed write migrates instead of being shadowed by a stale
+	//     device read.
+	//  2. This shard's own quarantine — a dirty page whose write-back has
+	//     not been confirmed durable takes precedence over the device.
+	//     Checked AFTER the steal so a copy handed over mid-steal
+	//     (handOverQuarantine moving a quarantined-only page while we
+	//     probed the old shard) is still found. The two sources cannot
+	//     both hold the page: a page quarantined here was already
+	//     admitted here, so the old topology gave it up long ago.
+	//  3. The device.
+	//
+	// Adopting from 1 or 2 keeps the frame dirty so the page is written
+	// back again later.
 	adopted := false
-	if q := sh.quarantineTake(id); q != nil {
-		f.data = *q
-		adopted = true
-	} else if err := sh.device.ReadPage(id, &f.data); err != nil {
-		sh.abandonFrame(f)
-		finish(err)
-		return nil, false, err
+	stolen := false
+	if prev := sh.set.prev.Load(); prev != nil {
+		var dirty bool
+		if dirty, stolen = prev.shardFor(id).stealPage(id, &f.data); stolen {
+			adopted = dirty
+		}
+	}
+	if !stolen {
+		if q := sh.quarantineTake(id); q != nil {
+			f.data = *q
+			adopted = true
+		} else if err := sh.device.ReadPage(id, &f.data); err != nil {
+			sh.abandonFrame(f)
+			finish(err)
+			return nil, false, err
+		}
 	}
 	f.tagPage.Store(uint64(id))
 	if writable {
@@ -571,6 +616,13 @@ func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error)
 // from a genuinely over-pinned pool.
 func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
 	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
+		if sh.sealed.Load() {
+			// A topology swap landed mid-load: stealPage is draining this
+			// shard's frames (and policy entries) out from under us, so a
+			// victim may never materialize here. Bounce the caller to the
+			// new topology instead of reporting a phantom pin exhaustion.
+			return nil, errResharded
+		}
 		if victim.Valid() {
 			if f, ok := sh.reclaim(victim); ok {
 				return f, nil
@@ -591,10 +643,17 @@ func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
 	return nil, sh.reclaimFailure()
 }
 
-// reclaimFailure picks the error for an exhausted reclaim: a saturated
-// quarantine means dirty evictions were refused for durability-bound
-// reasons, not that every buffer is pinned.
+// reclaimFailure picks the error for an exhausted reclaim. A shard sealed
+// by a reshard is checked first — the migration's stealPage drains frames
+// and policy entries concurrently, so "no victim found" on a sealed shard
+// means the pages moved, not that they are pinned; the caller retries
+// against the new topology. Otherwise a saturated quarantine means dirty
+// evictions were refused for durability-bound reasons, not that every
+// buffer is pinned.
 func (sh *shard) reclaimFailure() error {
+	if sh.sealed.Load() {
+		return errResharded
+	}
 	if sh.quarantineFull() {
 		return ErrQuarantineFull
 	}

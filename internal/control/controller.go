@@ -1,0 +1,578 @@
+// Package control closes the observation→actuation loop over a buffer
+// pool: a controller goroutine consumes the pool's own telemetry (sampled
+// access stream, windowed stats deltas, quarantine depth) and actuates the
+// pool's runtime knobs — batch-threshold retuning, background write-back
+// rate, replacement-policy hot-swap, and online resharding.
+//
+// Every decision is made in Step, which is deterministic given the pool's
+// state: the goroutine merely calls Step on a ticker. Tests drive Step
+// directly.
+//
+// The decision rules, in the order Step applies them:
+//
+//   - Policy hot-swap: shadow ghost caches (replacer.GhostScorer) replay
+//     the pool's spatially-sampled access stream through every candidate
+//     policy. When a challenger beats the incumbent's ghost score by
+//     SwapMargin on SwapPatience consecutive steps, the pool's policy is
+//     swapped in place (buffer.Pool.SwapPolicy).
+//   - Resharding: sharding trades policy-lock contention against
+//     replacement-history fragmentation (experiment E14). The controller
+//     measures both sides: the incumbent's ghost score is an unsharded
+//     simulation, so ghost-minus-actual hit ratio estimates what
+//     fragmentation is costing, and lock wait per access measures what
+//     contention is costing. A fragmentation gap above GapMargin shrinks
+//     the topology (halving, floored at MinShards); lock wait above
+//     WaitPerAccess grows it (doubling, capped at MaxShards) — but only
+//     when per-shard load is reasonably balanced: a skewed shard means a
+//     few hot pages, which more shards cannot spread (the hash pins a page
+//     to one shard) while fragmenting everyone's history. Reshards are
+//     separated by ReshardCooldown steps so each new topology's window is
+//     measured before the next move.
+//   - Batch threshold: forced (blocking) commits mean sessions fill their
+//     queues before any TryLock lands — the threshold drops by a quarter
+//     to start trying earlier. Windows with no forced commits let it climb
+//     back toward the configured value.
+//   - Write-back rate: quarantine depth above half the cap speeds the
+//     background writer (quarter interval, quadruple burst) until the
+//     quarantine drains, then restores the configured cadence.
+package control
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpwrapper/internal/buffer"
+	"bpwrapper/internal/obs"
+	"bpwrapper/internal/page"
+	"bpwrapper/internal/replacer"
+)
+
+// ActionKind classifies one actuation.
+type ActionKind string
+
+const (
+	ActSwapPolicy   ActionKind = "swap-policy"
+	ActReshardUp    ActionKind = "reshard-up"
+	ActReshardDown  ActionKind = "reshard-down"
+	ActThresholdCut ActionKind = "threshold-cut"
+	ActThresholdUp  ActionKind = "threshold-raise"
+	ActWriterFast   ActionKind = "bgwriter-fast"
+	ActWriterRelax  ActionKind = "bgwriter-relax"
+)
+
+// actionKinds lists every kind, for zero-filled counter exposition.
+var actionKinds = []ActionKind{
+	ActSwapPolicy, ActReshardUp, ActReshardDown,
+	ActThresholdCut, ActThresholdUp, ActWriterFast, ActWriterRelax,
+}
+
+// Action is one actuation taken by a Step, for logs and tests.
+type Action struct {
+	Kind   ActionKind
+	Detail string
+}
+
+// Config tunes a Controller. The zero value of every optional field picks
+// the documented default.
+type Config struct {
+	// Pool is the controlled pool. Required.
+	Pool *buffer.Pool
+
+	// Writer, when non-nil, lets the controller retune the background
+	// write-back rate from quarantine depth.
+	Writer *buffer.BackgroundWriter
+
+	// Interval between Steps when running via Start. Default 500ms.
+	Interval time.Duration
+
+	// SampleRate is the spatial access-sampling rate fed to
+	// Pool.EnableSampling: 1/SampleRate of the page-id space is shadowed.
+	// Default 8. The ghost caches are sized Frames/SampleRate so they
+	// emulate the full-size pool over the sampled slice.
+	SampleRate int
+
+	// RingSize is the sample ring capacity. Default 8192.
+	RingSize int
+
+	// Candidates are the policy names shadow-scored for hot-swap.
+	// Default {"2q", "lirs", "clockpro"}. Unknown names are ignored.
+	Candidates []string
+
+	// GhostWindow is the scorer's decay period in sampled accesses (scores
+	// halve every window, tracking the current phase). Default 4096.
+	GhostWindow int64
+
+	// SwapMargin and SwapPatience gate policy hot-swap: a challenger must
+	// beat the incumbent's ghost score by SwapMargin on SwapPatience
+	// consecutive steps. Defaults 0.05 and 3.
+	SwapMargin   float64
+	SwapPatience int
+
+	// MinShards and MaxShards bound resharding. Defaults 1 and 8.
+	MinShards, MaxShards int
+
+	// ReshardCooldown is the number of Steps after a reshard during which
+	// no further topology change is considered. Default 8.
+	ReshardCooldown int
+
+	// GapMargin is the ghost-vs-actual hit-ratio gap (fragmentation cost)
+	// that triggers shrinking the topology. Default 0.02.
+	GapMargin float64
+
+	// WaitPerAccess is the policy-lock wait per access that triggers
+	// growing the topology. Default 2µs.
+	WaitPerAccess time.Duration
+
+	// SkewLimit is the max-shard/mean access ratio above which growing is
+	// suppressed (hot pages, not contention breadth). Default 3.0.
+	SkewLimit float64
+
+	// MinWindow is the minimum number of pool accesses a step's window
+	// must contain before reshard/threshold decisions are made (tiny
+	// windows are noise). Default 2048.
+	MinWindow int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.SampleRate <= 0 {
+		c.SampleRate = 8
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 8192
+	}
+	if len(c.Candidates) == 0 {
+		c.Candidates = []string{"2q", "lirs", "clockpro"}
+	}
+	if c.GhostWindow == 0 {
+		c.GhostWindow = 4096
+	}
+	if c.SwapMargin <= 0 {
+		c.SwapMargin = 0.05
+	}
+	if c.SwapPatience <= 0 {
+		c.SwapPatience = 3
+	}
+	if c.MinShards <= 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 8
+	}
+	if c.MaxShards < c.MinShards {
+		c.MaxShards = c.MinShards
+	}
+	if c.ReshardCooldown <= 0 {
+		c.ReshardCooldown = 8
+	}
+	if c.GapMargin <= 0 {
+		c.GapMargin = 0.02
+	}
+	if c.WaitPerAccess <= 0 {
+		c.WaitPerAccess = 2 * time.Microsecond
+	}
+	if c.SkewLimit <= 0 {
+		c.SkewLimit = 3.0
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 2048
+	}
+	return c
+}
+
+// Controller is the control loop. Step is single-threaded: either drive it
+// from Start's goroutine or call it directly (tests), never both at once.
+type Controller struct {
+	cfg       Config
+	pool      *buffer.Pool
+	scorer    *replacer.GhostScorer
+	factories map[string]replacer.Factory
+
+	cursor uint64
+	buf    []page.PageID
+
+	last     buffer.Stats // previous step's snapshot, for windowed deltas
+	hasLast  bool
+	cooldown int
+
+	// Background-writer base rate, remembered for relaxing after a fast
+	// spell; fast tracks which mode the controller last commanded.
+	baseInterval time.Duration
+	baseBurst    int
+	fast         bool
+
+	// threshold is the controller's current override (0 = configured);
+	// atomic because the obs collector reads it from scrape goroutines.
+	threshold atomic.Int32
+
+	// Exposition state (read by the obs collector from any goroutine).
+	steps      atomic.Int64
+	actions    map[ActionKind]*atomic.Int64
+	mu         sync.Mutex
+	lastAction Action
+	scores     map[string]float64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	doneOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// closeDone marks the control goroutine finished; safe to call from both
+// the goroutine's exit and Stop-on-a-never-started controller.
+func (c *Controller) closeDone() { c.doneOnce.Do(func() { close(c.done) }) }
+
+// New builds a controller over cfg.Pool and enables the pool's access
+// sampling at cfg.SampleRate. It does not start the loop; call Start, or
+// drive Step directly.
+func New(cfg Config) *Controller {
+	if cfg.Pool == nil {
+		panic("control: Config.Pool is required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:       cfg,
+		pool:      cfg.Pool,
+		buf:       make([]page.PageID, 1024),
+		factories: make(map[string]replacer.Factory),
+		actions:   make(map[ActionKind]*atomic.Int64, len(actionKinds)),
+		scores:    make(map[string]float64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, k := range actionKinds {
+		c.actions[k] = new(atomic.Int64)
+	}
+	all := replacer.Factories()
+	ghostCandidates := make(map[string]replacer.Factory)
+	for _, name := range cfg.Candidates {
+		if f, ok := all[name]; ok {
+			c.factories[name] = f
+			ghostCandidates[name] = f
+		}
+	}
+	ghostCap := c.pool.Stats().Frames / cfg.SampleRate
+	c.scorer = replacer.NewGhostScorer(ghostCap, ghostCandidates, cfg.GhostWindow)
+	c.pool.EnableSampling(cfg.SampleRate, cfg.RingSize)
+	if cfg.Writer != nil {
+		c.baseInterval, c.baseBurst = cfg.Writer.Rate()
+	}
+	return c
+}
+
+// Start launches the control goroutine at the configured interval. Stop
+// terminates it.
+func (c *Controller) Start() {
+	if c.started.Swap(true) {
+		return
+	}
+	go func() {
+		defer c.closeDone()
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Step()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the control goroutine (idempotent; a controller that was
+// never Started just closes its channels).
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		if !c.started.Load() {
+			// Start was never called: nothing will ever close done.
+			c.closeDone()
+		}
+	})
+	<-c.done
+}
+
+// Step runs one observe→decide→actuate cycle and reports the actions it
+// took. It is deterministic given the pool's state and sample stream.
+func (c *Controller) Step() []Action {
+	c.steps.Add(1)
+	c.drainSamples()
+	st := c.pool.Stats()
+	var acts []Action
+
+	// Policy hot-swap, from ghost scores with hysteresis. The incumbent is
+	// whatever shard 0 runs (shards share one policy by construction).
+	incumbent := ""
+	if len(st.PerShard) > 0 {
+		incumbent = st.PerShard[0].Policy
+	}
+	c.publishScores()
+	if c.scorer.Seen() >= int64(c.cfg.MinWindow) && incumbent != "" {
+		if pick := c.scorer.Pick(incumbent, c.cfg.SwapMargin, c.cfg.SwapPatience); pick != incumbent {
+			if f, ok := c.factories[pick]; ok {
+				if from, to, err := c.pool.SwapPolicy(f); err == nil {
+					acts = c.record(acts, ActSwapPolicy, fmt.Sprintf("%s->%s", from, to))
+					// The old scores graded policies against the OLD
+					// incumbent's era; start the new era clean so a
+					// follow-up swap needs fresh evidence.
+					c.scorer.Reset()
+				}
+			}
+		}
+	}
+
+	// Windowed deltas need a previous snapshot of the SAME topology.
+	if c.hasLast && st.Epoch == c.last.Epoch && len(st.PerShard) == len(c.last.PerShard) {
+		acts = c.steer(acts, st)
+	} else {
+		c.hasLast = true
+	}
+	c.last = st
+
+	// Write-back rate from quarantine depth (topology-independent).
+	acts = c.steerWriter(acts, st)
+	return acts
+}
+
+// steer makes the windowed decisions: resharding and batch threshold.
+func (c *Controller) steer(acts []Action, st buffer.Stats) []Action {
+	dHits := st.Hits - c.last.Hits
+	dMisses := st.Misses - c.last.Misses
+	window := dHits + dMisses
+	if window < c.cfg.MinWindow {
+		return acts
+	}
+
+	// Batch threshold: forced commits in the window mean queues filled
+	// before TryLock landed — drop the threshold a quarter to start
+	// earlier. Clean windows raise it back toward the configured value.
+	wcfg := c.pool.Wrapper().Config()
+	if wcfg.Batching && !wcfg.AdaptiveThreshold {
+		base := wcfg.BatchThreshold
+		cur := int(c.threshold.Load())
+		if cur == 0 {
+			cur = base
+		}
+		dForced := st.Wrapper.ForcedLocks - c.last.Wrapper.ForcedLocks
+		dCommits := st.Wrapper.Commits - c.last.Wrapper.Commits
+		if dCommits > 0 && dForced*4 > dCommits && cur > 1 {
+			next := max(1, cur*3/4)
+			c.threshold.Store(int32(next))
+			c.pool.SetBatchThreshold(next)
+			acts = c.record(acts, ActThresholdCut, fmt.Sprintf("%d->%d", cur, next))
+		} else if over := int(c.threshold.Load()); dForced == 0 && over != 0 && over < base {
+			next := over + max(1, base/8)
+			if next >= base {
+				c.threshold.Store(0)
+				c.pool.SetBatchThreshold(0)
+				acts = c.record(acts, ActThresholdUp, fmt.Sprintf("%d->configured(%d)", cur, base))
+			} else {
+				c.threshold.Store(int32(next))
+				c.pool.SetBatchThreshold(next)
+				acts = c.record(acts, ActThresholdUp, fmt.Sprintf("%d->%d", cur, next))
+			}
+		}
+	}
+
+	// Resharding, under cooldown.
+	if c.cooldown > 0 {
+		c.cooldown--
+		return acts
+	}
+	shards := st.Shards
+	actual := float64(dHits) / float64(window)
+	ghost, _ := c.scorer.Score(policyOf(st))
+	dWait := st.Wrapper.Lock.WaitTime - c.last.Wrapper.Lock.WaitTime
+	waitPer := dWait / time.Duration(window)
+
+	switch {
+	case shards > c.cfg.MinShards && ghost-actual > c.cfg.GapMargin && waitPer < c.cfg.WaitPerAccess/2:
+		// Fragmentation is costing hit ratio and the locks are quiet:
+		// consolidate history by halving the shard count.
+		n := max(c.cfg.MinShards, shards/2)
+		if err := c.pool.Reshard(n); err == nil {
+			acts = c.record(acts, ActReshardDown, fmt.Sprintf("%d->%d ghost=%.3f actual=%.3f", shards, n, ghost, actual))
+			c.cooldown = c.cfg.ReshardCooldown
+		}
+	case shards < c.cfg.MaxShards && waitPer > c.cfg.WaitPerAccess && c.skew(st) <= c.cfg.SkewLimit:
+		// The policy locks are the bottleneck and load is spread wide
+		// enough that more shards will actually dilute it.
+		n := min(c.cfg.MaxShards, shards*2)
+		if err := c.pool.Reshard(n); err == nil {
+			acts = c.record(acts, ActReshardUp, fmt.Sprintf("%d->%d wait/acc=%s", shards, n, waitPer))
+			c.cooldown = c.cfg.ReshardCooldown
+		}
+	}
+	return acts
+}
+
+// skew is the window's max-shard/mean access ratio (1.0 = perfectly
+// balanced). Called only when st and c.last share a topology.
+func (c *Controller) skew(st buffer.Stats) float64 {
+	n := len(st.PerShard)
+	if n <= 1 {
+		return 1
+	}
+	var total, maxShard int64
+	for i := range st.PerShard {
+		d := (st.PerShard[i].Hits + st.PerShard[i].Misses) -
+			(c.last.PerShard[i].Hits + c.last.PerShard[i].Misses)
+		total += d
+		if d > maxShard {
+			maxShard = d
+		}
+	}
+	if total <= 0 {
+		return 1
+	}
+	mean := float64(total) / float64(n)
+	return float64(maxShard) / mean
+}
+
+// steerWriter speeds up the background writer while the quarantine is
+// deep and restores the configured cadence once it drains.
+func (c *Controller) steerWriter(acts []Action, st buffer.Stats) []Action {
+	w := c.cfg.Writer
+	if w == nil || st.QuarantineCap <= 0 {
+		return acts
+	}
+	deep := st.Quarantined*2 > st.QuarantineCap
+	switch {
+	case deep && !c.fast:
+		iv := c.baseInterval / 4
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
+		w.SetRate(iv, c.baseBurst*4)
+		c.fast = true
+		acts = c.record(acts, ActWriterFast, fmt.Sprintf("quarantined=%d/%d", st.Quarantined, st.QuarantineCap))
+	case !deep && st.Quarantined == 0 && c.fast:
+		w.SetRate(c.baseInterval, c.baseBurst)
+		c.fast = false
+		acts = c.record(acts, ActWriterRelax, "quarantine drained")
+	}
+	return acts
+}
+
+// drainSamples feeds everything the pool sampled since the last step to
+// the ghost scorer.
+func (c *Controller) drainSamples() {
+	for {
+		n, next := c.pool.Samples(c.cursor, c.buf)
+		c.cursor = next
+		for _, id := range c.buf[:n] {
+			c.scorer.Observe(id)
+		}
+		if n < len(c.buf) {
+			return
+		}
+	}
+}
+
+func policyOf(st buffer.Stats) string {
+	if len(st.PerShard) == 0 {
+		return ""
+	}
+	return st.PerShard[0].Policy
+}
+
+// record counts an action and remembers it as the most recent.
+func (c *Controller) record(acts []Action, kind ActionKind, detail string) []Action {
+	a := Action{Kind: kind, Detail: detail}
+	c.actions[kind].Add(1)
+	c.mu.Lock()
+	c.lastAction = a
+	c.mu.Unlock()
+	return append(acts, a)
+}
+
+// publishScores snapshots the ghost scores for the obs collector.
+func (c *Controller) publishScores() {
+	s := c.scorer.Scores()
+	c.mu.Lock()
+	c.scores = s
+	c.mu.Unlock()
+}
+
+// LastAction returns the most recent actuation (zero Action if none yet).
+func (c *Controller) LastAction() Action {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastAction
+}
+
+// Steps reports how many Steps have run.
+func (c *Controller) Steps() int64 { return c.steps.Load() }
+
+// Scores returns the latest published ghost scores.
+func (c *Controller) Scores() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.scores))
+	for k, v := range c.scores {
+		out[k] = v
+	}
+	return out
+}
+
+// RegisterObs exposes the controller under bpw_control_*: step and
+// per-kind action counters, the live ghost score per candidate policy, the
+// current batch-threshold override, and the last action as a labeled info
+// gauge (bpstat renders it verbatim).
+func (c *Controller) RegisterObs(reg *obs.Registry) {
+	reg.Register(func(emit func(obs.Metric)) {
+		emit(obs.Metric{
+			Name: "bpw_control_steps_total", Type: obs.Counter,
+			Help:  "control-loop steps executed",
+			Value: float64(c.steps.Load()),
+		})
+		for _, k := range actionKinds {
+			emit(obs.Metric{
+				Name: "bpw_control_actions_total", Type: obs.Counter,
+				Help:   "control actuations by kind",
+				Labels: [][2]string{{"kind", string(k)}},
+				Value:  float64(c.actions[k].Load()),
+			})
+		}
+		c.mu.Lock()
+		scores := make(map[string]float64, len(c.scores))
+		for k, v := range c.scores {
+			scores[k] = v
+		}
+		last := c.lastAction
+		c.mu.Unlock()
+		for _, name := range c.cfg.Candidates {
+			if v, ok := scores[name]; ok {
+				emit(obs.Metric{
+					Name: "bpw_control_policy_score", Type: obs.Gauge,
+					Help:   "shadow ghost-cache hit ratio per candidate policy",
+					Labels: [][2]string{{"policy", name}},
+					Value:  v,
+				})
+			}
+		}
+		emit(obs.Metric{
+			Name: "bpw_control_batch_threshold", Type: obs.Gauge,
+			Help:  "controller batch-threshold override (0 = configured value)",
+			Value: float64(c.thresholdNow()),
+		})
+		if last.Kind != "" {
+			emit(obs.Metric{
+				Name: "bpw_control_last_action", Type: obs.Gauge,
+				Help:   "most recent control actuation (info gauge)",
+				Labels: [][2]string{{"kind", string(last.Kind)}, {"detail", last.Detail}},
+				Value:  1,
+			})
+		}
+	})
+}
+
+// thresholdNow reads the current override for exposition.
+func (c *Controller) thresholdNow() int { return int(c.threshold.Load()) }

@@ -103,7 +103,7 @@ func TestFlushDoesNotAdapt(t *testing.T) {
 		s.adaptUp() // mid-run: one success short of a bump
 	}
 	s.queue = append(s.queue, Entry{ID: pid(1)}) // something to flush
-	s.w.policy.Admit(pid(1))
+	s.w.Policy().Admit(pid(1))
 	s.Flush()
 	if got := s.Threshold(); got != 16 {
 		t.Fatalf("threshold=%d after Flush, want 16 (unchanged)", got)

@@ -177,8 +177,8 @@ func (s *Session) fcCommit() {
 		// Previous batch drained: publish this one. Only the owner stores
 		// into pub, so the emptiness check cannot race with another
 		// publisher; a combiner only ever transitions pub to nil.
-		if w.prefetcher != nil {
-			s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+		if pf := w.box.Load().prefetcher; pf != nil {
+			s.pf = prefetchInto(pf, s.pf, s.queue, page.InvalidPageID)
 		}
 		box := s.fcBox
 		*box = s.queue
@@ -212,8 +212,8 @@ func (s *Session) fcCommit() {
 	}
 	// Both buffers full: the bounded-memory fall-back. Apply the published
 	// batch (older) before the queue, then combine everyone else.
-	if w.prefetcher != nil {
-		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+	if pf := w.box.Load().prefetcher; pf != nil {
+		s.pf = prefetchInto(pf, s.pf, s.queue, page.InvalidPageID)
 	}
 	w.lock.Lock()
 	w.cc.forcedLocks.Add(1)
@@ -239,8 +239,8 @@ func (s *Session) fcFlush() {
 	if claimed == nil && len(s.queue) == 0 {
 		return
 	}
-	if w.prefetcher != nil {
-		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+	if pf := w.box.Load().prefetcher; pf != nil {
+		s.pf = prefetchInto(pf, s.pf, s.queue, page.InvalidPageID)
 	}
 	w.lock.Lock()
 	w.cc.forcedLocks.Add(1)

@@ -251,10 +251,20 @@ type combineCounters struct {
 // BP-Wrapper techniques. All methods are safe for concurrent use; the
 // per-thread entry points live on Session.
 type Wrapper struct {
-	policy      replacer.Policy
-	prefetcher  replacer.Prefetcher // nil if unsupported or disabled
-	lockFreeHit bool                // policy.Hit needs no lock (clock family)
-	cfg         Config
+	// box holds the atomically-swappable policy view: the policy plus the
+	// two facts the lock-free paths read about it (whether Hit needs the
+	// lock, and the prefetcher interface when enabled). Hot paths load it
+	// once per call; SwapPolicy republishes it under the policy lock, so
+	// any lock holder sees a stable view.
+	box atomic.Pointer[policyBox]
+
+	// dynThreshold is a wrapper-wide batch-threshold override installed at
+	// run time (SetBatchThreshold, driven by the control loop); 0 means
+	// "use cfg.BatchThreshold". A session's own adaptive threshold takes
+	// precedence over it.
+	dynThreshold atomic.Int32
+
+	cfg Config
 
 	shared *sharedQueue // non-nil iff cfg.SharedQueue
 	fc     *combiner    // non-nil iff cfg.FlatCombining
@@ -284,17 +294,40 @@ type Wrapper struct {
 // the overflow bucket, whose exact maximum is still tracked.
 const combineRunCap = 32
 
+// policyBox is the immutable view of the wrapped policy that hot paths
+// read without the lock. It is published as a unit so a lock-free hit can
+// never pair an old policy with a new policy's lockFreeHit flag (or vice
+// versa) mid-swap.
+type policyBox struct {
+	policy      replacer.Policy
+	prefetcher  replacer.Prefetcher // nil if unsupported or disabled
+	lockFreeHit bool                // policy.Hit needs no lock (clock family)
+}
+
+// newPolicyBox derives the hot-path view for a policy under cfg.
+func newPolicyBox(policy replacer.Policy, cfg Config) *policyBox {
+	b := &policyBox{
+		policy:      policy,
+		lockFreeHit: !replacer.HitNeedsLock(policy),
+	}
+	if cfg.Prefetching {
+		if pf, ok := policy.(replacer.Prefetcher); ok {
+			b.prefetcher = pf
+		}
+	}
+	return b
+}
+
 // New returns a Wrapper around policy configured by cfg.
 func New(policy replacer.Policy, cfg Config) *Wrapper {
 	cfg = cfg.withDefaults()
 	w := &Wrapper{
-		policy:      policy,
 		cfg:         cfg,
-		lockFreeHit: !replacer.HitNeedsLock(policy),
 		events:      cfg.Events,
 		batchSizes:  metrics.NewCountDist(cfg.QueueSize),
 		combineRuns: metrics.NewCountDist(combineRunCap),
 	}
+	w.box.Store(newPolicyBox(policy, cfg))
 	profile := cfg.LockProfile
 	if profile == nil {
 		// Default profile: sampled hold times plus wait/hold histograms,
@@ -305,11 +338,6 @@ func New(policy replacer.Policy, cfg Config) *Wrapper {
 		}
 	}
 	w.lock.SetProfile(profile)
-	if cfg.Prefetching {
-		if pf, ok := policy.(replacer.Prefetcher); ok {
-			w.prefetcher = pf
-		}
-	}
 	if cfg.SharedQueue && cfg.Batching {
 		w.shared = &sharedQueue{
 			entries: make([]Entry, 0, cfg.QueueSize),
@@ -324,8 +352,9 @@ func New(policy replacer.Policy, cfg Config) *Wrapper {
 
 // Policy returns the wrapped replacement policy. Callers must hold the
 // wrapper's lock (via Locked) before touching it unless they have exclusive
-// access to the wrapper.
-func (w *Wrapper) Policy() replacer.Policy { return w.policy }
+// access to the wrapper; note the policy can change across lock-holding
+// periods (SwapPolicy), so do not cache the returned value across them.
+func (w *Wrapper) Policy() replacer.Policy { return w.box.Load().policy }
 
 // Config returns the resolved configuration.
 func (w *Wrapper) Config() Config { return w.cfg }
@@ -404,7 +433,69 @@ func (w *Wrapper) ResetStats() {
 func (w *Wrapper) Locked(fn func(replacer.Policy)) {
 	w.lock.Lock()
 	defer w.lock.Unlock()
-	fn(w.policy)
+	fn(w.box.Load().policy)
+}
+
+// SetBatchThreshold installs a wrapper-wide batch-threshold override that
+// takes effect on each session's next threshold check (no session
+// coordination needed: sessions re-read it per access). Values are clamped
+// to [1, QueueSize]; t <= 0 removes the override, restoring the configured
+// threshold. Sessions running AdaptiveThreshold keep their own value.
+func (w *Wrapper) SetBatchThreshold(t int) {
+	if t <= 0 {
+		w.dynThreshold.Store(0)
+		return
+	}
+	if t > w.cfg.QueueSize {
+		t = w.cfg.QueueSize
+	}
+	w.dynThreshold.Store(int32(t))
+}
+
+// BatchThreshold reports the effective wrapper-wide batch threshold (the
+// dynamic override if set, else the configured value).
+func (w *Wrapper) BatchThreshold() int {
+	if t := int(w.dynThreshold.Load()); t > 0 {
+		return t
+	}
+	return w.cfg.BatchThreshold
+}
+
+// SwapPolicy replaces the wrapped policy with one built by factory at the
+// same capacity, migrating the resident set: the old policy is drained in
+// eviction order (least valuable first) and re-admitted into the new one in
+// that order, so the most valuable pages are admitted last and the new
+// policy's initial ranking approximates the old one's. The whole exchange
+// happens under the policy lock, then the hot-path view is republished
+// atomically.
+//
+// Admitting into a policy with queue-local bounds (2Q's A1in, say) can
+// evict even below total capacity; such pages fall out of the new policy's
+// tracking while their frames stay resident. They are returned as residue
+// for the caller (the buffer shard) to reclaim through its normal victim
+// path — dropping them silently would strand unevictable frames.
+//
+// Lock-free hits racing the swap may deliver a reference-bit update to the
+// retired policy object (harmless: it is garbage afterwards) or batch into
+// queues applied later to the new policy (tag validation still applies).
+// Both are the same advisory staleness batching already accepts.
+func (w *Wrapper) SwapPolicy(factory replacer.Factory) (from, to string, residue []page.PageID) {
+	w.lock.Lock()
+	defer w.lock.Unlock()
+	old := w.box.Load()
+	next := factory(old.policy.Cap())
+	from, to = old.policy.Name(), next.Name()
+	for {
+		id, ok := old.policy.Evict()
+		if !ok {
+			break
+		}
+		if v, ev := next.Admit(id); ev {
+			residue = append(residue, v)
+		}
+	}
+	w.box.Store(newPolicyBox(next, w.cfg))
+	return from, to, residue
 }
 
 // CheckInvariants verifies the wrapper's cheap structural invariants under
@@ -417,11 +508,12 @@ func (w *Wrapper) Locked(fn func(replacer.Policy)) {
 func (w *Wrapper) CheckInvariants() error {
 	w.lock.Lock()
 	defer w.lock.Unlock()
-	n, c := w.policy.Len(), w.policy.Cap()
+	pol := w.box.Load().policy
+	n, c := pol.Len(), pol.Cap()
 	if n < 0 || n > c {
-		return fmt.Errorf("core: policy %s: Len %d outside [0, Cap %d]", w.policy.Name(), n, c)
+		return fmt.Errorf("core: policy %s: Len %d outside [0, Cap %d]", pol.Name(), n, c)
 	}
-	return replacer.Check(w.policy)
+	return replacer.Check(pol)
 }
 
 // NewSession returns the per-thread handle through which one backend
@@ -496,11 +588,15 @@ func (s *Session) fold() {
 	s.accesses, s.hits, s.misses, s.sinceFold = 0, 0, 0, 0
 }
 
-// Threshold reports the session's current batch threshold (the configured
-// value unless AdaptiveThreshold has moved it).
+// Threshold reports the session's current batch threshold: the session's
+// own adaptive value if AdaptiveThreshold has moved it, else the wrapper's
+// dynamic override (SetBatchThreshold), else the configured value.
 func (s *Session) Threshold() int {
 	if s.threshold > 0 {
 		return s.threshold
+	}
+	if t := int(s.w.dynThreshold.Load()); t > 0 {
+		return t
 	}
 	return s.w.cfg.BatchThreshold
 }
@@ -549,10 +645,13 @@ func (s *Session) adaptUp() {
 func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 	w := s.w
 	s.note(true)
-	if w.lockFreeHit {
+	b := w.box.Load()
+	if b.lockFreeHit {
 		// Clock-family policy: the hit is an atomic reference-bit update
 		// and needs neither lock nor queue. This is the pgClock baseline.
-		w.policy.Hit(id)
+		// A SwapPolicy racing this delivers the bit to the retired policy
+		// object — lost advice, not corruption.
+		b.policy.Hit(id)
 		if s.sinceFold >= foldInterval {
 			s.fold()
 		}
@@ -560,9 +659,9 @@ func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 	}
 	if !w.cfg.Batching {
 		// No batching (pg2Q / pgPre): one lock acquisition per access.
-		if w.prefetcher != nil {
+		if b.prefetcher != nil {
 			one := [1]page.PageID{id}
-			w.prefetcher.Prefetch(one[:])
+			b.prefetcher.Prefetch(one[:])
 		}
 		w.lock.Lock()
 		w.applyHit(Entry{ID: id, Tag: tag})
@@ -608,8 +707,8 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 	case s.queue != nil:
 		pending = s.queue
 	}
-	if w.prefetcher != nil {
-		s.pf = w.prefetchInto(s.pf, pending, id)
+	if pf := w.box.Load().prefetcher; pf != nil {
+		s.pf = prefetchInto(pf, s.pf, pending, id)
 	}
 	sched.Yield(sched.CoreMissLock)
 	w.lock.Lock()
@@ -617,7 +716,7 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 	for _, e := range pending {
 		w.applyHit(e)
 	}
-	victim, evicted = w.policy.Admit(id)
+	victim, evicted = w.box.Load().policy.Admit(id)
 	if w.fc != nil {
 		w.combineLocked(s.slot)
 	}
@@ -657,8 +756,8 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 	case s.queue != nil:
 		pending = s.queue
 	}
-	if w.prefetcher != nil {
-		s.pf = w.prefetchInto(s.pf, pending, id)
+	if pf := w.box.Load().prefetcher; pf != nil {
+		s.pf = prefetchInto(pf, s.pf, pending, id)
 	}
 	sched.Yield(sched.CoreMissLock)
 	w.lock.Lock()
@@ -666,8 +765,8 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 	for _, e := range pending {
 		w.applyHit(e)
 	}
-	if w.policy.Len() >= w.policy.Cap() {
-		victim, evicted = w.policy.Evict()
+	if pol := w.box.Load().policy; pol.Len() >= pol.Cap() {
+		victim, evicted = pol.Evict()
 	}
 	if w.fc != nil {
 		w.combineLocked(s.slot)
@@ -693,7 +792,7 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 func (s *Session) MissAdmit(id page.PageID) (victim page.PageID, evicted bool) {
 	w := s.w
 	w.lock.Lock()
-	victim, evicted = w.policy.Admit(id)
+	victim, evicted = w.box.Load().policy.Admit(id)
 	w.lock.Unlock()
 	return victim, evicted
 }
@@ -710,8 +809,8 @@ func (s *Session) Flush() {
 		if len(pending) == 0 {
 			return
 		}
-		if w.prefetcher != nil {
-			s.pf = w.prefetchInto(s.pf, pending, page.InvalidPageID)
+		if pf := w.box.Load().prefetcher; pf != nil {
+			s.pf = prefetchInto(pf, s.pf, pending, page.InvalidPageID)
 		}
 		w.lock.Lock()
 		for _, e := range pending {
@@ -757,10 +856,10 @@ func (s *Session) Pending() int {
 func (s *Session) commit(force bool) {
 	w := s.w
 	defer s.fold()
-	if w.prefetcher != nil {
+	if pf := w.box.Load().prefetcher; pf != nil {
 		// Prefetch: warm the cache with the metadata the critical section
 		// will touch, immediately before requesting the lock.
-		s.pf = w.prefetchInto(s.pf, s.queue, page.InvalidPageID)
+		s.pf = prefetchInto(pf, s.pf, s.queue, page.InvalidPageID)
 	}
 	sched.Yield(sched.CoreCommitTry)
 	if force {
@@ -798,13 +897,15 @@ func (s *Session) commit(force bool) {
 }
 
 // applyHit validates one queued entry and delivers it to the policy.
-// Callers must hold the lock.
+// Callers must hold the lock (which also pins the policy box: SwapPolicy
+// republishes it only while holding the same lock, so the load here is
+// stable for the whole batch).
 func (w *Wrapper) applyHit(e Entry) {
 	if w.cfg.Validate != nil && !w.cfg.Validate(e) {
 		w.cc.dropped.Add(1)
 		return
 	}
-	w.policy.Hit(e.ID)
+	w.box.Load().policy.Hit(e.ID)
 	w.cc.committed.Add(1)
 }
 
@@ -812,7 +913,7 @@ func (w *Wrapper) applyHit(e Entry) {
 // missing page, reusing buf as the id scratch space. It returns the
 // (possibly grown) scratch for the caller to retain — after the first few
 // commits the id walk is allocation-free.
-func (w *Wrapper) prefetchInto(buf []page.PageID, entries []Entry, extra page.PageID) []page.PageID {
+func prefetchInto(pf replacer.Prefetcher, buf []page.PageID, entries []Entry, extra page.PageID) []page.PageID {
 	ids := buf[:0]
 	for _, e := range entries {
 		ids = append(ids, e.ID)
@@ -820,7 +921,7 @@ func (w *Wrapper) prefetchInto(buf []page.PageID, entries []Entry, extra page.Pa
 	if extra.Valid() {
 		ids = append(ids, extra)
 	}
-	w.prefetcher.Prefetch(ids)
+	pf.Prefetch(ids)
 	return ids
 }
 
@@ -851,8 +952,8 @@ func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	batch := q.takeLocked()
 	q.mu.Unlock()
 
-	if w.prefetcher != nil {
-		s.pf = w.prefetchInto(s.pf, batch, page.InvalidPageID)
+	if pf := w.box.Load().prefetcher; pf != nil {
+		s.pf = prefetchInto(pf, s.pf, batch, page.InvalidPageID)
 	}
 	if full {
 		w.lock.Lock()

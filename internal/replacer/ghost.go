@@ -1,0 +1,161 @@
+// Ghost-cache policy scoring: shadow instances of candidate replacement
+// algorithms run over a (sampled) access stream, and their simulated hit
+// counts say which algorithm the real buffer pool SHOULD be running. This
+// is the observation half of policy hot-swap — the control loop feeds the
+// scorer the pool's spatially sampled accesses and swaps the pool's policy
+// when a challenger beats the incumbent convincingly.
+//
+// SHARDS-style spatial sampling makes the shadows cheap: sampling a fixed
+// pseudo-random 1/rate of the page-id space and keeping EVERY access to
+// those pages preserves reuse distances within the sample, so a ghost of
+// capacity/rate frames emulates a full-size cache at 1/rate the memory and
+// update cost. The caller picks the scaled capacity; the scorer just runs
+// the policies.
+package replacer
+
+import "sort"
+
+// GhostScorer drives one shadow policy instance per candidate over the
+// observed stream and scores each by exponentially-decayed hit ratio.
+// Not safe for concurrent use: it belongs to a single control goroutine.
+type GhostScorer struct {
+	ghosts []*ghost
+	window int64 // observations between decays (0 disables decay)
+	seen   int64
+
+	// Hysteresis state for Pick: the challenger currently on a winning
+	// streak and how many consecutive Picks it has led by the margin.
+	leader   string
+	leadRuns int
+}
+
+// ghost is one candidate's shadow cache and score.
+type ghost struct {
+	name   string
+	policy Policy
+	hits   float64
+	total  float64
+}
+
+// NewGhostScorer builds shadows of every candidate at ghostCap frames
+// (pass capacity/sampleRate to emulate a full-size cache over a 1/rate
+// spatial sample). window is the decay period: every window observations
+// each ghost's hit and access counts are halved, so scores track the
+// current phase of the workload instead of averaging over its whole
+// history; 0 disables decay. Candidates iterate in sorted-name order, so
+// scoring is deterministic for a given stream.
+func NewGhostScorer(ghostCap int, candidates map[string]Factory, window int64) *GhostScorer {
+	if ghostCap < 1 {
+		ghostCap = 1
+	}
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	g := &GhostScorer{window: window}
+	for _, name := range names {
+		g.ghosts = append(g.ghosts, &ghost{name: name, policy: candidates[name](ghostCap)})
+	}
+	return g
+}
+
+// Observe feeds one sampled access to every shadow: a resident page is a
+// simulated hit, a missing one is admitted (evicting per that policy's
+// rule). Periodic decay keeps the scores phase-local.
+func (g *GhostScorer) Observe(id PageID) {
+	g.seen++
+	for _, c := range g.ghosts {
+		c.total++
+		if c.policy.Contains(id) {
+			c.policy.Hit(id)
+			c.hits++
+		} else {
+			c.policy.Admit(id)
+		}
+	}
+	if g.window > 0 && g.seen%g.window == 0 {
+		for _, c := range g.ghosts {
+			c.hits /= 2
+			c.total /= 2
+		}
+	}
+}
+
+// Seen reports how many accesses have been observed since construction.
+func (g *GhostScorer) Seen() int64 { return g.seen }
+
+// Score reports one candidate's decayed hit ratio (0 before any
+// observation) and whether the candidate exists.
+func (g *GhostScorer) Score(name string) (float64, bool) {
+	for _, c := range g.ghosts {
+		if c.name == name {
+			return c.ratio(), true
+		}
+	}
+	return 0, false
+}
+
+func (c *ghost) ratio() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return c.hits / c.total
+}
+
+// Scores returns every candidate's decayed hit ratio.
+func (g *GhostScorer) Scores() map[string]float64 {
+	m := make(map[string]float64, len(g.ghosts))
+	for _, c := range g.ghosts {
+		m[c.name] = c.ratio()
+	}
+	return m
+}
+
+// Best returns the top-scoring candidate (ties break to the first in
+// sorted-name order, keeping the choice deterministic).
+func (g *GhostScorer) Best() (string, float64) {
+	best, ratio := "", -1.0
+	for _, c := range g.ghosts {
+		if r := c.ratio(); r > ratio {
+			best, ratio = c.name, r
+		}
+	}
+	return best, ratio
+}
+
+// Pick recommends a policy with hysteresis: it returns incumbent unless a
+// single challenger has beaten the incumbent's score by at least margin on
+// patience consecutive Pick calls. Any interruption — the lead shrinking
+// below the margin, or a different challenger taking the lead — resets the
+// streak, so score noise around the margin cannot flap the pool's policy
+// back and forth. An incumbent that is not among the candidates scores 0,
+// making it replaceable as soon as any ghost sustains margin.
+func (g *GhostScorer) Pick(incumbent string, margin float64, patience int) string {
+	best, ratio := g.Best()
+	inc, _ := g.Score(incumbent)
+	if best == incumbent || ratio < inc+margin {
+		g.leader, g.leadRuns = "", 0
+		return incumbent
+	}
+	if best != g.leader {
+		g.leader, g.leadRuns = best, 1
+	} else {
+		g.leadRuns++
+	}
+	if patience > 0 && g.leadRuns < patience {
+		return incumbent
+	}
+	g.leader, g.leadRuns = "", 0
+	return best
+}
+
+// Reset zeroes every score and the hysteresis streak (the shadow resident
+// sets are kept — they are the warmed state a fresh score window wants).
+func (g *GhostScorer) Reset() {
+	for _, c := range g.ghosts {
+		c.hits, c.total = 0, 0
+	}
+	g.seen = 0
+	g.leader, g.leadRuns = "", 0
+}

@@ -1,0 +1,129 @@
+package replacer
+
+import "testing"
+
+// ghostLoop is the canonical LIRS-favourable workload: a cyclic scan over
+// more pages than the cache holds. LRU-family stacks (including 2Q's Am)
+// evict every page just before its reuse, while LIRS pins a stable LIR set
+// and keeps serving it.
+func ghostLoop(g *GhostScorer, loop, n int) {
+	for i := 0; i < n; i++ {
+		g.Observe(PageID(uint64(i%loop) + 1))
+	}
+}
+
+func scoringCandidates() map[string]Factory {
+	return map[string]Factory{
+		"2q":       func(c int) Policy { return NewTwoQ(c) },
+		"lirs":     func(c int) Policy { return NewLIRS(c) },
+		"clockpro": func(c int) Policy { return NewClockPro(c) },
+	}
+}
+
+// TestGhostScorerLIRSBeatsTwoQOnLoops: on a seeded cyclic trace the LIRS
+// shadow must dominate the 2Q shadow, and Pick (with the production-style
+// margin and patience) must select lirs over a 2q incumbent within a
+// bounded number of accesses.
+func TestGhostScorerLIRSBeatsTwoQOnLoops(t *testing.T) {
+	const (
+		cap      = 64
+		loop     = 128
+		budget   = 20000
+		stride   = 500 // accesses between control-loop Picks
+		margin   = 0.05
+		patience = 3
+	)
+	g := NewGhostScorer(cap, scoringCandidates(), 0)
+	current := "2q"
+	swappedAt := 0
+	for fed := 0; fed < budget; fed += stride {
+		ghostLoop(g, loop, stride)
+		if pick := g.Pick(current, margin, patience); pick != current {
+			current = pick
+			swappedAt = fed + stride
+		}
+	}
+	twoQ, _ := g.Score("2q")
+	lirs, _ := g.Score("lirs")
+	if lirs <= twoQ+margin {
+		t.Fatalf("trace does not separate policies: lirs=%.3f 2q=%.3f", lirs, twoQ)
+	}
+	if current != "lirs" {
+		t.Fatalf("Pick settled on %q, want lirs (scores %v)", current, g.Scores())
+	}
+	if swappedAt == 0 || swappedAt > budget/2 {
+		t.Fatalf("lirs picked at access %d, want within %d", swappedAt, budget/2)
+	}
+	// Once lirs is the incumbent the recommendation must be stable.
+	for i := 0; i < 10; i++ {
+		ghostLoop(g, loop, stride)
+		if pick := g.Pick(current, margin, patience); pick != "lirs" {
+			t.Fatalf("recommendation flapped off lirs to %q", pick)
+		}
+	}
+}
+
+// TestGhostScorerNoFlapOnEqualScores: identically-scoring candidates must
+// never displace the incumbent — the margin requires a real lead, not a
+// tie broken by name order.
+func TestGhostScorerNoFlapOnEqualScores(t *testing.T) {
+	g := NewGhostScorer(32, map[string]Factory{
+		"a": func(c int) Policy { return NewLRU(c) },
+		"b": func(c int) Policy { return NewLRU(c) },
+	}, 0)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 200; i++ {
+			g.Observe(PageID(uint64(i%48) + 1))
+		}
+		if pick := g.Pick("b", 0.01, 2); pick != "b" {
+			t.Fatalf("round %d: identical candidate displaced incumbent: %q", round, pick)
+		}
+	}
+}
+
+// TestGhostScorerPatienceAndStreakReset: a challenger must lead by the
+// margin on `patience` CONSECUTIVE picks; one pick where the lead falls
+// short restarts the streak from zero.
+func TestGhostScorerPatienceAndStreakReset(t *testing.T) {
+	g := NewGhostScorer(64, scoringCandidates(), 0)
+	ghostLoop(g, 128, 20000) // lirs decisively ahead of 2q now
+	if pick := g.Pick("2q", 0.05, 3); pick != "2q" {
+		t.Fatalf("swapped on first pick despite patience 3: %q", pick)
+	}
+	if pick := g.Pick("2q", 0.05, 3); pick != "2q" {
+		t.Fatalf("swapped on second pick despite patience 3: %q", pick)
+	}
+	// Mid-streak the lead (transiently) fails the margin: streak must reset.
+	if pick := g.Pick("2q", 0.99, 3); pick != "2q" {
+		t.Fatalf("swapped with an unmet margin: %q", pick)
+	}
+	if pick := g.Pick("2q", 0.05, 3); pick != "2q" {
+		t.Fatalf("streak not reset: swapped one pick after an interruption: %q", pick)
+	}
+	if pick := g.Pick("2q", 0.05, 3); pick != "2q" {
+		t.Fatalf("streak not reset: swapped two picks after an interruption: %q", pick)
+	}
+	if pick := g.Pick("2q", 0.05, 3); pick != "lirs" {
+		t.Fatalf("third consecutive leading pick did not swap: %q", pick)
+	}
+}
+
+// TestGhostScorerDecayTracksPhases: with a decay window, scores follow the
+// current phase — after the workload shifts from loops (lirs territory) to
+// a small hot set everything serves, the lirs-vs-2q gap must shrink below
+// the swap margin instead of being frozen by early history.
+func TestGhostScorerDecayTracksPhases(t *testing.T) {
+	g := NewGhostScorer(64, scoringCandidates(), 2000)
+	ghostLoop(g, 128, 20000)
+	lirs0, _ := g.Score("lirs")
+	twoQ0, _ := g.Score("2q")
+	if lirs0 <= twoQ0+0.05 {
+		t.Fatalf("phase 1 did not separate: lirs=%.3f 2q=%.3f", lirs0, twoQ0)
+	}
+	ghostLoop(g, 32, 40000) // hot set fits every shadow: all policies near 1.0
+	lirs1, _ := g.Score("lirs")
+	twoQ1, _ := g.Score("2q")
+	if gap := lirs1 - twoQ1; gap > 0.05 {
+		t.Fatalf("decayed gap still %.3f after phase change (lirs=%.3f 2q=%.3f)", gap, lirs1, twoQ1)
+	}
+}

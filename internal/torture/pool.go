@@ -30,6 +30,15 @@ type PoolRunConfig struct {
 	Faults   bool   // inject transient read/write failures and corruption
 	BGWriter bool   // run a background writer during the bursts
 
+	// Reshard, when non-empty, runs a resharder goroutine alongside every
+	// phase's workers: it walks the schedule in order, applying each shard
+	// count to the live pool (grow and shrink both exercise the full
+	// seal→migrate→handover protocol under traffic). The resharder is
+	// joined before the phase's quiescent checks, so the content, pin,
+	// structural, and statistics oracles all run against a settled
+	// topology whose retired shards must be fully drained.
+	Reshard []int
+
 	// LockedHitPath forces every pool lookup through the bucket mutex
 	// instead of the optimistic seqlock path; the hit-path differential
 	// runs the same seed both ways and compares reports.
@@ -55,7 +64,8 @@ type PoolRunReport struct {
 	WriteErrors    int64
 	Shed           int64 // misses refused by admission control (ErrOverloaded)
 	Flushes        int64
-	Invariantified int // quiescent CheckInvariants passes
+	Invariantified int   // quiescent CheckInvariants passes
+	Reshards       int64 // topology changes applied during the bursts
 }
 
 // tortureTable is the table number the pool run's pages live in; distinct
@@ -92,8 +102,13 @@ func checkStatsConsistency(pool *buffer.Pool) error {
 		misses += ss.Misses
 		frames += int64(ss.Frames)
 	}
+	// Shards retired by a reshard keep their lifetime counters (their
+	// accesses happened to this pool); the totals fold them in while
+	// PerShard covers only the current topology.
+	hits += st.Retired.Hits
+	misses += st.Retired.Misses
 	if st.Hits != hits || st.Misses != misses {
-		return fmt.Errorf("pool stats disagree with per-shard sums: pool %d/%d, shards %d/%d",
+		return fmt.Errorf("pool stats disagree with per-shard + retired sums: pool %d/%d, shards %d/%d",
 			st.Hits, st.Misses, hits, misses)
 	}
 	if int64(st.Frames) != frames {
@@ -178,7 +193,9 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 		RecorderSize:  cfg.RecorderSize,
 		LockedHitPath: cfg.LockedHitPath,
 	}
-	if cfg.Shards > 1 {
+	if cfg.Shards > 1 || len(cfg.Reshard) > 0 {
+		// Resharding rebuilds per-shard policies at the new capacity, so a
+		// schedule needs the factory even for a 1-shard start.
 		bcfg.PolicyFactory = factory
 	} else {
 		// Single-shard runs keep the pre-sharding construction path (one
@@ -322,8 +339,34 @@ func RunPool(cfg PoolRunConfig) (*PoolRunReport, error) {
 				worker(w, phase, &errs[w])
 			}(w)
 		}
+		// The resharder walks the schedule while the workers hammer the
+		// pool, staggering the topology swaps so migrations overlap live
+		// traffic rather than racing each other back to back.
+		var reshardErr error
+		if len(cfg.Reshard) > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, n := range cfg.Reshard {
+					time.Sleep(2 * time.Millisecond)
+					if err := pool.Reshard(n); err != nil {
+						if cfg.Faults {
+							// A degraded or read-only shard can legitimately
+							// refuse a topology change mid-chaos.
+							continue
+						}
+						reshardErr = fmt.Errorf("seed %d: phase %d: Reshard(%d): %v", cfg.Seed, phase, n, err)
+						return
+					}
+					atomic.AddInt64(&rep.Reshards, 1)
+				}
+			}()
+		}
 		wg.Wait()
 		stopBG()
+		if reshardErr != nil {
+			return nil, oracleFail(reshardErr)
+		}
 		for _, err := range errs {
 			if err != nil {
 				return nil, oracleFail(err)

@@ -301,6 +301,80 @@ func TestPoolTortureSharded(t *testing.T) {
 	}
 }
 
+// TestPoolTortureReshard drives online resharding under full concurrent
+// load: every phase's burst runs a resharder walking a grow-and-shrink
+// schedule while the workers read, write, and flush. The standing oracles
+// do the verification — content integrity across migrations (every read is
+// a complete stamp of a live version, so a page served from the wrong
+// topology or torn by stealPage fails immediately), pin sanity and
+// CheckInvariants at each settled topology (retired shards must be fully
+// drained), stats consistency including the retired fold, and zero lost
+// dirty pages at Close even for pages that crossed shards while dirty or
+// quarantined. The matrix covers both hit paths (the optimistic seqlock
+// lookup must survive bucket handover just like the locked one) and a
+// fault-injected run where migrations race transient write failures. The
+// nightly workflow runs this target by name under -race -tags torture.
+func TestPoolTortureReshard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-layer torture run skipped in -short")
+	}
+	seed := SeedFromEnv(67)
+	schedule := []int{4, 2, 8, 1, 3}
+	type cse struct {
+		name string
+		cfg  PoolRunConfig
+	}
+	cases := []cse{
+		{"optimistic-lru-batch", PoolRunConfig{
+			Seed: seed, Path: PathBatch, Policy: "lru",
+			Frames: 64, Reshard: schedule,
+		}},
+		{"locked-lru-batch", PoolRunConfig{
+			Seed: seed, Path: PathBatch, Policy: "lru",
+			Frames: 64, Reshard: schedule, LockedHitPath: true,
+		}},
+		{"optimistic-2q-fc-bg", PoolRunConfig{
+			Seed: seed + 1, Path: PathFC, Policy: "2q",
+			Frames: 64, Reshard: schedule, BGWriter: true,
+		}},
+		{"faults-clockpro-batch", PoolRunConfig{
+			Seed: seed + 2, Path: PathBatch, Policy: "clockpro",
+			Frames: 64, Reshard: schedule, Faults: true,
+		}},
+	}
+	if LongMode() {
+		for i, pol := range []string{"lru", "2q", "lirs", "clockpro"} {
+			for j, path := range Paths() {
+				cases = append(cases, cse{
+					fmt.Sprintf("long-%s-%s", pol, path),
+					PoolRunConfig{
+						Seed: seed + int64(100+i*10+j), Path: path, Policy: pol,
+						Frames: 64, Reshard: schedule,
+						Faults: i%2 == 0, BGWriter: j%2 == 0,
+						Ops: 1500, Phases: 4, Workers: 8,
+					},
+				})
+			}
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunPool(c.cfg)
+			if err != nil {
+				failSeed(t, c.cfg.Seed, err)
+			}
+			if rep.Writes == 0 || rep.Reads == 0 {
+				t.Fatalf("seed %d: degenerate run: %+v", c.cfg.Seed, rep)
+			}
+			if !c.cfg.Faults && rep.Reshards == 0 {
+				t.Fatalf("seed %d: no reshard applied despite schedule: %+v", c.cfg.Seed, rep)
+			}
+		})
+	}
+}
+
 // TestPoolTortureHitPath is the lock-free hit path's differential oracle:
 // the same seeded run executes twice, once with the optimistic seqlock
 // lookup (production) and once with Config.LockedHitPath forcing every
