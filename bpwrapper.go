@@ -59,6 +59,7 @@ import (
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/server"
 	"bpwrapper/internal/storage"
 	"bpwrapper/internal/trace"
@@ -471,6 +472,26 @@ func NewObsServer(addr string, reg *ObsRegistry) (*ObsServer, error) {
 
 // NewRecorder returns a flight recorder holding the newest size events.
 func NewRecorder(size int) *Recorder { return obs.NewRecorder(size) }
+
+// Request tracing (reqtrace): always-on span capture for the request
+// path, enabled with PoolConfig.Trace. A traced request decomposes into
+// phase spans (bucket probe, pin, lock wait, combiner handoff, policy
+// op, device I/O, quarantine) retained in lock-free rings — head-sampled
+// every TraceConfig.SampleEvery requests, with requests that cross
+// TraceConfig.SLO kept unconditionally in a tail ring. Register the
+// pool's tracer on an ObsRegistry (done by Pool.RegisterObs) to serve
+// /debug/traces and exemplar-annotated histograms.
+type (
+	TraceConfig = reqtrace.Config
+	Tracer      = reqtrace.Tracer
+	TraceSpan   = reqtrace.Span
+	TracePhase  = reqtrace.Phase
+	TraceStats  = reqtrace.Stats
+)
+
+// NewTracer builds a standalone tracer; reqtrace.New returns nil (a
+// valid, disabled tracer) unless cfg.Enable is set.
+func NewTracer(cfg TraceConfig) *Tracer { return reqtrace.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Workloads

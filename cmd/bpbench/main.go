@@ -16,6 +16,7 @@
 //	bpbench -exp combine          # baseline vs batched vs flat-combined commits
 //	bpbench -exp contention       # lock anatomy: acquisitions/blocking/wait/hold
 //	bpbench -exp faults           # throughput under injected storage faults
+//	bpbench -exp tracing          # E20: per-phase latency decomposition via reqtrace
 //	bpbench -exp all              # everything above, in order
 //
 // The combine and contention experiments additionally accept -format json,
@@ -85,7 +86,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, server, tuner, all")
+		exp      = flag.String("exp", "all", "experiment: fig2, fig6, fig7, tab2, tab3, fig8, ablation-queue, ablation-policy, distributed, adaptive, combine, contention, faults, shard, chaos, hitpath, server, tuner, tracing, all")
 		faults   = flag.Bool("faults", false, "shorthand for -exp faults")
 		mode     = flag.String("mode", "sim", "execution mode: sim (deterministic multiprocessor simulator) or real (goroutines)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measured time per point (virtual in sim mode, wall in real mode)")
@@ -297,6 +298,17 @@ func main() {
 				check(bench.CSVTuner(os.Stdout, rep))
 			default:
 				bench.PrintTuner(os.Stdout, rep)
+			}
+		case "tracing":
+			rep, err := bench.TracingExperiment(opts)
+			check(err)
+			switch {
+			case *format == "json":
+				check(bench.JSONTracing(os.Stdout, rep))
+			case csvOut:
+				check(bench.CSVTracing(os.Stdout, rep))
+			default:
+				bench.PrintTracing(os.Stdout, rep)
 			}
 		case "chaos":
 			rep, err := bench.ChaosExperiment(opts)

@@ -9,6 +9,7 @@
 //	bpload -workload ycsb-a -policy 2q -batching=false       # feel the lock
 //	bpload -workload zipf -frames 512 -disk 250µs            # I/O bound
 //	bpload -remote 127.0.0.1:7071 -workers 16                # drive a bpserver
+//	bpload -workload tpcw -obs :6060 -trace 64               # request traces at /debug/traces
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		remote      = flag.String("remote", "", "drive a bpserver at this address instead of an in-process pool")
 		txns        = flag.Int("txns", 0, "with -remote: stop after this many txns per worker (0 = run out -duration)")
 		pipeline    = flag.Int("pipeline", 8, "with -remote: page accesses pipelined per burst")
+		traceEvery  = flag.Int("trace", 0, "arm request tracing: locally, head-sample every Nth request (1 = all); with -remote, stamp a trace ID on every Nth burst so the server traces it end to end (0 disables)")
 	)
 	flag.Parse()
 
@@ -49,7 +51,7 @@ func main() {
 		fatal(err)
 	}
 	if *remote != "" {
-		runRemote(wl, *remote, *workers, *duration, *txns, *seed, *pipeline, *statsEvery)
+		runRemote(wl, *remote, *workers, *duration, *txns, *seed, *pipeline, *statsEvery, *traceEvery)
 		return
 	}
 	nFrames := *frames
@@ -74,6 +76,10 @@ func main() {
 		},
 		Device:       device,
 		RecorderSize: *recorder,
+		Trace: bpwrapper.TraceConfig{
+			Enable:      *traceEvery > 0,
+			SampleEvery: *traceEvery,
+		},
 	})
 	var bw *bpwrapper.BackgroundWriter
 	if *bgwriter {
@@ -155,7 +161,7 @@ func main() {
 // ticker reads the lagging FleetLive view; the final summary comes from
 // FleetResult's post-join fold, which is exact regardless of how the run
 // ended (clock, -txns, or a server drain cutting the fleet off).
-func runRemote(wl bpwrapper.Workload, addr string, workers int, duration time.Duration, txnsPerWorker int, seed int64, pipeline int, statsEvery time.Duration) {
+func runRemote(wl bpwrapper.Workload, addr string, workers int, duration time.Duration, txnsPerWorker int, seed int64, pipeline int, statsEvery time.Duration, traceEvery int) {
 	fmt.Printf("bpload: %s against bpserver %s, %d workers, pipeline %d\n",
 		wl.Name(), addr, workers, pipeline)
 
@@ -189,6 +195,7 @@ func runRemote(wl bpwrapper.Workload, addr string, workers int, duration time.Du
 		TxnsPerWorker: txnsPerWorker,
 		Seed:          seed,
 		PipelineDepth: pipeline,
+		TraceEvery:    traceEvery,
 		Live:          live,
 	})
 	close(stop)

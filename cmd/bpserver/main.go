@@ -16,6 +16,7 @@
 //	bpserver -addr :7071 -obs :6060        # /metrics for bpstat
 //	bpserver -addr :7071 -controller       # self-tuning obs→control loop
 //	bpserver -addr :7071 -reshard 4,2      # online reshard under live traffic
+//	bpserver -addr :7071 -obs :6060 -trace # request tracing at /debug/traces
 //	bpload -remote 127.0.0.1:7071 -workload tpcc -workers 16
 package main
 
@@ -53,6 +54,9 @@ func main() {
 		controller  = flag.Bool("controller", false, "run the self-tuning controller (policy hot-swap, resharding, threshold and bgwriter steering)")
 		reshard     = flag.String("reshard", "", "comma-separated shard-count schedule applied online under live traffic (e.g. 4,2)")
 		reshardIvl  = flag.Duration("reshard-interval", 2*time.Second, "delay before each -reshard step")
+		traceOn     = flag.Bool("trace", false, "arm request tracing (head-sampled spans + tail-kept slow requests, served at /debug/traces)")
+		traceSample = flag.Int("trace-sample", 0, "with -trace: head-sample every Nth request (0 = default 1024)")
+		traceSLO    = flag.Duration("trace-slo", 0, "with -trace: keep any request slower than this in the tail ring (0 = default 1ms)")
 	)
 	flag.Parse()
 
@@ -80,6 +84,11 @@ func main() {
 		},
 		Device:       device,
 		RecorderSize: *recorder,
+		Trace: bpwrapper.TraceConfig{
+			Enable:      *traceOn,
+			SampleEvery: *traceSample,
+			SLO:         *traceSLO,
+		},
 	})
 	var bw *bpwrapper.BackgroundWriter
 	if *bgwriter {

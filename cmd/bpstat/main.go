@@ -9,6 +9,12 @@
 // batch-threshold override, reshard state, ghost scores per candidate
 // policy, and the last action taken.
 //
+// Against a bpserver an additional latency panel prints each operation's
+// p50/p99/p999 handle latency (bpw_server_op_seconds), and when request
+// tracing is enabled a trace panel summarizes the tracer's keep/drop
+// counters; the shard table's waitp99 column is the lock-wait tail from
+// bpw_lock_wait_seconds.
+//
 // Usage:
 //
 //	bpstat                       # poll 127.0.0.1:6060 every second
@@ -36,6 +42,13 @@ type series struct {
 	Sum    float64           `json:"sum"`
 	Max    int64             `json:"max"`
 	Mean   float64           `json:"mean"`
+
+	// Duration-histogram summaries (obs.JSONTree computes the quantiles
+	// server-side from the bucket snapshot).
+	MeanSec float64 `json:"mean_seconds"`
+	P50Sec  float64 `json:"p50_seconds"`
+	P99Sec  float64 `json:"p99_seconds"`
+	P999Sec float64 `json:"p999_seconds"`
 }
 
 type tree map[string][]series
@@ -164,8 +177,8 @@ func render(t, prev tree, dt time.Duration) {
 			polW = n
 		}
 	}
-	fmt.Printf("%-5s  %-*s  %10s  %6s  %6s  %7s  %7s  %9s  %9s  %9s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
-		"shard", polW, "policy", rateHdr, "hit%", "fast%", "retries", "fallbk", "lock acq", "blocked", "tryfail", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
+	fmt.Printf("%-5s  %-*s  %10s  %6s  %6s  %7s  %7s  %9s  %9s  %9s  %8s  %8s  %7s  %6s  %6s  %7s  %-9s  %6s\n",
+		"shard", polW, "policy", rateHdr, "hit%", "fast%", "retries", "fallbk", "lock acq", "blocked", "tryfail", "waitp99", "batchavg", "combavg", "dirty", "quar", "fldrop", "health", "shed")
 	for _, sh := range shards {
 		accesses := t.shardVal("bpw_accesses_total", sh)
 		rate := accesses
@@ -188,20 +201,72 @@ func render(t, prev tree, dt time.Duration) {
 		}
 		batch := t.shardDist("bpw_batch_size", sh)
 		comb := t.shardDist("bpw_combine_run_length", sh)
-		fmt.Printf("%-5s  %-*s  %10.0f  %5.1f%%  %5.1f%%  %7.0f  %7.0f  %9.0f  %9.0f  %9.0f  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
+		// The contended-wait tail: p99 of bpw_lock_wait_seconds, the
+		// hit-path histogram the tracing layer decomposes per request.
+		wait := t.shardDist("bpw_lock_wait_seconds", sh)
+		fmt.Printf("%-5s  %-*s  %10.0f  %5.1f%%  %5.1f%%  %7.0f  %7.0f  %9.0f  %9.0f  %9.0f  %8s  %8.2f  %7.2f  %6.0f  %6.0f  %7.0f  %-9s  %6.0f\n",
 			sh, polW, t.shardPolicy(sh), rate, hitPct, fastPct,
 			t.shardVal("bpw_hitpath_retries_total", sh),
 			t.shardVal("bpw_hitpath_fallbacks_total", sh),
 			t.shardVal("bpw_lock_acquisitions_total", sh),
 			t.shardVal("bpw_lock_contentions_total", sh),
 			t.shardVal("bpw_lock_try_failures_total", sh),
-			batch.Mean, comb.Mean,
+			durCol(wait.P99Sec), batch.Mean, comb.Mean,
 			t.shardVal("bpw_dirty_pages", sh),
 			t.shardVal("bpw_quarantined_pages", sh),
 			t.shardVal("bpw_flight_dropped_total", sh),
 			healthName(t.shardVal("bpw_health_state", sh)),
 			t.shardVal("bpw_shed_total", sh))
 	}
+}
+
+// durCol renders a seconds figure for a fixed-width latency column,
+// scaling the unit ("-" when the histogram is still empty).
+func durCol(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "-"
+	case sec >= 1:
+		return fmt.Sprintf("%.2fs", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	}
+}
+
+// renderLatency prints one line per server operation with the p50/p99/p999
+// of its handle latency (bpw_server_op_seconds), the columns the tracing
+// layer's exemplars index into.
+func renderLatency(t tree) {
+	ops := t["bpw_server_op_seconds"]
+	if len(ops) == 0 {
+		return
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Labels["op"] < ops[j].Labels["op"] })
+	fmt.Printf("%-10s  %10s  %9s  %9s  %9s  %9s\n", "latency", "count", "mean", "p50", "p99", "p999")
+	for _, s := range ops {
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-10s  %10d  %9s  %9s  %9s  %9s\n",
+			s.Labels["op"], s.Count,
+			durCol(s.MeanSec), durCol(s.P50Sec), durCol(s.P99Sec), durCol(s.P999Sec))
+	}
+}
+
+// renderTrace prints the request tracer's keep/drop pressure when tracing
+// is enabled (bpw_trace_* present): how many requests were seen, how many
+// traces were retained head-sampled vs tail-kept, and the loss counters.
+func renderTrace(t tree) {
+	if len(t["bpw_trace_started_total"]) == 0 {
+		return
+	}
+	fmt.Printf("trace  seen %.0f  sampled %.0f  kept %.0f  tail %.0f  discarded %.0f  xthread %.0f  spandrops %.0f  ringdrops %.0f\n",
+		t.sum("bpw_trace_started_total"), t.sum("bpw_trace_sampled_total"),
+		t.sum("bpw_trace_kept_total"), t.sum("bpw_trace_kept_tail_total"),
+		t.sum("bpw_trace_discarded_total"), t.sum("bpw_trace_emitted_total"),
+		t.sum("bpw_trace_span_drops_total"), t.sum("bpw_trace_ring_drops_total"))
 }
 
 // renderServer prints a one-line network section when the endpoint
@@ -298,6 +363,8 @@ func main() {
 		render(t, prev, now.Sub(last))
 		renderControl(t)
 		renderServer(t, prev, now.Sub(last))
+		renderLatency(t)
+		renderTrace(t)
 		if *once {
 			return
 		}

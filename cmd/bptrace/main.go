@@ -4,17 +4,26 @@
 // same trace replayed with and without BP-Wrapper's deferred batches,
 // verifying the hit-ratio overlap the paper reports in Figure 8.
 //
+// Its -addr fetch mode targets a live observability endpoint instead
+// (bpload/bpserver started with -obs) and pulls the request traces the
+// reqtrace layer retained: the slowest-N text view by default, or the
+// Chrome trace_event JSON (-chrome) for chrome://tracing / Perfetto.
+//
 // Usage:
 //
 //	bptrace -workload tpcw -record trace.bin          # capture a trace
 //	bptrace -replay trace.bin -policies lru,2q,lirs   # hit-ratio sweep
 //	bptrace -workload tpcc -sweep                     # record + sweep in one go
 //	bptrace -workload tpcw -compare                   # batched vs plain fidelity
+//	bptrace -addr 127.0.0.1:6060 -n 5                 # slowest 5 request traces
+//	bptrace -addr 127.0.0.1:6060 -chrome out.json     # Perfetto-loadable spans
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -24,8 +33,43 @@ import (
 	"bpwrapper/internal/workload"
 )
 
+// fetchTraces pulls /debug/traces from a live obs endpoint: the slowest-n
+// text view to stdout, or — when chromeOut is set — the trace_event JSON
+// into that file.
+func fetchTraces(addr string, n int, chromeOut string) error {
+	url := fmt.Sprintf("http://%s/debug/traces?n=%d", addr, n)
+	var dst io.Writer = os.Stdout
+	if chromeOut != "" {
+		url = "http://" + addr + "/debug/traces?format=chrome"
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if _, err := io.Copy(dst, resp.Body); err != nil {
+		return err
+	}
+	if chromeOut != "" {
+		fmt.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", chromeOut)
+	}
+	return nil
+}
+
 func main() {
 	var (
+		addr     = flag.String("addr", "", "fetch request traces from this obs endpoint (host:port) instead of recording a workload")
+		slowestN = flag.Int("n", 10, "with -addr: how many of the slowest traces to print")
+		chrome   = flag.String("chrome", "", "with -addr: write Chrome trace_event JSON to this file")
 		wlName   = flag.String("workload", "tpcw", "workload to record: tpcw, tpcc, tablescan, zipf, uniform, hotspot, loop")
 		workers  = flag.Int("workers", 16, "streams interleaved into the trace")
 		txns     = flag.Int("txns", 500, "transactions per stream")
@@ -38,6 +82,11 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare batched vs unbatched hit ratios (BP-Wrapper fidelity)")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		check(fetchTraces(*addr, *slowestN, *chrome))
+		return
+	}
 
 	var tr trace.Trace
 	switch {

@@ -250,13 +250,26 @@ func backoff(spins int) {
 // PageRef is a pinned reference to a buffered page. The referenced bytes
 // stay valid — and the page stays ineligible for eviction — until Release
 // is called. A PageRef must be released exactly once and is not safe for
-// concurrent use.
+// concurrent use. Released references are recycled through a pool (the
+// resident hit path must not allocate), so holding a PageRef past its
+// Release — like holding its Data slice — is undefined: the released
+// checks below catch stale use only until the object is reissued.
 type PageRef struct {
 	frame    *Frame
 	id       page.PageID
 	tag      page.BufferTag
 	writable bool
 	released bool
+}
+
+// refPool recycles PageRefs so a resident Get stays allocation-free.
+var refPool = sync.Pool{New: func() any { return new(PageRef) }}
+
+// newPageRef issues a recycled (or fresh) reference.
+func newPageRef(f *Frame, id page.PageID, tag page.BufferTag, writable bool) *PageRef {
+	r := refPool.Get().(*PageRef)
+	*r = PageRef{frame: f, id: id, tag: tag, writable: writable}
+	return r
 }
 
 // ID returns the referenced page's identity.
@@ -304,4 +317,5 @@ func (r *PageRef) Release() {
 	} else {
 		r.frame.unpin()
 	}
+	refPool.Put(r)
 }

@@ -22,6 +22,9 @@ import (
 // free-list mutex) — fine at scrape cadence, not meant for hot paths.
 func (p *Pool) RegisterObs(reg *obs.Registry) {
 	reg.Register(p.collect)
+	// The request tracer (nil when tracing is off — RegisterTracer ignores
+	// it) powers /debug/traces and the bpw_trace_* counters.
+	reg.RegisterTracer("pool", p.tracer)
 	set := p.cur.Load()
 	for i, sh := range set.shards {
 		if rec := sh.events; rec != nil {

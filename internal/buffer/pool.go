@@ -34,6 +34,7 @@ import (
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/storage"
 )
 
@@ -129,6 +130,14 @@ type Config struct {
 	// If Wrapper.Events is set it is shared by every shard and RecorderSize
 	// is ignored; normally leave Wrapper.Events nil and set RecorderSize.
 	RecorderSize int
+
+	// Trace enables the request-tracing layer (DESIGN.md §15): per-request
+	// trace IDs with phase-stamped spans (bucket probe, pin, lock wait,
+	// combiner handoff, policy op, device I/O, quarantine park), head
+	// sampling plus tail keep. The one tracer is shared by every shard and
+	// topology; access it through Pool.Tracer for export. The zero value
+	// disables tracing entirely — the access paths then pay one branch.
+	Trace reqtrace.Config
 }
 
 // Pool is the buffer-pool manager: a router over one or more shards, keyed
@@ -145,6 +154,11 @@ type Pool struct {
 	cur          atomic.Pointer[shardSet]
 	device       storage.Device
 	closeTimeout time.Duration
+
+	// tracer is the pool-wide request tracer (nil when Config.Trace is
+	// disabled); shared across shards and reshard topologies, since spans
+	// route to rings by trace ID, not by shard.
+	tracer *reqtrace.Tracer
 
 	// Construction recipe for newShardSet.
 	frames        int
@@ -211,6 +225,12 @@ type Session struct {
 	set  *shardSet
 	subs []*core.Session
 
+	// trace is the session's request-trace context: one Active shared (by
+	// pointer) with every per-shard core sub-session, so a request's pool-
+	// level spans and its commit-path spans land in the same trace. The
+	// zero value is inert until Init binds the pool tracer.
+	trace reqtrace.Active
+
 	// stage holds per-shard hit counts not yet folded into the shard's
 	// shared counters: the zero-lock hit path must not write a shared
 	// cacheline per access, so hits accumulate here (session-local, no
@@ -270,6 +290,7 @@ func (s *Session) rebind(set *shardSet) {
 	s.stage = make([]hitStage, len(set.shards))
 	for i, sh := range set.shards {
 		s.subs[i] = sh.wrapper.NewSession()
+		s.subs[i].SetTrace(&s.trace)
 	}
 }
 
@@ -325,6 +346,7 @@ func New(cfg Config) *Pool {
 		device:        cfg.Device,
 		closeTimeout:  cfg.CloseTimeout,
 		frames:        cfg.Frames,
+		tracer:        reqtrace.New(cfg.Trace),
 		wrapperCfg:    cfg.Wrapper,
 		wrapDevice:    cfg.WrapShardDevice,
 		health:        cfg.Health,
@@ -368,6 +390,9 @@ func (p *Pool) newShardSet(n int, epoch uint64, factory replacer.Factory) *shard
 			// fully concurrent, and per-shard rings keep a hot shard from
 			// scrolling a quiet shard's history out of the ring.
 			wcfg.Events = obs.NewRecorder(p.recorderSize)
+		}
+		if wcfg.Tracer == nil {
+			wcfg.Tracer = p.tracer
 		}
 		dev := p.device
 		if p.wrapDevice != nil {
@@ -424,9 +449,25 @@ func (p *Pool) shardIndexFor(id page.PageID) int {
 // Sessions must not be shared between goroutines.
 func (p *Pool) NewSession() *Session {
 	s := &Session{pool: p}
+	s.trace.Init(p.tracer)
 	s.rebind(p.cur.Load())
 	return s
 }
+
+// SetNextTrace adopts a caller-supplied trace ID (e.g. propagated over the
+// wire) for the session's NEXT access: that request is traced regardless of
+// head sampling and its spans carry the given ID, stitching the client's
+// trace to the server-side pool work. A zero id is ignored.
+func (s *Session) SetNextTrace(id uint64) { s.trace.SetNext(id) }
+
+// TraceID reports the trace ID of the session's in-flight request, or zero
+// when the current request is untraced. Valid between an access's start and
+// its return; callers wanting exemplars must read it before the next access.
+func (s *Session) TraceID() uint64 { return s.trace.ID() }
+
+// Tracer exposes the pool's request tracer for export endpoints and tests;
+// nil when Config.Trace left tracing disabled.
+func (p *Pool) Tracer() *reqtrace.Tracer { return p.tracer }
 
 // Shards reports the number of hash partitions in the current topology.
 func (p *Pool) Shards() int { return len(p.cur.Load().shards) }
@@ -562,6 +603,7 @@ func (p *Pool) access(s *Session, id page.PageID, writable bool) (*PageRef, erro
 		return nil, storage.ErrInvalidPage
 	}
 	p.sampleAccess(id)
+	s.trace.Begin()
 	for spins := 0; ; spins++ {
 		set := p.cur.Load()
 		if s.set != set {
@@ -573,6 +615,7 @@ func (p *Pool) access(s *Session, id page.PageID, writable bool) (*PageRef, erro
 			backoff(spins)
 			continue
 		}
+		s.trace.End(uint64(id), err)
 		return ref, err
 	}
 }

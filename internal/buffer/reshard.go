@@ -181,7 +181,7 @@ func (p *Pool) SwapPolicy(factory replacer.Factory) (from, to string, err error)
 		// while their frames stayed resident. Reclaim them through the
 		// shard's normal victim path so no frame is stranded unevictable.
 		for _, v := range residue {
-			sh.recycle(v)
+			sh.recycle(nil, v)
 		}
 	}
 	return from, to, nil
@@ -343,11 +343,12 @@ func (sh *shard) handOverQuarantine(id page.PageID, dst *shard) {
 	sh.quarMu.Lock()
 	c := sh.quarantine[id]
 	delete(sh.quarantine, id)
+	delete(sh.quarTrace, id)
 	sh.quarMu.Unlock()
 	if c != nil {
 		// The destination cap is a soft bound (same as concurrent
 		// evictions): durability wins over the bound during a handover.
-		dst.quarantinePut(id, c)
+		dst.quarantinePut(id, c, nil)
 	}
 }
 

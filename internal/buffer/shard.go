@@ -12,9 +12,18 @@ import (
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/sched"
 	"bpwrapper/internal/storage"
 )
+
+// quarCtx is the trace context of the request that parked a quarantine
+// entry: the trace ID and the park timestamp, so the eventual write-back
+// can be attributed with its full park-to-durable latency.
+type quarCtx struct {
+	trace uint64
+	at    int64
+}
 
 // shard is one hash partition of the pool: a self-contained buffer manager
 // owning its slice of the frames, its own page table, free list, dirty
@@ -79,12 +88,26 @@ type shard struct {
 	quarantine map[page.PageID]*page.Page
 	quarCap    int
 
+	// quarTrace remembers, per parked page, which traced request did the
+	// parking (DESIGN.md §15): when the background writer or a flush sweep
+	// later makes the copy durable, the park-to-durable interval is emitted
+	// as a cross-thread span on that request's trace. Best-effort — entries
+	// exist only for traced parkers and follow the quarantine entry's
+	// lifecycle (adopted, superseded, and purged entries drop theirs).
+	// Guarded by quarMu.
+	quarTrace map[page.PageID]quarCtx
+
 	// wbLocks serializes device write-backs per page (striped by page id,
 	// held across the WritePage call in writeQuarantined). Without it, a
 	// slow in-flight write of an old copy could land *after* a newer copy
 	// of the same page was written and resolved, silently reverting the
 	// device.
 	wbLocks [wbStripes]sync.Mutex
+
+	// tracer is the pool-wide request tracer (via the wrapper config; nil
+	// when tracing is disabled). Shard code uses it only for cross-thread
+	// emits — request-scoped spans go through the session's Active.
+	tracer *reqtrace.Tracer
 
 	writeBackFailures atomic.Int64
 
@@ -283,7 +306,9 @@ func (sh *shard) init(frames int, pol replacer.Policy, wcfg core.Config, device 
 	sh.device = device
 	sh.lockedHitPath = lockedHitPath
 	sh.quarantine = make(map[page.PageID]*page.Page)
+	sh.quarTrace = make(map[page.PageID]quarCtx)
 	sh.quarCap = quarCap
+	sh.tracer = wcfg.Tracer
 	sh.freeList = make([]*Frame, frames)
 	for i := range sh.frames {
 		sh.frames[i].initFree()
@@ -377,9 +402,26 @@ func (sh *shard) hitLookup(b *bucket, id page.PageID) (f *Frame, fast bool) {
 func (sh *shard) get(ps *Session, idx int, id page.PageID, writable bool) (*PageRef, error) {
 	sub := ps.subs[idx]
 	b := sh.bucketFor(id)
+	// Span stamping is gated on the request being head-sampled (or wire-
+	// adopted): an untraced hit pays exactly this one branch — no clock
+	// read, no scratch write — which is what keeps tracing inside the ≤3%
+	// hit-path budget (DESIGN.md §15). Slow-phase arming happens on the
+	// miss path (load), never here.
+	tracing := ps.trace.Sampled()
+	var t0 int64
 	spins := 0
 	for {
+		if tracing {
+			t0 = ps.trace.Now()
+		}
 		f, fast := sh.hitLookup(b, id)
+		if tracing {
+			var fastArg uint64
+			if fast {
+				fastArg = 1
+			}
+			ps.trace.Span(reqtrace.PhaseBucketProbe, idx, t0, ps.trace.Now()-t0, fastArg, uint64(id))
+		}
 		if f == nil {
 			ref, retry, err := sh.load(ps, idx, id, writable)
 			if err != nil {
@@ -395,6 +437,9 @@ func (sh *shard) get(ps *Session, idx int, id page.PageID, writable bool) (*Page
 			// would deadlock the current holder's reader drain. Only after
 			// the mutex is ours do we pin and re-validate that the frame
 			// still caches id.
+			if tracing {
+				t0 = ps.trace.Now()
+			}
 			f.wmu.Lock()
 			sh.hp.frameLocks.Add(1)
 			tag, st := f.tryPin(id)
@@ -407,17 +452,26 @@ func (sh *shard) get(ps *Session, idx int, id page.PageID, writable bool) (*Page
 				continue
 			}
 			f.lockContent()
+			if tracing {
+				ps.trace.Span(reqtrace.PhasePin, idx, t0, ps.trace.Now()-t0, 1, uint64(id))
+			}
 			ps.stageHit(idx, false)
 			sub.Hit(id, tag)
-			return &PageRef{frame: f, id: id, tag: tag, writable: true}, nil
+			return newPageRef(f, id, tag, true), nil
 		}
 		sched.Yield(sched.BufHitPin)
+		if tracing {
+			t0 = ps.trace.Now()
+		}
 		tag, st := f.tryPin(id)
 		switch st {
 		case pinOK:
+			if tracing {
+				ps.trace.Span(reqtrace.PhasePin, idx, t0, ps.trace.Now()-t0, 0, uint64(id))
+			}
 			ps.stageHit(idx, fast)
 			sub.Hit(id, tag)
-			return &PageRef{frame: f, id: id, tag: tag}, nil
+			return newPageRef(f, id, tag, false), nil
 		case pinBusy:
 			// A writer holds the frame exclusively; wait it out.
 			backoff(spins)
@@ -490,7 +544,7 @@ func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref 
 		return nil, false, err
 	}
 	defer releaseMiss()
-	f, err := sh.acquireFrame(sub, id)
+	f, err := sh.acquireFrame(&ps.trace, sub, id)
 	if err != nil {
 		finish(err)
 		return nil, false, err
@@ -526,10 +580,22 @@ func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref 
 		if q := sh.quarantineTake(id); q != nil {
 			f.data = *q
 			adopted = true
-		} else if err := sh.device.ReadPage(id, &f.data); err != nil {
-			sh.abandonFrame(f)
-			finish(err)
-			return nil, false, err
+		} else {
+			// Device reads are slow phases: they lazily arm the trace, so
+			// every miss that touches the device is a tail candidate even
+			// when head sampling skipped it.
+			t0 := ps.trace.Now()
+			rerr := sh.device.ReadPage(id, &f.data)
+			var errArg uint64
+			if rerr != nil {
+				errArg = 1
+			}
+			ps.trace.Slow(reqtrace.PhaseDeviceRead, idx, t0, ps.trace.Now()-t0, errArg, uint64(id))
+			if rerr != nil {
+				sh.abandonFrame(f)
+				finish(rerr)
+				return nil, false, rerr
+			}
 		}
 	}
 	f.tagPage.Store(uint64(id))
@@ -554,18 +620,18 @@ func (sh *shard) load(ps *Session, idx int, id page.PageID, writable bool) (ref 
 	// consumed the slot MissBegin freed, Admit evicts again and the spare
 	// victim's frame is recycled onto the free list.
 	if victim, evicted := sub.MissAdmit(id); evicted {
-		sh.recycle(victim)
+		sh.recycle(&ps.trace, victim)
 	}
 	finish(nil)
-	return &PageRef{frame: f, id: id, tag: tag, writable: writable}, false, nil
+	return newPageRef(f, id, tag, writable), false, nil
 }
 
 // recycle reclaims a surplus victim's frame onto the free list, churning
 // through further candidates if the first is pinned.
-func (sh *shard) recycle(victim page.PageID) {
+func (sh *shard) recycle(a *reqtrace.Active, victim page.PageID) {
 	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
 		if victim.Valid() {
-			if f, ok := sh.reclaim(victim); ok {
+			if f, ok := sh.reclaim(a, victim); ok {
 				f.toFree()
 				sh.freeMu.Lock()
 				sh.freeList = append(sh.freeList, f)
@@ -587,7 +653,7 @@ func (sh *shard) recycle(victim page.PageID) {
 // access is recorded as a miss through the session (taking the policy lock
 // and committing any batched hits, per Figure 4 of the paper); the page
 // itself is admitted later by MissAdmit, once loaded.
-func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error) {
+func (sh *shard) acquireFrame(a *reqtrace.Active, sub *core.Session, id page.PageID) (*Frame, error) {
 	victim, evicted := sub.MissBegin(id, page.BufferTag{})
 	if !evicted {
 		sh.freeMu.Lock()
@@ -597,7 +663,7 @@ func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error)
 			// The policy admitted without eviction but no free frame
 			// exists — possible only after Remove/invalidate churn; fall
 			// back to evicting explicitly.
-			return sh.reclaimLoop(id, page.InvalidPageID)
+			return sh.reclaimLoop(a, id, page.InvalidPageID)
 		}
 		f := sh.freeList[n-1]
 		sh.freeList = sh.freeList[:n-1]
@@ -605,7 +671,7 @@ func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error)
 		f.claimFree()
 		return f, nil
 	}
-	return sh.reclaimLoop(id, victim)
+	return sh.reclaimLoop(a, id, victim)
 }
 
 // reclaimLoop turns an eviction victim into a reusable frame, retrying
@@ -614,7 +680,7 @@ func (sh *shard) acquireFrame(sub *core.Session, id page.PageID) (*Frame, error)
 // or, when the dirty quarantine is saturated (so dirty victims are being
 // refused rather than pinned), ErrQuarantineFull distinguishes overload
 // from a genuinely over-pinned pool.
-func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
+func (sh *shard) reclaimLoop(a *reqtrace.Active, id, victim page.PageID) (*Frame, error) {
 	for attempt := 0; attempt <= 2*len(sh.frames); attempt++ {
 		if sh.sealed.Load() {
 			// A topology swap landed mid-load: stealPage is draining this
@@ -624,7 +690,7 @@ func (sh *shard) reclaimLoop(id, victim page.PageID) (*Frame, error) {
 			return nil, errResharded
 		}
 		if victim.Valid() {
-			if f, ok := sh.reclaim(victim); ok {
+			if f, ok := sh.reclaim(a, victim); ok {
 				return f, nil
 			}
 		}
@@ -713,7 +779,7 @@ func (sh *shard) nextVictim(prev, protect page.PageID) (page.PageID, bool) {
 // acknowledged write is never dropped. When the quarantine is already at
 // capacity the eviction is refused up front and the caller churns to
 // another (ideally clean) victim.
-func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
+func (sh *shard) reclaim(a *reqtrace.Active, victim page.PageID) (*Frame, bool) {
 	b := sh.bucketFor(victim)
 	f := sh.lookupAny(b, victim)
 	if f == nil {
@@ -758,7 +824,13 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 
 	sched.Yield(sched.BufReclaimClaim)
 	if needWriteback {
-		sh.quarantinePut(victim, wb)
+		// Parking a dirty victim means a device write follows inline: a
+		// slow phase, so it lazily arms the trace (the request is paying
+		// another page's write-back — exactly the latency a decomposition
+		// must surface).
+		t0 := a.Now()
+		sh.quarantinePut(victim, wb, a)
+		a.Slow(reqtrace.PhaseQuarantine, -1, t0, a.Now()-t0, 1, uint64(victim))
 	}
 
 	sh.lockBucket(b)
@@ -767,7 +839,14 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 
 	if needWriteback {
 		sched.Yield(sched.BufQuarantinePark)
-		if _, err := sh.writeQuarantined(victim, wb); err != nil {
+		t0 := a.Now()
+		_, werr := sh.writeQuarantined(victim, wb, a.ID())
+		var errArg uint64
+		if werr != nil {
+			errArg = 1
+		}
+		a.Slow(reqtrace.PhaseDeviceWrite, -1, t0, a.Now()-t0, errArg, uint64(victim))
+		if werr != nil {
 			// The copy stays quarantined; the page is safe and the failure
 			// observable via Stats. The frame itself is still reusable.
 			sh.writeBackFailures.Add(1)
@@ -785,7 +864,13 @@ func (sh *shard) reclaim(victim page.PageID) (*Frame, bool) {
 // copy that was adopted by a miss, superseded by a newer eviction, or
 // purged by Invalidate is skipped rather than written, returning
 // (false, nil). On write failure the entry stays quarantined.
-func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, err error) {
+//
+// self is the caller's trace ID (0 for the background writer and flush
+// sweeps): when the resolved entry was parked by a DIFFERENT traced
+// request, its park-to-durable interval is emitted as a cross-thread span
+// on the parking request's trace — "evicted by request R, made durable
+// N ns later by another thread".
+func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page, self uint64) (wrote bool, err error) {
 	l := sh.wbLock(id)
 	l.Lock()
 	defer l.Unlock()
@@ -798,7 +883,14 @@ func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, 
 	if err := sh.device.WritePage(copy); err != nil {
 		return false, err
 	}
-	sh.quarantineResolve(id, copy)
+	tc := sh.quarantineResolve(id, copy)
+	if sh.tracer != nil && tc.trace != 0 && tc.trace != self {
+		sh.tracer.Emit(reqtrace.Span{
+			Trace: tc.trace, Phase: reqtrace.PhaseDeviceWrite, Shard: -1,
+			Flags: reqtrace.FlagCross | reqtrace.FlagTail,
+			Start: tc.at, Dur: sh.tracer.Now() - tc.at, Arg2: uint64(id),
+		})
+	}
 	sh.events.Record(obs.EvQuarantineFlush, uint64(id), 0)
 	return true, nil
 }
@@ -809,9 +901,17 @@ func (sh *shard) writeQuarantined(id page.PageID, copy *page.Page) (wrote bool, 
 // still-resident frame (flushFrame), which parks the copy *before*
 // clearing the dirty bit — while that entry exists it is byte-identical
 // to the frame, so an eviction in the write window stays lossless.
-func (sh *shard) quarantinePut(id page.PageID, copy *page.Page) {
+// a, when non-nil and traced, attributes the park so a later write-back by
+// another thread can be stitched onto the parking request's trace.
+func (sh *shard) quarantinePut(id page.PageID, copy *page.Page, a *reqtrace.Active) {
+	tid := a.ID()
 	sh.quarMu.Lock()
 	sh.quarantine[id] = copy
+	if tid != 0 {
+		sh.quarTrace[id] = quarCtx{trace: tid, at: a.Now()}
+	} else {
+		delete(sh.quarTrace, id)
+	}
 	n := len(sh.quarantine)
 	sh.quarMu.Unlock()
 	sh.events.Record(obs.EvQuarantinePark, uint64(id), uint64(n))
@@ -824,6 +924,7 @@ func (sh *shard) quarantineTake(id page.PageID) *page.Page {
 	q := sh.quarantine[id]
 	if q != nil {
 		delete(sh.quarantine, id)
+		delete(sh.quarTrace, id)
 	}
 	sh.quarMu.Unlock()
 	return q
@@ -832,12 +933,18 @@ func (sh *shard) quarantineTake(id page.PageID) *page.Page {
 // quarantineResolve removes the entry for id if it is still the exact copy
 // the caller parked; a concurrent miss may already have adopted it (and
 // will write the same bytes back again later, which is merely redundant).
-func (sh *shard) quarantineResolve(id page.PageID, copy *page.Page) {
+// It returns the parker's trace context (zero when untraced or when the
+// entry was already gone) so the resolving write can be attributed.
+func (sh *shard) quarantineResolve(id page.PageID, copy *page.Page) quarCtx {
+	var tc quarCtx
 	sh.quarMu.Lock()
 	if sh.quarantine[id] == copy {
 		delete(sh.quarantine, id)
+		tc = sh.quarTrace[id]
+		delete(sh.quarTrace, id)
 	}
 	sh.quarMu.Unlock()
+	return tc
 }
 
 func (sh *shard) quarantineFull() bool {
@@ -873,7 +980,7 @@ func (sh *shard) drainQuarantine() (written, failed int, err error) {
 	sh.quarMu.Unlock()
 	var errs []error
 	for id, copy := range snap {
-		wrote, werr := sh.writeQuarantined(id, copy)
+		wrote, werr := sh.writeQuarantined(id, copy, 0)
 		if werr != nil {
 			sh.writeBackFailures.Add(1)
 			failed++
@@ -906,6 +1013,7 @@ func (sh *shard) purgeQuarantine(id page.PageID) {
 	l.Lock()
 	sh.quarMu.Lock()
 	delete(sh.quarantine, id)
+	delete(sh.quarTrace, id)
 	sh.quarMu.Unlock()
 	l.Unlock()
 }
@@ -999,6 +1107,9 @@ func (sh *shard) flushFrame(f *Frame) (bool, error) {
 		return false, nil
 	}
 	sh.quarantine[id] = &wb
+	// The flusher parks on its own behalf, not a request's: drop any
+	// stale parker attribution a superseded entry left behind.
+	delete(sh.quarTrace, id)
 	sh.quarMu.Unlock()
 	for {
 		cur := f.state.Load()
@@ -1009,7 +1120,7 @@ func (sh *shard) flushFrame(f *Frame) (bool, error) {
 	f.unpin()
 
 	sched.Yield(sched.BufFlushClear)
-	wrote, err := sh.writeQuarantined(id, &wb)
+	wrote, err := sh.writeQuarantined(id, &wb, 0)
 	if err == nil {
 		return wrote, nil
 	}

@@ -41,6 +41,7 @@ import (
 
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/sched"
 )
 
@@ -53,7 +54,24 @@ type pubSlot struct {
 	_    cachePad
 	pub  atomic.Pointer[[]Entry] // published batch awaiting a combiner
 	done atomic.Pointer[[]Entry] // drained buffer returned for reuse
-	_    cachePad
+
+	// Publisher trace context (DESIGN.md §15): when the publishing request
+	// is traced, the owner stores its trace ID and publish timestamp here
+	// before the pub Store, and the combiner swaps them out to emit the
+	// cross-thread PhaseEnqueue span ("enqueued → waited N ns → applied by
+	// combiner run R"). The context is best-effort: if the owner republishes
+	// in the instant between a combiner's pub swap and its pubTrace swap,
+	// the handoff span can attach to the adjacent batch — an accepted
+	// off-by-one-batch race; replacement tracing is advisory like the
+	// batching it observes.
+	pubTrace atomic.Uint64
+	pubTime  atomic.Int64
+
+	// owner is the registering session's wrapper-unique ID, named as the
+	// publisher in handoff spans. Written once at registration.
+	owner uint64
+
+	_ cachePad
 }
 
 // takeSpare returns a recording buffer and its box: the pair the last
@@ -83,11 +101,12 @@ type combiner struct {
 	slots atomic.Pointer[[]*pubSlot]
 }
 
-// register adds a new session's slot to the registry.
-func (c *combiner) register() *pubSlot {
+// register adds a new session's slot to the registry. owner is the
+// session's wrapper-unique ID, recorded for handoff-span attribution.
+func (c *combiner) register(owner uint64) *pubSlot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	sl := &pubSlot{}
+	sl := &pubSlot{owner: owner}
 	var list []*pubSlot
 	if old := c.slots.Load(); old != nil {
 		list = append(list, *old...)
@@ -98,14 +117,16 @@ func (c *combiner) register() *pubSlot {
 }
 
 // combineLocked drains every session's published batch and applies it to
-// the policy. Callers must hold the policy lock. own is the calling
-// session's slot: its batch (if published) is the caller's own work and is
-// excluded from the combined-work counters.
-func (w *Wrapper) combineLocked(own *pubSlot) {
+// the policy. Callers must hold the policy lock. s is the calling
+// (applying) session: its own batch (if published) is excluded from the
+// combined-work counters, and its ID is stamped as the applier in
+// cross-thread handoff spans.
+func (w *Wrapper) combineLocked(s *Session) {
 	slots := w.fc.slots.Load()
 	if slots == nil {
 		return
 	}
+	own := s.slot
 	// Contain panics from the policy or validator: the caller still holds
 	// the lock and will release it normally, so one poisoned entry stops
 	// this drain (already-swapped batches are lost to the policy's
@@ -126,10 +147,28 @@ func (w *Wrapper) combineLocked(own *pubSlot) {
 		defer trace.StartRegion(context.Background(), "bpwrapper.combine").End()
 	}
 	var drained, entries uint64
+	var runID uint64 // lazily allocated: one per combining lock-holding period
 	for _, sl := range *slots {
 		bp := sl.pub.Swap(nil)
 		if bp == nil {
 			continue
+		}
+		if w.tracer != nil {
+			// Cross-thread attribution: the publisher parked its trace
+			// context in the slot; emit the enqueue→apply handoff span on
+			// its trace, naming this combiner run and both sessions.
+			if tid := sl.pubTrace.Swap(0); tid != 0 {
+				if runID == 0 {
+					runID = w.combineRunIDs.Add(1)
+				}
+				pubAt := sl.pubTime.Load()
+				w.tracer.Emit(reqtrace.Span{
+					Trace: tid, Phase: reqtrace.PhaseEnqueue, Shard: -1,
+					Flags: reqtrace.FlagCross,
+					Start: pubAt, Dur: w.tracer.Now() - pubAt,
+					Arg1: runID, Arg2: reqtrace.PackHandoff(sl.owner, s.id),
+				})
+			}
 		}
 		sched.Yield(sched.CoreFCCombine)
 		for _, e := range *bp {
@@ -161,6 +200,9 @@ func (s *Session) applyPublished() {
 	if bp == nil {
 		return
 	}
+	// Claiming one's own batch is not a cross-thread handoff: just clear
+	// the parked trace context so it cannot attach to a later batch.
+	s.slot.pubTrace.Store(0)
 	for _, e := range *bp {
 		s.w.applyHit(e)
 	}
@@ -185,6 +227,17 @@ func (s *Session) fcCommit() {
 		first := len(s.queue) == s.Threshold()
 		s.pubLen = len(s.queue)
 		s.queue, s.fcBox = s.slot.takeSpare(w.cfg.QueueSize)
+		if w.tracer != nil {
+			// Park the publisher's trace context before the pub Store (whose
+			// release ordering publishes it with the batch) so a combiner can
+			// attribute the handoff. Untraced publishes clear it.
+			if tid := s.trace.ID(); tid != 0 {
+				s.slot.pubTime.Store(s.trace.Now())
+				s.slot.pubTrace.Store(tid)
+			} else {
+				s.slot.pubTrace.Store(0)
+			}
+		}
 		s.slot.pub.Store(box)
 		w.batchSizes.Observe(s.pubLen)
 		w.events.Record(obs.EvPublish, uint64(s.pubLen), 0)
@@ -194,7 +247,7 @@ func (s *Session) fcCommit() {
 			if first {
 				s.adaptUp()
 			}
-			w.combineLocked(s.slot)
+			w.combineLocked(s)
 			w.lock.Unlock()
 			w.cc.commits.Add(1)
 			return
@@ -215,14 +268,19 @@ func (s *Session) fcCommit() {
 	if pf := w.box.Load().prefetcher; pf != nil {
 		s.pf = prefetchInto(pf, s.pf, s.queue, page.InvalidPageID)
 	}
+	t0 := s.trace.Now()
 	w.lock.Lock()
+	// The bounded-memory fall-back is the protocol's slow path: the wait
+	// arms tail-keep (Slow) so a request stalled here is traceable even
+	// when head sampling skipped it.
+	s.trace.Slow(reqtrace.PhaseLockWait, -1, t0, s.trace.Now()-t0, uint64(len(s.queue)), 0)
 	w.cc.forcedLocks.Add(1)
 	w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 	s.applyPublished()
 	for _, e := range s.queue {
 		w.applyHit(e)
 	}
-	w.combineLocked(s.slot)
+	w.combineLocked(s)
 	w.lock.Unlock()
 	w.cc.commits.Add(1)
 	w.batchSizes.Observe(len(s.queue))
@@ -236,6 +294,9 @@ func (s *Session) fcCommit() {
 func (s *Session) fcFlush() {
 	w := s.w
 	claimed := s.slot.pub.Swap(nil)
+	if claimed != nil {
+		s.slot.pubTrace.Store(0) // self-claim: no cross-thread handoff
+	}
 	if claimed == nil && len(s.queue) == 0 {
 		return
 	}
@@ -253,7 +314,7 @@ func (s *Session) fcFlush() {
 	for _, e := range s.queue {
 		w.applyHit(e)
 	}
-	w.combineLocked(s.slot)
+	w.combineLocked(s)
 	w.lock.Unlock()
 	w.cc.commits.Add(1)
 	s.queue = s.queue[:0]

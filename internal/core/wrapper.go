@@ -40,6 +40,7 @@ import (
 	"bpwrapper/internal/obs"
 	"bpwrapper/internal/page"
 	"bpwrapper/internal/replacer"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/sched"
 )
 
@@ -117,6 +118,12 @@ type Config struct {
 	// combining publishes and combiner drains. A nil recorder costs one
 	// predictable branch per event site.
 	Events *obs.Recorder
+
+	// Tracer, when non-nil, receives request-trace spans from the commit
+	// path (lock wait, policy batch apply) and the cross-thread
+	// combiner-handoff spans of DESIGN.md §15. Sessions participate once
+	// a trace context is attached with Session.SetTrace.
+	Tracer *reqtrace.Tracer
 
 	// LockProfile, when non-nil, replaces the wrapper's default sampled
 	// lock profile (DefaultSampleEvery with wait/hold histograms). Use it
@@ -269,7 +276,17 @@ type Wrapper struct {
 	shared *sharedQueue // non-nil iff cfg.SharedQueue
 	fc     *combiner    // non-nil iff cfg.FlatCombining
 
-	events *obs.Recorder // nil-safe flight recorder (cfg.Events)
+	events *obs.Recorder    // nil-safe flight recorder (cfg.Events)
+	tracer *reqtrace.Tracer // nil-safe request tracer (cfg.Tracer)
+
+	// sessionIDs allocates the per-wrapper session identities the
+	// cross-thread handoff spans name ("applied by combiner run R owned
+	// by session S").
+	sessionIDs atomic.Uint64
+
+	// combineRunIDs allocates combiner-run identities, one per
+	// lock-holding period that drains at least one published batch.
+	combineRunIDs atomic.Uint64
 
 	// Commit-shape distributions, recorded once per commit/publish/drain
 	// (never on the per-access fast path): how large batches are when they
@@ -324,6 +341,7 @@ func New(policy replacer.Policy, cfg Config) *Wrapper {
 	w := &Wrapper{
 		cfg:         cfg,
 		events:      cfg.Events,
+		tracer:      cfg.Tracer,
 		batchSizes:  metrics.NewCountDist(cfg.QueueSize),
 		combineRuns: metrics.NewCountDist(combineRunCap),
 	}
@@ -520,12 +538,12 @@ func (w *Wrapper) CheckInvariants() error {
 // records its page accesses. Sessions must not be shared between
 // goroutines.
 func (w *Wrapper) NewSession() *Session {
-	s := &Session{w: w}
+	s := &Session{w: w, id: w.sessionIDs.Add(1)}
 	if w.cfg.Batching && !w.cfg.SharedQueue {
 		s.queue = make([]Entry, 0, w.cfg.QueueSize)
 	}
 	if w.fc != nil {
-		s.slot = w.fc.register()
+		s.slot = w.fc.register(s.id)
 		s.fcBox = new([]Entry)
 	}
 	return s
@@ -541,7 +559,13 @@ const foldInterval = 1024
 // use.
 type Session struct {
 	w     *Wrapper
+	id    uint64  // wrapper-unique identity, named by handoff spans
 	queue []Entry // nil when batching is off or the shared queue is in use
+
+	// trace is the request-trace context shared with the owning pool
+	// session (SetTrace); nil disables span stamping. All Active methods
+	// are nil-safe, so the untraced cost is one branch per site.
+	trace *reqtrace.Active
 
 	// Per-session access counters: plain ints bumped only by the owning
 	// goroutine on the per-access fast path and folded into the wrapper's
@@ -562,6 +586,16 @@ type Session struct {
 	threshold int // current per-session batch threshold
 	trialRuns int // consecutive first-attempt TryLock successes
 }
+
+// SetTrace attaches a request-trace context to the session. The buffer
+// pool shares one Active between a pool session and its per-shard core
+// sessions, so spans stamped here land in the same trace as the pool's
+// probe/pin/device spans. A nil context (the default) disables stamping.
+func (s *Session) SetTrace(a *reqtrace.Active) { s.trace = a }
+
+// ID returns the session's wrapper-unique identity, as named by the
+// cross-thread handoff spans.
+func (s *Session) ID() uint64 { return s.id }
 
 // note stages one access in the session-private counters.
 func (s *Session) note(hit bool) {
@@ -663,9 +697,22 @@ func (s *Session) Hit(id page.PageID, tag page.BufferTag) {
 			one := [1]page.PageID{id}
 			b.prefetcher.Prefetch(one[:])
 		}
+		tracing := s.trace.Sampled()
+		var t0, t1 int64
+		if tracing {
+			t0 = s.trace.Now()
+		}
 		w.lock.Lock()
+		if tracing {
+			t1 = s.trace.Now()
+		}
 		w.applyHit(Entry{ID: id, Tag: tag})
 		w.lock.Unlock()
+		if tracing {
+			now := s.trace.Now()
+			s.trace.Span(reqtrace.PhaseLockWait, -1, t0, t1-t0, 0, 0)
+			s.trace.Span(reqtrace.PhasePolicyOp, -1, t1, now-t1, 1, 0)
+		}
 		w.cc.commits.Add(1)
 		s.fold()
 		return
@@ -701,9 +748,10 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 	s.note(false)
 	s.fold()
 	var pending []Entry
+	var stolen sqTraceCtx
 	switch {
 	case w.shared != nil:
-		pending = w.shared.steal()
+		pending, stolen = w.shared.steal()
 	case s.queue != nil:
 		pending = s.queue
 	}
@@ -711,16 +759,24 @@ func (s *Session) Miss(id page.PageID, tag page.BufferTag) (victim page.PageID, 
 		s.pf = prefetchInto(pf, s.pf, pending, id)
 	}
 	sched.Yield(sched.CoreMissLock)
+	// The miss path always blocks on the lock and implies device I/O, so
+	// the wait is stamped with Slow: an SLO-crossing miss is traceable even
+	// when head sampling skipped it.
+	t0 := s.trace.Now()
 	w.lock.Lock()
+	t1 := s.trace.Now()
+	s.trace.Slow(reqtrace.PhaseLockWait, -1, t0, t1-t0, uint64(len(pending)), 0)
 	s.applyPublished()
 	for _, e := range pending {
 		w.applyHit(e)
 	}
 	victim, evicted = w.box.Load().policy.Admit(id)
 	if w.fc != nil {
-		w.combineLocked(s.slot)
+		w.combineLocked(s)
 	}
 	w.lock.Unlock()
+	s.trace.Span(reqtrace.PhasePolicyOp, -1, t1, s.trace.Now()-t1, uint64(len(pending)), uint64(id))
+	w.emitSharedHandoff(stolen, s)
 	if len(pending) > 0 {
 		w.cc.commits.Add(1)
 		w.batchSizes.Observe(len(pending))
@@ -750,9 +806,10 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 	s.note(false)
 	s.fold()
 	var pending []Entry
+	var stolen sqTraceCtx
 	switch {
 	case w.shared != nil:
-		pending = w.shared.steal()
+		pending, stolen = w.shared.steal()
 	case s.queue != nil:
 		pending = s.queue
 	}
@@ -760,7 +817,10 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 		s.pf = prefetchInto(pf, s.pf, pending, id)
 	}
 	sched.Yield(sched.CoreMissLock)
+	t0 := s.trace.Now()
 	w.lock.Lock()
+	t1 := s.trace.Now()
+	s.trace.Slow(reqtrace.PhaseLockWait, -1, t0, t1-t0, uint64(len(pending)), 0)
 	s.applyPublished()
 	for _, e := range pending {
 		w.applyHit(e)
@@ -769,9 +829,11 @@ func (s *Session) MissBegin(id page.PageID, tag page.BufferTag) (victim page.Pag
 		victim, evicted = pol.Evict()
 	}
 	if w.fc != nil {
-		w.combineLocked(s.slot)
+		w.combineLocked(s)
 	}
 	w.lock.Unlock()
+	s.trace.Span(reqtrace.PhasePolicyOp, -1, t1, s.trace.Now()-t1, uint64(len(pending)), uint64(id))
+	w.emitSharedHandoff(stolen, s)
 	if len(pending) > 0 {
 		w.cc.commits.Add(1)
 		w.batchSizes.Observe(len(pending))
@@ -805,7 +867,7 @@ func (s *Session) Flush() {
 	w := s.w
 	s.fold()
 	if w.shared != nil {
-		pending := w.shared.steal()
+		pending, stolen := w.shared.steal()
 		if len(pending) == 0 {
 			return
 		}
@@ -817,6 +879,7 @@ func (s *Session) Flush() {
 			w.applyHit(e)
 		}
 		w.lock.Unlock()
+		w.emitSharedHandoff(stolen, s)
 		w.cc.commits.Add(1)
 		w.batchSizes.Observe(len(pending))
 		w.shared.release(pending)
@@ -863,7 +926,12 @@ func (s *Session) commit(force bool) {
 	}
 	sched.Yield(sched.CoreCommitTry)
 	if force {
+		t0 := s.trace.Now()
 		w.lock.Lock()
+		// A forced Lock is a slow phase: the wait arms tail-keep, so a
+		// request stalled behind a long lock-holding period is traceable
+		// even when head sampling skipped it.
+		s.trace.Slow(reqtrace.PhaseLockWait, -1, t0, s.trace.Now()-t0, uint64(len(s.queue)), 0)
 		w.cc.forcedLocks.Add(1)
 		w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 	} else if w.lock.TryLock() {
@@ -879,7 +947,9 @@ func (s *Session) commit(force bool) {
 			w.events.Record(obs.EvTryFail, uint64(len(s.queue)), 0)
 			return
 		}
+		t0 := s.trace.Now()
 		w.lock.Lock()
+		s.trace.Slow(reqtrace.PhaseLockWait, -1, t0, s.trace.Now()-t0, uint64(len(s.queue)), 0)
 		w.cc.forcedLocks.Add(1)
 		w.events.Record(obs.EvForcedLock, uint64(len(s.queue)), 0)
 		// The queue filled before any TryLock succeeded: start trying
@@ -887,10 +957,18 @@ func (s *Session) commit(force bool) {
 		s.adaptDown()
 	}
 	sched.Yield(sched.CoreCommitApply)
+	tracing := s.trace.Sampled()
+	var tApply int64
+	if tracing {
+		tApply = s.trace.Now()
+	}
 	for _, e := range s.queue {
 		w.applyHit(e)
 	}
 	w.lock.Unlock()
+	if tracing {
+		s.trace.Span(reqtrace.PhasePolicyOp, -1, tApply, s.trace.Now()-tApply, uint64(len(s.queue)), 0)
+	}
 	w.cc.commits.Add(1)
 	w.batchSizes.Observe(len(s.queue))
 	s.queue = s.queue[:0]
@@ -925,6 +1003,33 @@ func prefetchInto(pf replacer.Prefetcher, buf []page.PageID, entries []Entry, ex
 	return ids
 }
 
+// sqTraceCtx is the publisher trace context carried with a shared-queue
+// batch: which traced request recorded into the batch, when, and from
+// which session. The shared queue interleaves all sessions' accesses, so
+// the context is the LAST traced recorder — a best-effort attribution
+// matching the design's own ambiguity (the paper rejects this queue
+// partly because per-thread ordering is lost).
+type sqTraceCtx struct {
+	id   uint64 // trace ID (0: no traced recorder in this batch)
+	at   int64  // when the traced access was recorded
+	sess uint64 // recording session's ID
+}
+
+// emitSharedHandoff emits the cross-thread handoff span for a stolen
+// shared-queue batch, attributing the enqueue→apply wait to the last
+// traced recorder's trace.
+func (w *Wrapper) emitSharedHandoff(tc sqTraceCtx, applier *Session) {
+	if w.tracer == nil || tc.id == 0 {
+		return
+	}
+	w.tracer.Emit(reqtrace.Span{
+		Trace: tc.id, Phase: reqtrace.PhaseEnqueue, Shard: -1,
+		Flags: reqtrace.FlagCross,
+		Start: tc.at, Dur: w.tracer.Now() - tc.at,
+		Arg1: w.combineRunIDs.Add(1), Arg2: reqtrace.PackHandoff(tc.sess, applier.id),
+	})
+}
+
 // sharedQueue is the rejected alternative design of Section III-A: one
 // FIFO queue shared by all sessions, with its own mutex. Implemented only
 // for the ablation experiment. Batches are recycled through the spare
@@ -932,7 +1037,8 @@ func prefetchInto(pf replacer.Prefetcher, buf []page.PageID, entries []Entry, ex
 type sharedQueue struct {
 	mu      sync.Mutex
 	entries []Entry
-	spare   []Entry // recycled batch buffer (nil while a batch is in flight)
+	spare   []Entry    // recycled batch buffer (nil while a batch is in flight)
+	tc      sqTraceCtx // trace context of the accumulating batch
 }
 
 // record appends an entry; when the wrapper's threshold is reached the
@@ -940,6 +1046,9 @@ type sharedQueue struct {
 func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	q.mu.Lock()
 	q.entries = append(q.entries, e)
+	if tid := s.trace.ID(); tid != 0 {
+		q.tc = sqTraceCtx{id: tid, at: s.trace.Now(), sess: s.id}
+	}
 	n := len(q.entries)
 	if n < w.cfg.BatchThreshold {
 		q.mu.Unlock()
@@ -949,7 +1058,7 @@ func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 	// Take the batch out while still holding the queue mutex so no other
 	// session commits the same entries; recording continues in the spare
 	// buffer.
-	batch := q.takeLocked()
+	batch, tc := q.takeLocked()
 	q.mu.Unlock()
 
 	if pf := w.box.Load().prefetcher; pf != nil {
@@ -964,25 +1073,29 @@ func (q *sharedQueue) record(w *Wrapper, s *Session, e Entry) {
 		w.events.Record(obs.EvCommit, uint64(len(batch)), 0)
 	} else {
 		// Lock busy: put the batch back (in front — it is older than
-		// anything recorded meanwhile) and keep accumulating.
+		// anything recorded meanwhile) and keep accumulating. The stolen
+		// trace context rides back too so the eventual drain still emits
+		// its handoff span.
 		w.events.Record(obs.EvTryFail, uint64(len(batch)), 0)
-		q.requeue(batch)
+		q.requeue(batch, tc)
 		return
 	}
 	for _, e := range batch {
 		w.applyHit(e)
 	}
 	w.lock.Unlock()
+	w.emitSharedHandoff(tc, s)
 	w.cc.commits.Add(1)
 	w.batchSizes.Observe(len(batch))
 	q.release(batch)
 }
 
-// takeLocked removes and returns the queued entries, leaving the spare
-// buffer recording. Callers must hold q.mu and must hand the returned
-// batch to release or requeue when done.
-func (q *sharedQueue) takeLocked() []Entry {
-	batch := q.entries
+// takeLocked removes and returns the queued entries with their trace
+// context, leaving the spare buffer recording. Callers must hold q.mu and
+// must hand the returned batch to release or requeue when done.
+func (q *sharedQueue) takeLocked() ([]Entry, sqTraceCtx) {
+	batch, tc := q.entries, q.tc
+	q.tc = sqTraceCtx{}
 	if q.spare != nil {
 		q.entries = q.spare[:0]
 		q.spare = nil
@@ -991,16 +1104,16 @@ func (q *sharedQueue) takeLocked() []Entry {
 		// enters the rotation.
 		q.entries = make([]Entry, 0, cap(batch))
 	}
-	return batch
+	return batch, tc
 }
 
 // steal removes and returns all queued entries; the caller must pass the
 // batch to release after applying it.
-func (q *sharedQueue) steal() []Entry {
+func (q *sharedQueue) steal() ([]Entry, sqTraceCtx) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.entries) == 0 {
-		return nil
+		return nil, sqTraceCtx{}
 	}
 	return q.takeLocked()
 }
@@ -1019,12 +1132,16 @@ func (q *sharedQueue) release(batch []Entry) {
 
 // requeue puts an uncommitted batch back at the front of the queue without
 // permanently growing the rotation: the rebuilt queue lives in the batch's
-// buffer and the previous recording buffer becomes the spare.
-func (q *sharedQueue) requeue(batch []Entry) {
+// buffer and the previous recording buffer becomes the spare. The batch's
+// trace context is restored unless a newer traced access arrived meanwhile.
+func (q *sharedQueue) requeue(batch []Entry, tc sqTraceCtx) {
 	q.mu.Lock()
 	recorded := q.entries
 	batch = append(batch, recorded...)
 	q.entries = batch
+	if q.tc.id == 0 {
+		q.tc = tc
+	}
 	if q.spare == nil {
 		q.spare = recorded[:0]
 	}

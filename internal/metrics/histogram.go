@@ -23,6 +23,19 @@ type Histogram struct {
 	sum     float64 // nanoseconds
 	maxSeen float64
 	minSeen float64
+
+	// exemplars holds at most one traced observation per bucket (newest
+	// wins), following the OpenMetrics exemplar model: a scrape can point
+	// from a latency bucket straight to a request trace. Allocated lazily
+	// by the first RecordTraced, so untraced histograms pay nothing.
+	exemplars map[int]Exemplar
+}
+
+// Exemplar pairs one observation with the request trace that produced it.
+type Exemplar struct {
+	Value   time.Duration
+	TraceID uint64
+	At      time.Time
 }
 
 // NewHistogram creates a histogram covering [min, max] with the given number
@@ -47,9 +60,8 @@ func NewLatencyHistogram() *Histogram {
 	return NewHistogram(100*time.Nanosecond, 100*time.Second, 120)
 }
 
-// Record adds one observation.
-func (h *Histogram) Record(d time.Duration) {
-	ns := float64(d.Nanoseconds())
+// bucketIndex bins one observation (in nanoseconds) into its bucket.
+func (h *Histogram) bucketIndex(ns float64) int {
 	idx := 0
 	if ns > h.min {
 		idx = int(math.Log(ns/h.min) / math.Log(h.growth))
@@ -69,6 +81,20 @@ func (h *Histogram) Record(d time.Duration) {
 			idx = len(h.buckets) - 1
 		}
 	}
+	return idx
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.RecordTraced(d, 0)
+}
+
+// RecordTraced adds one observation and, when traceID is non-zero, stores
+// it as the exemplar of its bucket — so a scrape of the histogram can link
+// the bucket to a concrete request trace. A zero traceID is a plain Record.
+func (h *Histogram) RecordTraced(d time.Duration, traceID uint64) {
+	ns := float64(d.Nanoseconds())
+	idx := h.bucketIndex(ns)
 	h.mu.Lock()
 	h.buckets[idx]++
 	h.count++
@@ -78,6 +104,12 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 	if ns < h.minSeen {
 		h.minSeen = ns
+	}
+	if traceID != 0 {
+		if h.exemplars == nil {
+			h.exemplars = make(map[int]Exemplar)
+		}
+		h.exemplars[idx] = Exemplar{Value: d, TraceID: traceID, At: time.Now()}
 	}
 	h.mu.Unlock()
 }
@@ -202,6 +234,7 @@ func (h *Histogram) Reset() {
 	h.sum = 0
 	h.maxSeen = 0
 	h.minSeen = math.Inf(1)
+	h.exemplars = nil
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's buckets,
@@ -212,6 +245,37 @@ type HistogramSnapshot struct {
 	Counts []int64
 	Count  int64
 	Sum    time.Duration
+
+	// Exemplars maps bucket index → the newest traced observation that
+	// landed there; nil when the histogram never saw a traced record.
+	Exemplars map[int]Exemplar
+}
+
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) from the snapshot's
+// buckets, returning the upper bound of the bucket containing the
+// quantile rank. Unlike Histogram.Quantile it has no min/max refinement —
+// snapshots carry buckets only — so it is an exposition-grade figure: the
+// same number a Prometheus histogram_quantile would derive from the
+// bucket series. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot copies the histogram's current contents for exposition (e.g.
@@ -235,6 +299,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := 0; i <= last; i++ {
 		s.Bounds[i] = time.Duration(h.min * math.Pow(h.growth, float64(i+1)))
 		s.Counts[i] = h.buckets[i]
+	}
+	if len(h.exemplars) > 0 {
+		s.Exemplars = make(map[int]Exemplar, len(h.exemplars))
+		for i, e := range h.exemplars {
+			if i <= last {
+				s.Exemplars[i] = e
+			}
+		}
 	}
 	return s
 }

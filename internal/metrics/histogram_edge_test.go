@@ -177,3 +177,43 @@ func TestHistogramSnapshotShape(t *testing.T) {
 		t.Fatalf("sum = %v", s.Sum)
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %v, want 0", got)
+	}
+
+	h := NewHistogram(time.Microsecond, time.Second, 32)
+	for i := 0; i < 99; i++ {
+		h.Record(10 * time.Microsecond)
+	}
+	h.Record(100 * time.Millisecond)
+	s := h.Snapshot()
+
+	// The snapshot quantile is the bucket's upper bound: monotone in q,
+	// and never below the live histogram's refined figure.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("snapshot quantile not monotone at q=%v: %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+	if p50 := s.Quantile(0.5); p50 < 10*time.Microsecond || p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want a bound near the 10µs mass", p50)
+	}
+	// The single 100ms outlier sits in the last populated bucket, so the
+	// extreme tail must reach at least it.
+	if p999 := s.Quantile(0.999); p999 < 100*time.Millisecond {
+		t.Fatalf("p999 = %v, want >= the 100ms outlier", p999)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range q did not panic")
+		}
+	}()
+	s.Quantile(1.5)
+}

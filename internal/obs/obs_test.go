@@ -114,6 +114,74 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+func TestRecorderTornReadAccounting(t *testing.T) {
+	// A slot being overwritten while a reader snapshots must be skipped
+	// (never returned with a mixed payload) and counted into Dropped — the
+	// recorder's honesty contract: data loss is visible, not silent.
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(EvCommit, uint64(i), 0)
+	}
+	// Emulate a writer mid-overwrite: the slot is claimed (begin advanced
+	// a full ring lap) but payload and end stamp not yet stored.
+	s := &r.slots[2]
+	healed := s.end.Load()
+	s.begin.Store(healed + 8)
+
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot returned %d events, want 4 (torn slot skipped)", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Seq == 2 {
+			t.Fatalf("torn slot leaked into the snapshot: %+v", ev)
+		}
+	}
+	if got := r.torn.Load(); got != 1 {
+		t.Fatalf("torn counter = %d, want 1", got)
+	}
+	// No wrap happened, so the whole Dropped figure is the torn count —
+	// and it is cumulative per snapshot that observes the tear.
+	if got := r.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	r.Events()
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped after second torn snapshot = %d, want 2", got)
+	}
+
+	// Once the writer finishes (begin == end again) the slot reads clean.
+	s.begin.Store(healed)
+	if evs := r.Events(); len(evs) != 5 {
+		t.Fatalf("healed snapshot returned %d events, want 5", len(evs))
+	}
+}
+
+func TestRecorderDumpTail(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(EvEvict, uint64(i), 0)
+	}
+	var sb strings.Builder
+	r.DumpTail(&sb, "shard 0", 2)
+	out := sb.String()
+	if !strings.Contains(out, "newest 2 of 5") {
+		t.Fatalf("tail header wrong:\n%s", out)
+	}
+	i4, i3 := strings.Index(out, "[4]"), strings.Index(out, "[3]")
+	if i4 < 0 || i3 < 0 || i4 > i3 {
+		t.Fatalf("tail not newest-first:\n%s", out)
+	}
+	if strings.Contains(out, "[2]") {
+		t.Fatalf("tail leaked events beyond the limit:\n%s", out)
+	}
+	sb.Reset()
+	(*Recorder)(nil).DumpTail(&sb, "off", 3)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Fatal("nil recorder DumpTail missing disabled note")
+	}
+}
+
 func TestEventKindStrings(t *testing.T) {
 	kinds := []EventKind{EvCommit, EvTryFail, EvForcedLock, EvPublish, EvCombine, EvEvict, EvQuarantinePark, EvQuarantineFlush}
 	seen := map[string]bool{}

@@ -4,8 +4,8 @@
 // Prometheus text and expvar-style JSON.
 //
 // The package sits below core and buffer in the import graph (it depends
-// only on metrics and the standard library) so the hot layers can emit
-// events without cycles.
+// only on metrics, reqtrace and the standard library) so the hot layers
+// can emit events without cycles.
 package obs
 
 import (
@@ -252,6 +252,29 @@ func (r *Recorder) Dump(w io.Writer, label string) {
 	fmt.Fprintf(w, "%s: flight recorder: %d/%d events (%d recorded, %d dropped)\n",
 		label, len(evs), len(r.slots), r.Seq(), r.Dropped())
 	for _, ev := range evs {
+		fmt.Fprintf(w, "  [%d] %s %s arg1=%d arg2=%d\n",
+			ev.Seq, ev.Time.Format("15:04:05.000000"), ev.Kind, ev.Arg1, ev.Arg2)
+	}
+}
+
+// DumpTail writes the newest n surviving events to w, newest first — the
+// order a human scanning a live endpoint wants (the most recent activity
+// on top). n <= 0 dumps everything surviving. A nil recorder writes the
+// same one-line note as Dump.
+func (r *Recorder) DumpTail(w io.Writer, label string, n int) {
+	if r == nil {
+		fmt.Fprintf(w, "%s: flight recorder disabled\n", label)
+		return
+	}
+	evs := r.Events()
+	shown := len(evs)
+	if n > 0 && shown > n {
+		shown = n
+	}
+	fmt.Fprintf(w, "%s: flight recorder: newest %d of %d events (%d recorded, %d dropped)\n",
+		label, shown, len(evs), r.Seq(), r.Dropped())
+	for i := len(evs) - 1; i >= len(evs)-shown; i-- {
+		ev := evs[i]
 		fmt.Fprintf(w, "  [%d] %s %s arg1=%d arg2=%d\n",
 			ev.Seq, ev.Time.Format("15:04:05.000000"), ev.Kind, ev.Arg1, ev.Arg2)
 	}

@@ -46,6 +46,7 @@ type Registry struct {
 	mu         sync.Mutex
 	collectors []Collector
 	recorders  []recorderEntry
+	tracers    []tracerEntry // request tracers for /debug/traces (traces.go)
 }
 
 type recorderEntry struct {
@@ -81,6 +82,7 @@ func (g *Registry) Clear() {
 	defer g.mu.Unlock()
 	g.collectors = nil
 	g.recorders = nil
+	g.tracers = nil
 }
 
 // Gather runs every collector and returns the combined samples.
@@ -109,6 +111,22 @@ func (g *Registry) DumpRecorders(w io.Writer) {
 	}
 	for _, e := range rs {
 		e.rec.Dump(w, e.label)
+	}
+}
+
+// DumpRecordersTail writes every registered flight recorder's newest n
+// events, newest first — the /debug/events rendering (n <= 0 means all).
+func (g *Registry) DumpRecordersTail(w io.Writer, n int) {
+	g.mu.Lock()
+	rs := make([]recorderEntry, len(g.recorders))
+	copy(rs, g.recorders)
+	g.mu.Unlock()
+	if len(rs) == 0 {
+		fmt.Fprintln(w, "no flight recorders registered")
+		return
+	}
+	for _, e := range rs {
+		e.rec.DumpTail(w, e.label, n)
 	}
 }
 
@@ -184,7 +202,15 @@ func writePromDurationHist(w io.Writer, m Metric) error {
 	for i, c := range m.Hist.Counts {
 		cum += c
 		le := fmt.Sprintf("%g", m.Hist.Bounds[i].Seconds())
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelString(withLabel(m.Labels, "le", le)), cum); err != nil {
+		// OpenMetrics exemplars: a traced observation rides its bucket line,
+		// so a dashboard can jump from a latency bucket straight to the
+		// /debug/traces entry with that trace ID.
+		ex := ""
+		if e, ok := m.Hist.Exemplars[i]; ok {
+			ex = fmt.Sprintf(" # {trace_id=\"%016x\"} %g %.3f",
+				e.TraceID, e.Value.Seconds(), float64(e.At.UnixNano())/1e9)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", m.Name, labelString(withLabel(m.Labels, "le", le)), cum, ex); err != nil {
 			return err
 		}
 	}
@@ -235,6 +261,11 @@ func (g *Registry) JSONTree() map[string]any {
 			entry["sum_seconds"] = m.Hist.Sum.Seconds()
 			if m.Hist.Count > 0 {
 				entry["mean_seconds"] = m.Hist.Sum.Seconds() / float64(m.Hist.Count)
+				// Bucket-bound quantiles, so bpstat's latency columns need no
+				// histogram math client-side.
+				entry["p50_seconds"] = m.Hist.Quantile(0.50).Seconds()
+				entry["p99_seconds"] = m.Hist.Quantile(0.99).Seconds()
+				entry["p999_seconds"] = m.Hist.Quantile(0.999).Seconds()
 			}
 		case m.Type == Histogram && m.Dist != nil:
 			entry["count"] = m.Dist.Count

@@ -6,14 +6,18 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // Server exposes a Registry over HTTP:
 //
-//	/metrics        Prometheus text exposition
+//	/metrics        Prometheus text exposition (with trace exemplars)
 //	/debug/vars     expvar-style JSON (standard vars + the registry tree)
-//	/debug/events   flight-recorder dump (plain text)
+//	/debug/events   flight-recorder dump (plain text, newest first; ?n= limits)
+//	/debug/traces   retained request traces: slowest-N text by default,
+//	                ?format=chrome for trace_event JSON (chrome://tracing,
+//	                Perfetto), ?format=json for raw grouped spans; ?n= limits
 //	/debug/pprof/*  the standard pprof handlers
 //
 // It owns its listener so tests can pass ":0" and read the bound address
@@ -40,6 +44,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -92,7 +97,40 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "}\n")
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+// handleEvents dumps the flight recorders newest-first; ?n= bounds how
+// many events each recorder prints (default all surviving).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.DumpRecorders(w)
+	s.reg.DumpRecordersTail(w, queryInt(r, "n", 0))
+}
+
+// handleTraces renders the retained request traces. The default is the
+// slowest-N text view (?n=, default 10); ?format=chrome emits Chrome
+// trace_event JSON and ?format=json the raw grouped spans.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.reg.WriteTracesChrome(w) //nolint:errcheck // best-effort over HTTP
+	case "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.reg.WriteTracesJSON(w, queryInt(r, "n", 0)) //nolint:errcheck
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.WriteTracesText(w, queryInt(r, "n", 10))
+	}
+}
+
+// queryInt parses an integer query parameter, falling back to def when
+// absent or malformed (debug endpoints shrug at bad input).
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
 }

@@ -15,11 +15,30 @@ import (
 // pipelining machinery needs no locks and the server can map the
 // connection onto a single buffer.Session.
 type Client struct {
-	nc   net.Conn
-	bw   *bufio.Writer
-	fr   frameReader
-	next uint64 // next request ID
-	wbuf []byte // reused request-encoding buffer
+	nc    net.Conn
+	bw    *bufio.Writer
+	fr    frameReader
+	next  uint64 // next request ID
+	wbuf  []byte // reused request-encoding buffer
+	trace uint64 // trace ID attached to outgoing requests; 0 = untraced
+}
+
+// SetTraceID attaches a trace ID to every subsequent request (via the
+// protocol's trace-context extension) until changed; zero clears it. The
+// server adopts the ID for the request's pool access, so the client's
+// trace and the server-side spans share one identity end to end.
+func (c *Client) SetTraceID(id uint64) { c.trace = id }
+
+// appendReq encodes one request frame, injecting the trace-context
+// extension when a trace ID is set.
+func (c *Client) appendReq(dst []byte, code byte, reqID uint64, payload ...[]byte) []byte {
+	if c.trace == 0 {
+		return appendFrame(dst, code, reqID, payload...)
+	}
+	var tb [8]byte
+	be.PutUint64(tb[:], c.trace)
+	parts := append(make([][]byte, 0, len(payload)+1), tb[:])
+	return appendFrame(dst, code|TraceFlag, reqID, append(parts, payload...)...)
 }
 
 // Dial connects to a bpserver at addr.
@@ -50,7 +69,7 @@ func (c *Client) Close() error { return c.nc.Close() }
 func (c *Client) roundTrip(code byte, payload ...[]byte) (status byte, resp []byte, err error) {
 	id := c.next
 	c.next++
-	c.wbuf = appendFrame(c.wbuf[:0], code, id, payload...)
+	c.wbuf = c.appendReq(c.wbuf[:0], code, id, payload...)
 	if _, err = c.bw.Write(c.wbuf); err != nil {
 		return 0, nil, err
 	}
@@ -180,11 +199,11 @@ func (c *Client) Do(ops []Op) ([]OpResult, error) {
 			if len(op.Data) != page.Size {
 				return nil, fmt.Errorf("client: Do[%d]: PUT data must be %d bytes", i, page.Size)
 			}
-			buf = appendFrame(buf, OpPut, base+uint64(i), pid[:], op.Data)
+			buf = c.appendReq(buf, OpPut, base+uint64(i), pid[:], op.Data)
 		case OpFlush, OpStats:
-			buf = appendFrame(buf, op.Code, base+uint64(i))
+			buf = c.appendReq(buf, op.Code, base+uint64(i))
 		default:
-			buf = appendFrame(buf, op.Code, base+uint64(i), pid[:])
+			buf = c.appendReq(buf, op.Code, base+uint64(i), pid[:])
 		}
 	}
 	c.wbuf = buf

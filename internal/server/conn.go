@@ -9,6 +9,7 @@ import (
 
 	"bpwrapper/internal/buffer"
 	"bpwrapper/internal/page"
+	"bpwrapper/internal/reqtrace"
 	"bpwrapper/internal/storage"
 )
 
@@ -17,21 +18,23 @@ import (
 // backend — its accesses batch through the session's per-shard queues
 // exactly like an in-process worker's.
 type conn struct {
-	srv  *Server
-	nc   net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	fr   frameReader
-	sess *buffer.Session
+	srv    *Server
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	fr     frameReader
+	sess   *buffer.Session
+	tracer *reqtrace.Tracer // the pool's request tracer; nil when disabled
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
 	c := &conn{
-		srv:  s,
-		nc:   nc,
-		br:   bufio.NewReaderSize(&countingReader{nc: nc, n: &s.c.bytesIn}, s.cfg.ReadBufSize),
-		bw:   bufio.NewWriterSize(&countingWriter{nc: nc, n: &s.c.bytesOut}, s.cfg.WriteBufSize),
-		sess: s.pool.NewSession(),
+		srv:    s,
+		nc:     nc,
+		br:     bufio.NewReaderSize(&countingReader{nc: nc, n: &s.c.bytesIn}, s.cfg.ReadBufSize),
+		bw:     bufio.NewWriterSize(&countingWriter{nc: nc, n: &s.c.bytesOut}, s.cfg.WriteBufSize),
+		sess:   s.pool.NewSession(),
+		tracer: s.pool.Tracer(),
 	}
 	c.fr.r = c.br
 	return c
@@ -92,11 +95,42 @@ func (c *conn) serve() {
 			}
 			return
 		}
+		// Strip the trace-context extension: the flagged payload starts
+		// with the client's 8-byte trace ID, adopted below so the pool's
+		// spans for this request carry the client's trace.
+		op := code &^ TraceFlag
+		var tid uint64
+		if code&TraceFlag != 0 {
+			if len(payload) < 8 {
+				// Either a truncated trace prefix or a legacy client using
+				// a high code byte: indistinguishable, so answer and close
+				// like any unknown opcode.
+				c.respondBad(reqID, "trace context requires an 8-byte prefix")
+				c.flush()
+				return
+			}
+			tid = be.Uint64(payload)
+			payload = payload[8:]
+		}
 		s.c.inflight.Add(1)
+		var t0 int64
+		if tid != 0 && c.tracer != nil {
+			t0 = c.tracer.Now()
+		}
 		start := time.Now()
-		ok := c.handle(code, reqID, payload)
-		if op := code; op > 0 && op < opMax && s.c.lat[op] != nil {
-			s.c.lat[op].Record(time.Since(start))
+		ok := c.handle(op, reqID, payload, tid)
+		if op > 0 && op < opMax && s.c.lat[op] != nil {
+			s.c.lat[op].RecordTraced(time.Since(start), tid)
+		}
+		if tid != 0 && c.tracer != nil {
+			// The server-op span covers decode-to-response for the whole
+			// request, bracketing the pool spans the adopted trace emitted.
+			c.tracer.Emit(reqtrace.Span{
+				Trace: tid, Phase: reqtrace.PhaseServer, Shard: -1,
+				Flags: reqtrace.FlagRemote,
+				Start: t0, Dur: c.tracer.Now() - t0,
+				Arg1: uint64(op), Arg2: reqID,
+			})
 		}
 		s.c.inflight.Add(-1)
 		if !ok {
@@ -112,8 +146,10 @@ func (c *conn) serve() {
 
 // handle dispatches one request and writes its response into the write
 // buffer. It returns false when the connection cannot continue (the
-// opcode was unknown, so frame alignment is unprovable).
-func (c *conn) handle(code byte, reqID uint64, payload []byte) bool {
+// opcode was unknown, so frame alignment is unprovable). tid, when
+// non-zero, is the client's propagated trace ID, adopted for the pool
+// access so one trace spans client, server, pool, and device.
+func (c *conn) handle(code byte, reqID uint64, payload []byte, tid uint64) bool {
 	s := c.srv
 	if code > 0 && code < opMax {
 		s.c.reqs[code].Add(1)
@@ -133,6 +169,9 @@ func (c *conn) handle(code byte, reqID uint64, payload []byte) bool {
 			return true
 		}
 		id := page.PageID(be.Uint64(payload))
+		if tid != 0 {
+			c.sess.SetNextTrace(tid)
+		}
 		ref, err := s.pool.Get(c.sess, id)
 		if err != nil {
 			c.respondErr(reqID, err)
@@ -146,6 +185,9 @@ func (c *conn) handle(code byte, reqID uint64, payload []byte) bool {
 			return true
 		}
 		id := page.PageID(be.Uint64(payload))
+		if tid != 0 {
+			c.sess.SetNextTrace(tid)
+		}
 		ref, err := s.pool.GetWrite(c.sess, id)
 		if err != nil {
 			c.respondErr(reqID, err)

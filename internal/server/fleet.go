@@ -34,6 +34,13 @@ type FleetConfig struct {
 	// Zero or one means synchronous request/response.
 	PipelineDepth int
 
+	// TraceEvery, when positive, attaches a deterministic trace ID (via
+	// the protocol's trace-context extension) to every TraceEvery-th
+	// burst each worker sends — client-side head sampling, so a fleet run
+	// seeds the server's tracer with end-to-end traces without flooding
+	// it. Zero disables wire tracing.
+	TraceEvery int
+
 	// Live, when non-nil, receives periodic counter publications for a
 	// progress ticker. It is NOT the result: a worker publishes every
 	// livePublishEvery transactions, so Live lags and may miss the tail
@@ -190,9 +197,18 @@ func runFleetWorker(cfg FleetConfig, c *Client, w, depth int, stop <-chan struct
 		}
 		*out = cur
 	}()
+	var burst uint64
 	flushOps := func() bool {
 		if len(ops) == 0 {
 			return true
+		}
+		burst++
+		if cfg.TraceEvery > 0 && burst%uint64(cfg.TraceEvery) == 0 {
+			// Deterministic per-worker trace IDs: reruns produce the same
+			// identities, so bench ledgers can be compared across runs.
+			c.SetTraceID(uint64(w+1)<<32 | burst)
+		} else {
+			c.SetTraceID(0)
 		}
 		t0 := time.Now()
 		results, err := c.Do(ops)

@@ -29,6 +29,18 @@
 // page bytes, FLUSH returns a uint64 count of pages made durable, STATS
 // returns a JSON document (RemoteStats); any non-OK status carries a
 // human-readable message.
+//
+// # Trace context
+//
+// A request may carry a trace-context extension: setting the TraceFlag
+// bit (0x80) on the code byte declares that the payload is prefixed with
+// an 8-byte big-endian trace ID, which the server strips before op
+// dispatch and adopts for the request's pool access — stitching the
+// client's trace to the server-side spans (DESIGN.md §15). The framing is
+// unchanged (same length prefix, same header), so servers and clients
+// that never set the flag interoperate exactly as before; a server
+// predating the extension answers a flagged request with BAD_REQUEST,
+// which a client treats as "tracing unsupported", not data loss.
 package server
 
 import (
@@ -52,6 +64,11 @@ const (
 
 	opMax = 6 // one past the last opcode, for counter arrays
 )
+
+// TraceFlag marks a request code byte as carrying the trace-context
+// extension: an 8-byte big-endian trace ID prefixed to the payload. The
+// flag is masked off before dispatch, so opcodes stay below it.
+const TraceFlag byte = 0x80
 
 // Response statuses. The non-OK statuses are a wire encoding of the
 // buffer/storage error taxonomy: the client maps them back onto the same

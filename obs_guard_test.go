@@ -47,14 +47,15 @@ func obsHitLoop(b *testing.B, rec *bpwrapper.Recorder) {
 	s.Flush()
 }
 
-// obsGetLoop drives the system fast path — pool.Get on a fully cached
-// batched pool — with observability either off (no recorder, no registry)
-// or fully on (per-shard flight recorders plus a registered exposition
-// registry, exactly what `-obs` enables in bpbench/bpload).
-func obsGetLoop(b *testing.B, obsOn bool) {
+// obsGuardPool builds the fully cached batched pool the guard loops
+// over: observability off entirely, on (per-shard flight recorders plus
+// a registered exposition registry, exactly what `-obs` enables in
+// bpbench/bpload), or on with request tracing armed at the production
+// default sampling rate.
+func obsGuardPool(tb testing.TB, obsOn, traceOn bool) (*bpwrapper.Pool, *bpwrapper.PoolSession, []bpwrapper.PageID) {
 	policy, ok := bpwrapper.NewPolicy("2q", 1024)
 	if !ok {
-		b.Fatal("2q policy not registered")
+		tb.Fatal("2q policy not registered")
 	}
 	cfg := bpwrapper.PoolConfig{
 		Frames:  1024,
@@ -65,15 +66,24 @@ func obsGetLoop(b *testing.B, obsOn bool) {
 	if obsOn {
 		cfg.RecorderSize = 4096
 	}
+	if traceOn {
+		cfg.Trace = bpwrapper.TraceConfig{Enable: true}
+	}
 	pool := bpwrapper.NewPool(cfg)
 	if obsOn {
 		pool.RegisterObs(bpwrapper.NewObsRegistry())
 	}
 	ids := obsGuardIDs()
 	if err := pool.Prewarm(ids); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	s := pool.NewSession()
+	return pool, pool.NewSession(), ids
+}
+
+// obsGetLoop drives the system fast path — pool.Get on a fully cached
+// batched pool — under one of the observability configurations above.
+func obsGetLoop(b *testing.B, obsOn, traceOn bool) {
+	pool, s, ids := obsGuardPool(b, obsOn, traceOn)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ref, err := pool.Get(s, ids[i%1024])
@@ -96,10 +106,13 @@ func BenchmarkWrapperHitObs(b *testing.B) {
 }
 
 // BenchmarkPoolGetObs measures the same comparison on the system fast
-// path, the quantity the guard below enforces.
+// path, the quantity the guard below enforces — plus the tracing-armed
+// variant, whose untraced iterations pay only a sampling-counter
+// decrement.
 func BenchmarkPoolGetObs(b *testing.B) {
-	b.Run("obs-off", func(b *testing.B) { obsGetLoop(b, false) })
-	b.Run("obs-on", func(b *testing.B) { obsGetLoop(b, true) })
+	b.Run("obs-off", func(b *testing.B) { obsGetLoop(b, false, false) })
+	b.Run("obs-on", func(b *testing.B) { obsGetLoop(b, true, false) })
+	b.Run("trace-on", func(b *testing.B) { obsGetLoop(b, true, true) })
 }
 
 // TestObsOverheadGuard asserts the obs-on pool.Get path is within the
@@ -124,22 +137,66 @@ func TestObsOverheadGuard(t *testing.T) {
 	// noise: the minimum is the cleanest estimate of the true cost of a
 	// tight uncontended loop.
 	const rounds = 7
-	best := func(obsOn bool) float64 {
+	best := func(obsOn, traceOn bool) float64 {
 		min := math.MaxFloat64
 		for r := 0; r < rounds; r++ {
-			res := testing.Benchmark(func(b *testing.B) { obsGetLoop(b, obsOn) })
+			res := testing.Benchmark(func(b *testing.B) { obsGetLoop(b, obsOn, traceOn) })
 			if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns < min {
 				min = ns
 			}
 		}
 		return min
 	}
-	off := best(false)
-	on := best(true)
+	off := best(false, false)
+	on := best(true, false)
+	traced := best(true, true)
 
 	overhead := (on - off) / off * 100
 	t.Logf("pool.Get: obs-off %.2f ns/op, obs-on %.2f ns/op, overhead %.2f%% (budget %.1f%%)", off, on, overhead, pct)
 	if on > off*(1+pct/100) {
 		t.Errorf("observability overhead %.2f%% exceeds %.1f%% budget", overhead, pct)
+	}
+	tOverhead := (traced - off) / off * 100
+	t.Logf("pool.Get: trace-on %.2f ns/op, overhead %.2f%% (budget %.1f%%)", traced, tOverhead, pct)
+	if traced > off*(1+pct/100) {
+		t.Errorf("tracing overhead %.2f%% exceeds %.1f%% budget", tOverhead, pct)
+	}
+}
+
+// TestTraceHitPathZeroAlloc pins the tracing layer's untraced fast path
+// at zero allocations: with tracing armed but the sampler set so no
+// request in the loop is selected, a resident pool.Get must not allocate.
+// Unlike the timing guard this is deterministic, so it always runs.
+func TestTraceHitPathZeroAlloc(t *testing.T) {
+	policy, ok := bpwrapper.NewPolicy("2q", 1024)
+	if !ok {
+		t.Fatal("2q policy not registered")
+	}
+	pool := bpwrapper.NewPool(bpwrapper.PoolConfig{
+		Frames:  1024,
+		Policy:  policy,
+		Wrapper: bpwrapper.WrapperConfig{Batching: true},
+		Device:  bpwrapper.NewMemDevice(),
+		// A sampling interval far beyond the loop below: tracing is live
+		// but every one of these requests goes untraced.
+		Trace: bpwrapper.TraceConfig{Enable: true, SampleEvery: 1 << 30},
+	})
+	ids := obsGuardIDs()
+	if err := pool.Prewarm(ids); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.NewSession()
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		ref, err := pool.Get(s, ids[i%1024])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Release()
+		i++
+	})
+	s.Flush()
+	if allocs != 0 {
+		t.Errorf("untraced resident Get allocates %.1f times per op, want 0", allocs)
 	}
 }

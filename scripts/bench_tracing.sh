@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate the committed E20 tracing-decomposition baseline.
+# The experiment is deterministic (virtual tick clock, seeded stream), so
+# the output must reproduce byte-for-byte; CI diffs it against the
+# committed results/BENCH_tracing.json.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+go run ./cmd/bpbench -exp tracing -format json -seed 1 > results/BENCH_tracing.json
+echo "wrote results/BENCH_tracing.json"
